@@ -1,0 +1,48 @@
+"""Benchmark-harness fixtures.
+
+Each ``test_bench_*`` module reproduces one table or figure of the paper on
+the calibrated PAPER campus: it runs the experiment through
+pytest-benchmark (one timed round — the value is the reproduction, the
+timing is a bonus), writes the rendered report to ``benchmarks/out/`` and
+asserts the paper's qualitative shape.
+
+The expensive artifacts (campus, collected trace, trained model) are
+session-cached by :mod:`repro.experiments.workload`, so the whole harness
+pays generation and training once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import PAPER
+from repro.experiments.workload import build_workload, trained_model
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def paper_workload():
+    return build_workload(PAPER)
+
+
+@pytest.fixture(scope="session")
+def paper_model(paper_workload):
+    return trained_model(PAPER)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,30 @@
+"""Ablation: the two terms of the social relation index.
+
+delta(u, v) = P(L|E) + alpha * T(type_u, type_v) has two ingredients —
+the pair's observed conditional co-leaving probability and the type-prior.
+This bench retrains S³ with each term knocked out (see
+:mod:`repro.experiments.ablations`).
+
+Shape: the full model should not lose to either ablation by more than
+noise, and both ablations must still beat the LLF baseline (they carry
+some social signal).
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_terms
+from repro.experiments.config import PAPER
+
+
+def test_ablation_social_index_terms(benchmark, paper_workload, report_writer):
+    result = run_once(benchmark, lambda: run_terms(PAPER))
+    report_writer("ablation_alpha", result.render())
+
+    rows = {name: values[0] for name, values in result.as_dict().items()}
+    # Every S3 variant beats the LLF baseline: even partial social signal helps.
+    assert rows["full"] > rows["llf-baseline"]
+    assert rows["no-type-prior"] > rows["llf-baseline"]
+    assert rows["type-prior-only"] > rows["llf-baseline"]
+    # The full index is not dominated by either single-term ablation.
+    assert rows["full"] >= rows["no-type-prior"] - 0.02
+    assert rows["full"] >= rows["type-prior-only"] - 0.02

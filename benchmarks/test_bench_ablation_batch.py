@@ -1,0 +1,24 @@
+"""Ablation: clique-based batch distribution vs purely online selection.
+
+Algorithm 1 distributes *batches* of waiting users by clique decomposition;
+a purely online controller assigns each arrival independently with the same
+social cost function.  The clique machinery matters exactly for co-arriving
+groups; this bench (logic in :mod:`repro.experiments.ablations`) measures
+how much.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_batching
+from repro.experiments.config import PAPER
+
+
+def test_ablation_clique_batching(benchmark, paper_workload, paper_model, report_writer):
+    result = run_once(benchmark, lambda: run_batching(PAPER))
+    report_writer("ablation_batch", result.render())
+
+    rows = {name: values[0] for name, values in result.as_dict().items()}
+    # Both run the same scoring; the batch path must not be worse beyond
+    # noise, and both must stay in valid range.
+    assert 0.0 <= rows["online-only"] <= 1.0
+    assert rows["clique-batched"] >= rows["online-only"] - 0.02

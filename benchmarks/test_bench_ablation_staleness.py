@@ -1,0 +1,33 @@
+"""Ablation: controller load-measurement staleness.
+
+The replay engine models what real controllers face: AP loads are polled
+on an interval, so between polls the least-loaded view is stale and
+arrival herding appears.  This bench (logic in
+:mod:`repro.experiments.ablations`) sweeps the poll interval for LLF and
+S³: LLF's quality should degrade as measurements age (it has nothing but
+the load signal), while S³ — whose primary signal is user identity — is
+much less sensitive.  This isolates *why* S³ is steady.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_staleness
+from repro.experiments.config import PAPER
+from repro.sim.timeline import MINUTE
+
+
+def test_ablation_measurement_staleness(
+    benchmark, paper_workload, paper_model, report_writer
+):
+    result = run_once(benchmark, lambda: run_staleness(PAPER))
+    report_writer("ablation_staleness", result.render())
+
+    by_interval = {row[0]: (row[1], row[2]) for row in result.rows}
+    fresh_llf, fresh_s3 = by_interval[1.0]
+    stale_llf, stale_s3 = by_interval[15 * MINUTE]
+    # LLF loses more from staleness than S3 does.
+    llf_drop = fresh_llf - stale_llf
+    s3_drop = fresh_s3 - stale_s3
+    assert llf_drop > s3_drop - 0.01
+    # At heavy staleness S3's lead is clear.
+    assert stale_s3 > stale_llf

@@ -1,0 +1,60 @@
+"""Cross-check bench: the headline result under alternative fairness metrics.
+
+Section III.B notes that max-min and proportional fairness "may also be
+used" in place of the Chiu-Jain index.  A result that flips under a
+different fairness notion is fragile; this bench re-scores the Fig. 12
+comparison under max-min, proportional fairness and the Gini complement
+and asserts the ordering survives every one of them.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis.fairness import FAIRNESS_METRICS
+from repro.experiments.config import PAPER
+from repro.experiments.reporting import format_table
+from repro.sim.timeline import DAY, HOUR
+from repro.wlan.strategies import LeastLoadedFirst, S3Strategy
+
+
+def scored(result):
+    """Mean of each fairness metric over active daytime samples."""
+    sums = {name: 0.0 for name in FAIRNESS_METRICS}
+    count = 0
+    for series in result.series.values():
+        mask = series.active_mask()
+        for t, loads, active in zip(series.times, series.loads, mask):
+            if not active or not 8 * HOUR <= t % DAY < 24 * HOUR:
+                continue
+            count += 1
+            for name, metric in FAIRNESS_METRICS.items():
+                sums[name] += metric(loads)
+    return {name: total / count for name, total in sums.items()}
+
+
+def test_fairness_cross_check(benchmark, paper_workload, paper_model, report_writer):
+    def run_comparison():
+        llf = scored(paper_workload.replay_test(LeastLoadedFirst()))
+        s3 = scored(
+            paper_workload.replay_test(S3Strategy(paper_model.selector()))
+        )
+        return llf, s3
+
+    llf, s3 = run_once(benchmark, run_comparison)
+    rows = [
+        (name, llf[name], s3[name], 100.0 * (s3[name] - llf[name]) / llf[name])
+        for name in sorted(FAIRNESS_METRICS)
+    ]
+    report_writer(
+        "fairness_cross_check",
+        format_table(
+            ["metric", "LLF", "S3", "gain_%"],
+            rows,
+            title="Fig. 12 comparison under alternative fairness metrics",
+        ),
+    )
+
+    # The headline ordering survives every fairness notion.
+    for name in FAIRNESS_METRICS:
+        assert s3[name] > llf[name], name

@@ -1,0 +1,23 @@
+"""Fig. 2 reproduction bench: balance-index CDF under production LLF.
+
+Paper shape: under LLF a noticeable share of (controller, hour) samples is
+badly unbalanced, and peak hours — when arrivals constantly give LLF
+chances to rebalance — look *better* than the day-wide average.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig2_balance
+from repro.experiments.config import PAPER
+
+
+def test_fig2_balance_cdf(benchmark, paper_workload, report_writer):
+    result = run_once(benchmark, lambda: fig2_balance.run(PAPER))
+    report_writer("fig2_balance_cdf", result.render())
+
+    assert result.all_hours.size > 500
+    assert result.peak_hours.size > 50
+    # Unbalance exists under LLF...
+    assert result.frac_below_half_all > 0.02
+    # ...and peak hours are the better-balanced ones (paper: 20% vs 60%).
+    assert result.frac_below_half_peak < result.frac_below_half_all

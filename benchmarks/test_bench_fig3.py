@@ -1,0 +1,25 @@
+"""Fig. 3 reproduction bench: fixed users => near-static balance index.
+
+Paper shape: with the user population held fixed inside an hour, the
+relative steps of the balance index are overwhelmingly small (>80% of |S|
+below 0.02 at ten-minute sub-periods), and shorter sub-periods produce
+smaller steps.  Application dynamics are not what unbalances APs.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig3_appdyn
+from repro.experiments.config import PAPER
+from repro.sim.timeline import MINUTE
+
+
+def test_fig3_app_dynamics(benchmark, paper_workload, report_writer):
+    result = run_once(benchmark, lambda: fig3_appdyn.run(PAPER))
+    report_writer("fig3_app_dynamics", result.render())
+
+    for width in (5 * MINUTE, 10 * MINUTE, 20 * MINUTE):
+        assert result.variations[width].size > 100
+    # Majority of steps are small at the paper's 10-minute sub-period.
+    assert result.frac_below(10 * MINUTE, 0.05) > 0.5
+    # Shorter sub-periods -> smaller steps (same ordering as the paper's CDFs).
+    assert result.frac_below(5 * MINUTE, 0.02) > result.frac_below(20 * MINUTE, 0.02)

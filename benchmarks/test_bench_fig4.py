@@ -1,0 +1,19 @@
+"""Fig. 4 reproduction bench: user-count balance tracks traffic balance.
+
+Paper shape: over a workday (8:00-24:00) the two per-controller index
+series are "very similar in layout" — drops in the user-number index
+co-occur with drops in the traffic index.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4_userload
+from repro.experiments.config import PAPER
+
+
+def test_fig4_user_vs_traffic(benchmark, paper_workload, report_writer):
+    result = run_once(benchmark, lambda: fig4_userload.run(PAPER))
+    report_writer("fig4_user_vs_traffic", result.render())
+
+    assert result.times.size >= 30  # half-hour windows over 16 hours
+    assert result.correlation > 0.5

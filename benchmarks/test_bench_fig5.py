@@ -1,0 +1,30 @@
+"""Fig. 5 reproduction bench: most departures are co-leavings.
+
+Paper shape: the per-user fraction of departures that are co-leavings is
+high for most users ("most users show strong sociality ... and do not
+leave an AP independently"), and larger extraction windows shift the CDF
+toward higher fractions.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import fig5_coleave
+from repro.experiments.config import PAPER
+from repro.sim.timeline import MINUTE
+
+
+def test_fig5_coleaving_cdf(benchmark, paper_workload, report_writer):
+    result = run_once(benchmark, lambda: fig5_coleave.run(PAPER))
+    report_writer("fig5_coleaving_cdf", result.render())
+
+    medians = [result.median(w) for w in sorted(result.fractions)]
+    # Monotone in the window: a longer window can only find more co-leavings.
+    assert medians == sorted(medians)
+    # Strong sociality: the median user's departures are mostly shared.
+    assert result.median(10 * MINUTE) > 0.3
+    assert result.median(30 * MINUTE) > 0.5
+    # Every fraction is a valid probability.
+    for values in result.fractions.values():
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)

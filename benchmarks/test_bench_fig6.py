@@ -1,0 +1,27 @@
+"""Fig. 6 reproduction bench: profile NMI rises with history, then plateaus.
+
+Paper shape: mean NMI between the day-x profile and the cumulative history
+increases with the look-back depth and stabilizes around 15 days — after
+which more history neither helps nor hurts.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6_nmi
+from repro.experiments.config import PAPER
+
+
+def test_fig6_nmi_history(benchmark, paper_workload, report_writer):
+    result = run_once(benchmark, lambda: fig6_nmi.run(PAPER))
+    report_writer("fig6_nmi_history", result.render())
+
+    assert len(result.curves) == 2  # the paper's two target days
+    for day, (lookbacks, nmi) in result.curves.items():
+        assert lookbacks[0] == 1
+        # Rises: two weeks of history beats a single day clearly.
+        deep = min(14, len(nmi) - 1)
+        assert nmi[deep] > nmi[0] * 1.02
+        # Plateau: the late change is small next to the initial rise.
+        late_change = abs(float(nmi[-1] - nmi[deep]))
+        early_rise = float(nmi[deep] - nmi[0])
+        assert late_change < max(early_rise, 1e-9)

@@ -1,0 +1,25 @@
+"""Fig. 7 reproduction bench: the gap statistic selects k = 4.
+
+Paper shape: Gap(4) >= Gap(5) - s_5 fires first at k = 4, matching the
+four planted usage types of the synthetic campus.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import fig7_gap
+from repro.experiments.config import PAPER
+
+
+def test_fig7_gap_statistic(benchmark, paper_workload, report_writer):
+    result = run_once(benchmark, lambda: fig7_gap.run(PAPER))
+    report_writer("fig7_gap_statistic", result.render())
+
+    assert result.selected_k == 4
+    assert result.n_users > 500
+    # The dispersion curve is monotone decreasing in k.
+    assert np.all(np.diff(result.gap.log_wk) <= 1e-9)
+    # The gap curve climbs sharply up to the true k.
+    gaps = result.gap.gaps
+    assert gaps[3] > gaps[1]

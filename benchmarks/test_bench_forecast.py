@@ -1,0 +1,30 @@
+"""Bench: delta(u, v) forecasts the evaluation days' co-leavings.
+
+Section IV claims the social relation index "can effectively forecast the
+co-leaving events"; the paper never quantifies it.  This bench does: AUC
+of delta over (co-leaving, non-co-leaving) pairs of the held-out days.
+
+Shape: the full index clearly beats chance, and the pair-history term
+adds forecast power beyond the type prior alone.
+"""
+
+from conftest import run_once
+
+from repro.experiments import forecast
+from repro.experiments.config import PAPER
+
+
+def test_forecast_coleavings(benchmark, paper_workload, paper_model, report_writer):
+    result = run_once(benchmark, lambda: forecast.run(PAPER))
+    report_writer("forecast_coleavings", result.render())
+
+    assert result.n_positive_pairs > 200
+    # Clearly better than chance.
+    assert result.auc_full > 0.7
+    # The pair-history term carries signal beyond the type prior.
+    assert result.auc_full > result.auc_type_only + 0.02
+    # The type prior alone is already informative (Table I's content).
+    assert result.auc_type_only > 0.55
+    # Top-ranked pairs are enriched far above the base rate.
+    base_rate = result.n_positive_pairs / result.n_scored_pairs
+    assert result.precision_at_k > 5 * base_rate

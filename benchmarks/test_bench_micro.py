@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the performance-critical substrates.
+
+Unlike the figure benches (one-shot reproductions), these measure the hot
+paths with real repetition: the event kernel's throughput, maximum-clique
+search at controller-batch scale, k-means on campus-sized profile
+matrices, churn extraction over a week of sessions, and a full replay of
+one evaluation day.  Regressions here translate directly into slower
+experiment turnaround.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.churn import extract_churn
+from repro.cluster.kmeans import KMeans
+from repro.graph.clique import max_clique
+from repro.graph.graph import Graph
+from repro.sim.kernel import Simulator
+from repro.wlan.replay import ReplayEngine
+from repro.wlan.strategies import LeastLoadedFirst
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for t in range(10_000):
+            sim.schedule(float(t), tick)
+        sim.run_until_empty()
+        return count[0]
+
+    processed = benchmark(run_events)
+    assert processed == 10_000
+
+
+def test_bench_max_clique_controller_scale(benchmark):
+    # A 48-user waiting graph with realistic density (~15% edges):
+    # the size Algorithm 1 faces at a busy controller.
+    rng = np.random.default_rng(42)
+    graph = Graph()
+    users = [f"u{i}" for i in range(48)]
+    for user in users:
+        graph.add_node(user)
+    for u, v in itertools.combinations(users, 2):
+        if rng.random() < 0.15:
+            graph.add_edge(u, v, float(rng.random()) + 0.01)
+
+    members, weight = benchmark(lambda: max_clique(graph))
+    assert len(members) >= 3
+    assert weight >= 0
+
+
+def test_bench_kmeans_campus_scale(benchmark):
+    rng = np.random.default_rng(0)
+    data = np.vstack(
+        [rng.dirichlet(np.full(6, 2.0) + 30 * np.eye(6)[i % 6], size=200) for i in range(4)]
+    )
+
+    result = benchmark(lambda: KMeans(k=4, n_init=4, rng=np.random.default_rng(1)).fit(data))
+    assert result.k == 4
+
+
+def test_bench_churn_extraction_week(benchmark, paper_workload):
+    sessions = [
+        s for s in paper_workload.collected.sessions if s.connect < 7 * 86400
+    ]
+
+    churn = benchmark.pedantic(
+        lambda: extract_churn(sessions), rounds=1, iterations=1
+    )
+    assert len(churn.co_leavings) > 0
+
+
+def test_bench_replay_one_day(benchmark, paper_workload):
+    day_demands = [
+        d
+        for d in paper_workload.test_demands
+        if d.arrival < (paper_workload.config.train_days + 1) * 86400
+    ]
+    engine = ReplayEngine(
+        paper_workload.world.layout, LeastLoadedFirst(), paper_workload.config.replay
+    )
+
+    result = benchmark.pedantic(
+        lambda: engine.run(day_demands), rounds=1, iterations=1
+    )
+    assert len(result.sessions) > 0

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The Section-V prototype scenario on the message-level testbed.
+
+Spins up one controller domain as live daemons on an in-memory bus:
+stations walk the real probe/auth/associate handshake, the controller
+steers them with the strategy under test, traffic flows, and then a social
+group co-leaves.  The report shows that the S³ decision loop fits inside
+the association exchange (feasibility) and that the co-leave does not
+crater the association balance when S³ placed the group.
+
+Run:  python examples/prototype_demo.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.core.demand import DemandEstimator
+from repro.core.selection import S3Selector
+from repro.core.social import PairStats, SocialModel
+from repro.core.typing import TypeModel
+from repro.prototype import run_feasibility_demo
+from repro.wlan.strategies import LeastLoadedFirst, S3Strategy
+
+
+def s3_strategy(group_members):
+    """An S³ selector whose social model knows the demo group's pairs
+    (stands in for a trained model; see examples/quickstart.py for real
+    training)."""
+    pairs = {
+        (u, v) if u < v else (v, u): PairStats(encounters=10, co_leavings=10)
+        for u, v in itertools.combinations(group_members, 2)
+    }
+    types = TypeModel(
+        centroids=np.full((4, 6), 1 / 6),
+        assignments={},
+        affinity=np.full((4, 4), 0.2),
+    )
+    selector = S3Selector(SocialModel(pairs, types), DemandEstimator())
+    return S3Strategy(selector)
+
+
+def main() -> None:
+    group = [f"grp{i:02d}" for i in range(8)]
+
+    print("=== prototype under LLF " + "=" * 30)
+    report = run_feasibility_demo(LeastLoadedFirst())
+    print(report.render())
+
+    print()
+    print("=== prototype under S3 " + "=" * 31)
+    report = run_feasibility_demo(s3_strategy(group))
+    print(report.render())
+    print()
+    print(
+        "Both runs complete the full handshake for every station; the S3 "
+        "run spreads the social group across APs, so its co-leave leaves "
+        "the association counts balanced."
+    )
+
+
+if __name__ == "__main__":
+    main()

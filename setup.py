@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The full package metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools/pip lack wheel
+support for PEP-660 editable installs (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of "S3: Characterizing Sociality for
+User-Friendly Steady Load Balancing in Enterprise WLANs" (ICDCS 2013).
+
+The package implements the paper's contribution — the social-aware AP
+selection scheme S³ — together with every substrate its evaluation needs:
+
+``repro.sim``          deterministic discrete-event simulation kernel
+``repro.trace``        trace data model + synthetic campus-trace generator
+``repro.analysis``     balance index, churn/co-leaving extraction, NMI
+``repro.cluster``      k-means and the gap statistic (from scratch)
+``repro.graph``        weighted graphs, greedy coloring, max-clique search
+``repro.core``         the S³ pipeline: profiles, typing, social model,
+                       demand estimation and the selection algorithm
+``repro.wlan``         enterprise WLAN simulator with pluggable strategies
+``repro.experiments``  per-figure/table experiment runners
+``repro.prototype``    message-level 802.11-style feasibility prototype
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "trace",
+    "analysis",
+    "cluster",
+    "graph",
+    "core",
+    "wlan",
+    "experiments",
+    "prototype",
+]

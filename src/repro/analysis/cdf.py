@@ -1,0 +1,74 @@
+"""Empirical CDF utilities shared by the CDF figures (Figs. 2, 3, 5)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """The empirical cumulative distribution of a sample.
+
+    ``F(x)`` is the fraction of sample points ``<= x`` (right-continuous
+    step function).  Evaluation is vectorized via ``numpy.searchsorted``.
+    """
+
+    def __init__(self, values: Sequence[float]) -> None:
+        data = np.asarray(list(values), dtype=float)
+        if data.size == 0:
+            raise ValueError("empirical CDF of an empty sample")
+        if np.any(np.isnan(data)):
+            raise ValueError("sample contains NaN")
+        self._sorted = np.sort(data)
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return int(self._sorted.size)
+
+    def __call__(self, x: float) -> float:
+        """F(x): fraction of the sample <= x."""
+        return float(np.searchsorted(self._sorted, x, side="right") / self.n)
+
+    def evaluate(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorized F(x) over a grid of points."""
+        grid = np.asarray(list(xs), dtype=float)
+        return np.searchsorted(self._sorted, grid, side="right") / self.n
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF (lower quantile)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if q == 0.0:
+            return float(self._sorted[0])
+        index = int(np.ceil(q * self.n)) - 1
+        return float(self._sorted[index])
+
+    def steps(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) points of the step function, for plotting/printing."""
+        ys = np.arange(1, self.n + 1) / self.n
+        return self._sorted.copy(), ys
+
+    def series(self, points: int = 50) -> Tuple[np.ndarray, np.ndarray]:
+        """The CDF sampled on an even grid across the sample range."""
+        if points < 2:
+            raise ValueError("need at least two grid points")
+        lo, hi = self._sorted[0], self._sorted[-1]
+        if hi == lo:
+            grid = np.asarray([lo, hi])
+        else:
+            grid = np.linspace(lo, hi, points)
+        return grid, self.evaluate(grid)
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample strictly below ``threshold``.
+
+    The paper's "balance index is less than 0.5 for ~20% of peak-hour time"
+    style statements are exactly this statistic.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("fraction_below of an empty sample")
+    return float(np.mean(data < threshold))

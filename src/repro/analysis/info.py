@@ -1,0 +1,119 @@
+"""Entropy, mutual information and NMI of application profiles.
+
+Section III.D.2 measures how much history is needed to capture a user's
+application interest: for user ``u`` it takes the day-``x`` profile
+``T_x(u)`` (normalized traffic over the six realms) and an aggregate of the
+previous ``n`` days, computes the mutual information
+
+    I(T_x, T_hist) = H(T_x) + H(T_hist) - H(T_x, T_hist)
+
+and normalizes by ``H(T_x)``.  Fig. 6 shows the mean NMI climbing with
+``n`` and plateauing at about 15 days.
+
+The joint entropy of two *distributions* needs a coupling (the marginals
+alone do not determine it).  The paper does not spell its construction out;
+we use the **maximal coupling** — the joint distribution with marginals
+``p`` and ``q`` that maximizes the probability mass on the diagonal
+(``pi(i,i) = min(p_i, q_i)``, residual mass spread as the product of the
+normalized residuals).  It has exactly the properties the figure displays:
+
+* identical profiles couple fully on the diagonal, so ``I = H(p)`` and
+  ``NMI = 1``;
+* disjoint profiles couple as the independent product, so ``I = 0``;
+* similarity in between varies smoothly with profile overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _as_distribution(values: Sequence[float]) -> np.ndarray:
+    """Validate and L1-normalize a non-negative vector into a distribution."""
+    p = np.asarray(list(values), dtype=float)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError(f"expected a non-empty 1-D vector, got shape {p.shape}")
+    if np.any(p < 0):
+        raise ValueError("negative probability mass")
+    total = p.sum()
+    if total <= 0:
+        raise ValueError("zero-mass vector cannot be normalized")
+    return p / total
+
+
+def entropy(values: Sequence[float]) -> float:
+    """Shannon entropy (nats) of an unnormalized non-negative vector."""
+    p = _as_distribution(values)
+    mask = p > _EPS
+    return float(-np.sum(p[mask] * np.log(p[mask])))
+
+
+def maximal_coupling(p_values: Sequence[float], q_values: Sequence[float]) -> np.ndarray:
+    """The maximal-coupling joint distribution of two marginals.
+
+    Returns a ``(k, k)`` matrix ``pi`` with ``pi.sum(axis=1) == p`` and
+    ``pi.sum(axis=0) == q``, maximizing ``sum_i pi[i, i]``.
+    """
+    p = _as_distribution(p_values)
+    q = _as_distribution(q_values)
+    if p.size != q.size:
+        raise ValueError(f"marginal sizes differ: {p.size} vs {q.size}")
+    diag = np.minimum(p, q)
+    overlap = diag.sum()
+    joint = np.diag(diag)
+    residual = 1.0 - overlap
+    if residual > _EPS:
+        p_rem = p - diag
+        q_rem = q - diag
+        joint += np.outer(p_rem, q_rem) / residual
+    return joint
+
+
+def mutual_information(
+    p_values: Sequence[float], q_values: Sequence[float]
+) -> float:
+    """Mutual information (nats) under the maximal coupling.
+
+    ``I = H(p) + H(q) - H(joint)``; clipped at zero to absorb floating-point
+    residue for near-independent couplings.
+    """
+    joint = maximal_coupling(p_values, q_values)
+    p = joint.sum(axis=1)
+    q = joint.sum(axis=0)
+    h_joint = entropy(joint.ravel())
+    value = entropy(p) + entropy(q) - h_joint
+    return float(max(0.0, value))
+
+
+def normalized_mutual_information(
+    current: Sequence[float], history: Sequence[float]
+) -> float:
+    """The paper's NMI: ``I(T_x, T_hist) / H(T_x)``.
+
+    Degenerate case: when the current profile is a point mass its entropy is
+    zero; NMI is defined as 1.0 if the history puts all its mass on the same
+    realm and 0.0 otherwise.
+    """
+    p = _as_distribution(current)
+    h_p = entropy(p)
+    if h_p <= _EPS:
+        q = _as_distribution(history)
+        return 1.0 if q[int(np.argmax(p))] > 1.0 - 1e-9 else 0.0
+    return mutual_information(current, history) / h_p
+
+
+def jensen_shannon_divergence(
+    p_values: Sequence[float], q_values: Sequence[float]
+) -> float:
+    """Jensen-Shannon divergence (nats) — an alternative profile-similarity
+    metric kept for ablation against the coupling-based NMI."""
+    p = _as_distribution(p_values)
+    q = _as_distribution(q_values)
+    if p.size != q.size:
+        raise ValueError(f"marginal sizes differ: {p.size} vs {q.size}")
+    m = (p + q) / 2.0
+    return float(entropy(m) - (entropy(p) + entropy(q)) / 2.0)

@@ -1,0 +1,19 @@
+"""From-scratch clustering stack: k-means and the gap statistic.
+
+Section III.D.2 clusters user application profiles with k-means and picks
+``k`` via Tibshirani's gap statistic (Fig. 7 selects k = 4).  Both pieces
+are implemented here directly on numpy — no external clustering library —
+so the reproduction owns the full path from profiles to user types.
+"""
+
+from repro.cluster.kmeans import KMeans, KMeansResult, within_cluster_dispersion
+from repro.cluster.gap import GapResult, gap_statistic, select_k
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "within_cluster_dispersion",
+    "GapResult",
+    "gap_statistic",
+    "select_k",
+]

@@ -1,0 +1,155 @@
+"""The gap statistic for choosing the number of clusters (Fig. 7).
+
+Tibshirani, Walther & Hastie (2001), as used in Section III.D.2::
+
+    Gap(k) = (1/B) * sum_b log(W_kb) - log(W_k)
+
+where ``W_k`` is the within-cluster dispersion of the data clustered into
+``k`` groups and ``W_kb`` the dispersion of the ``b``-th reference data set
+drawn uniformly over the observed range.  The selected ``k`` is the
+smallest one with::
+
+    Gap(k) >= Gap(k+1) - s_{k+1}
+
+where ``s_k = sd_k * sqrt(1 + 1/B)`` and ``sd_k`` is the standard deviation
+of ``log(W_kb)`` over the reference sets.  The paper applies this to user
+application profiles and reads off k = 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans, within_cluster_dispersion
+
+
+@dataclass(frozen=True)
+class GapResult:
+    """Gap curve over a range of k, plus the selected value."""
+
+    ks: np.ndarray  # evaluated k values
+    gaps: np.ndarray  # Gap(k)
+    s_k: np.ndarray  # the simulation-error terms s_k
+    log_wk: np.ndarray  # log W_k of the data
+    selected_k: int
+
+    def as_rows(self) -> List[dict]:
+        """Row dicts for tabular reporting."""
+        return [
+            {
+                "k": int(k),
+                "gap": float(g),
+                "s_k": float(s),
+                "log_wk": float(w),
+            }
+            for k, g, s, w in zip(self.ks, self.gaps, self.s_k, self.log_wk)
+        ]
+
+
+def _dispersion_for_k(
+    points: np.ndarray, k: int, rng: np.random.Generator, n_init: int
+) -> float:
+    if k == 1:
+        centroid = points.mean(axis=0)
+        return float(np.sum((points - centroid) ** 2))
+    result = KMeans(k=k, n_init=n_init, rng=rng).fit(points)
+    return within_cluster_dispersion(points, result.labels)
+
+
+def _reference_sets(
+    points: np.ndarray,
+    n_references: int,
+    rng: np.random.Generator,
+    method: str,
+) -> List[np.ndarray]:
+    """Draw the null-reference data sets.
+
+    ``"pca"`` (Tibshirani's method (b), the default): sample uniformly in
+    the principal-component-aligned bounding box and rotate back.  This
+    respects low-dimensional structure — e.g. application profiles live on
+    a simplex (components sum to one), where an axis-aligned box would be
+    a far too diffuse null and distort the Gap curve's shape in k.
+    ``"uniform"``: the simpler axis-aligned bounding box (method (a)).
+    """
+    if method == "uniform":
+        lows = points.min(axis=0)
+        span = np.where(points.max(axis=0) > lows, points.max(axis=0) - lows, 1.0)
+        return [lows + rng.random(points.shape) * span for _ in range(n_references)]
+    if method == "pca":
+        mean = points.mean(axis=0)
+        centered = points - mean
+        # Right singular vectors give the PCA rotation.
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        rotated = centered @ vt.T
+        lows = rotated.min(axis=0)
+        highs = rotated.max(axis=0)
+        span = np.where(highs > lows, highs - lows, 0.0)
+        return [
+            (lows + rng.random(rotated.shape) * span) @ vt + mean
+            for _ in range(n_references)
+        ]
+    raise ValueError(f"unknown reference method {method!r}")
+
+
+def gap_statistic(
+    data: Sequence[Sequence[float]],
+    k_max: int = 10,
+    n_references: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    n_init: int = 4,
+    reference: str = "pca",
+) -> GapResult:
+    """Compute Gap(k) for k = 1..k_max and select k.
+
+    ``n_references`` null data sets are drawn once and shared across k so
+    the curve is smooth in k (standard practice); see
+    :func:`_reference_sets` for the two null models.
+    """
+    points = np.asarray(data, dtype=float)
+    if points.ndim != 2 or points.shape[0] < 2:
+        raise ValueError(f"need a 2-D matrix with >= 2 rows, got {points.shape}")
+    if k_max < 1:
+        raise ValueError("k_max must be >= 1")
+    k_max = min(k_max, points.shape[0])
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    ks = np.arange(1, k_max + 1)
+    gaps = np.zeros(k_max)
+    s_k = np.zeros(k_max)
+    log_wk = np.zeros(k_max)
+
+    references = _reference_sets(points, n_references, rng, reference)
+
+    for i, k in enumerate(ks):
+        w_k = _dispersion_for_k(points, int(k), rng, n_init)
+        log_wk[i] = np.log(max(w_k, 1e-300))
+        ref_logs = np.array(
+            [
+                np.log(max(_dispersion_for_k(ref, int(k), rng, n_init), 1e-300))
+                for ref in references
+            ]
+        )
+        gaps[i] = float(ref_logs.mean() - log_wk[i])
+        s_k[i] = float(ref_logs.std(ddof=0) * np.sqrt(1.0 + 1.0 / n_references))
+
+    selected = select_k(gaps, s_k)
+    return GapResult(ks=ks, gaps=gaps, s_k=s_k, log_wk=log_wk, selected_k=selected)
+
+
+def select_k(gaps: Sequence[float], s_k: Sequence[float]) -> int:
+    """Smallest k with ``Gap(k) >= Gap(k+1) - s_{k+1}``.
+
+    Falls back to the argmax of the gap curve when no k satisfies the rule
+    (can happen for k_max too small).  Returned k is 1-based.
+    """
+    gaps = np.asarray(list(gaps), dtype=float)
+    s_k = np.asarray(list(s_k), dtype=float)
+    if gaps.shape != s_k.shape or gaps.size == 0:
+        raise ValueError("gaps and s_k must be equal-length, non-empty")
+    for i in range(gaps.size - 1):
+        if gaps[i] >= gaps[i + 1] - s_k[i + 1]:
+            return i + 1
+    return int(np.argmax(gaps)) + 1

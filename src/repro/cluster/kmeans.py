@@ -1,0 +1,163 @@
+"""k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+The paper (Section III.D.2) clusters users' normalized application-traffic
+vectors with "a well-known unsupervised clustering algorithm called
+k-means" [MacQueen 1967].  This implementation provides what the paper's
+pipeline needs:
+
+* k-means++ seeding for robust initialization,
+* multiple restarts keeping the lowest-inertia solution,
+* the *within-cluster dispersion* ``W_k`` used by the gap statistic
+  (Tibshirani's pairwise-distance form, see :mod:`repro.cluster.gap`),
+* deterministic behaviour under a caller-supplied generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """The outcome of one k-means fit."""
+
+    centroids: np.ndarray  # (k, d)
+    labels: np.ndarray  # (n,)
+    inertia: float  # sum of squared distances to assigned centroid
+    iterations: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.centroids.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Members per cluster, indexed by label."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and restarts."""
+
+    def __init__(
+        self,
+        k: int,
+        n_init: int = 8,
+        max_iter: int = 200,
+        tol: float = 1e-7,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if n_init <= 0 or max_iter <= 0:
+            raise ValueError("n_init and max_iter must be positive")
+        self.k = k
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, data: Sequence[Sequence[float]]) -> KMeansResult:
+        """Fit on an ``(n, d)`` matrix; returns the best of ``n_init`` runs."""
+        points = np.asarray(data, dtype=float)
+        if points.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {points.shape}")
+        n = points.shape[0]
+        if n < self.k:
+            raise ValueError(f"cannot form {self.k} clusters from {n} points")
+        best: Optional[KMeansResult] = None
+        for _ in range(self.n_init):
+            result = self._fit_once(points)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    def _fit_once(self, points: np.ndarray) -> KMeansResult:
+        centroids = self._seed(points)
+        labels = np.zeros(points.shape[0], dtype=int)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = _sq_distances(points, centroids)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for j in range(self.k):
+                members = points[labels == j]
+                if members.size:
+                    new_centroids[j] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its centroid — standard k-means repair.
+                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    new_centroids[j] = points[farthest]
+            shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
+            centroids = new_centroids
+            if shift <= self.tol:
+                converged = True
+                break
+        distances = _sq_distances(points, centroids)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(distances[np.arange(points.shape[0]), labels].sum())
+        return KMeansResult(
+            centroids=centroids,
+            labels=labels,
+            inertia=inertia,
+            iterations=iteration,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------- seeding
+
+    def _seed(self, points: np.ndarray) -> np.ndarray:
+        """k-means++: spread initial centroids proportionally to D^2."""
+        n = points.shape[0]
+        centroids = np.empty((self.k, points.shape[1]))
+        first = int(self.rng.integers(n))
+        centroids[0] = points[first]
+        closest = _sq_distances(points, centroids[:1]).ravel()
+        for j in range(1, self.k):
+            total = closest.sum()
+            if total <= 0:
+                # All points coincide with chosen centroids; pick uniformly.
+                index = int(self.rng.integers(n))
+            else:
+                probabilities = closest / total
+                index = int(self.rng.choice(n, p=probabilities))
+            centroids[j] = points[index]
+            closest = np.minimum(
+                closest, _sq_distances(points, centroids[j : j + 1]).ravel()
+            )
+        return centroids
+
+
+def _sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, (n, k)."""
+    diff = points[:, None, :] - centroids[None, :, :]
+    return np.einsum("nkd,nkd->nk", diff, diff)
+
+
+def within_cluster_dispersion(points: np.ndarray, labels: np.ndarray) -> float:
+    """Tibshirani's W_k: sum over clusters of D_r / (2 n_r).
+
+    ``D_r`` is the sum of pairwise squared distances inside cluster ``r``;
+    for Euclidean distance this equals the cluster's inertia, so
+    ``W_k = sum_r inertia_r`` — computed here via the centroid identity
+    rather than the O(n^2) pairwise sum.
+    """
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if points.shape[0] != labels.shape[0]:
+        raise ValueError("points and labels length mismatch")
+    total = 0.0
+    for label in np.unique(labels):
+        members = points[labels == label]
+        centroid = members.mean(axis=0)
+        total += float(np.sum((members - centroid) ** 2))
+    return total

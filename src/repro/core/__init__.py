@@ -1,0 +1,58 @@
+"""The paper's contribution: the S³ social-aware AP selection pipeline.
+
+The pipeline turns a *collected* trace (session log + router flows) into a
+deployable AP-selection model, exactly following Section IV:
+
+1. ``profiles``  — per-user daily application profiles from classified
+   flows, plus look-back aggregation (the 15-day history of Fig. 6);
+2. ``typing``    — k-means user types over profiles (k via gap statistic)
+   and the empirical type-affinity matrix T (Table I);
+3. ``social``    — pairwise social relation indices
+   ``delta(u, v) = P(L|E) + alpha * T(type_u, type_v)``;
+4. ``demand``    — per-user bandwidth demand estimates from history
+   (paper ref [10] stand-in);
+5. ``selection`` — Algorithm 1: clique-based batch distribution and the
+   online minimal-social-increment AP choice with LLF fallback;
+6. ``pipeline``  — the one-call trainer producing an :class:`S3Model`.
+
+Nothing in this package imports the WLAN simulator; the selection
+algorithm sees only :class:`~repro.core.selection.APState` snapshots, so
+it can run equally under trace-driven simulation or the message-level
+prototype.
+"""
+
+from repro.core.profiles import (
+    DailyProfileStore,
+    build_daily_profiles,
+    history_profile,
+    nmi_history_curve,
+)
+from repro.core.typing import TypeModel, fit_type_model, type_affinity_matrix
+from repro.core.social import PairStats, SocialModel, build_social_model
+from repro.core.demand import DemandEstimator
+from repro.core.selection import APState, S3Selector, SelectionConfig
+from repro.core.pipeline import S3Model, TrainingConfig, train_s3
+from repro.core.online import OnlineConfig, OnlineLearner, OnlineS3Strategy
+
+__all__ = [
+    "DailyProfileStore",
+    "build_daily_profiles",
+    "history_profile",
+    "nmi_history_curve",
+    "TypeModel",
+    "fit_type_model",
+    "type_affinity_matrix",
+    "PairStats",
+    "SocialModel",
+    "build_social_model",
+    "DemandEstimator",
+    "APState",
+    "S3Selector",
+    "SelectionConfig",
+    "S3Model",
+    "TrainingConfig",
+    "train_s3",
+    "OnlineConfig",
+    "OnlineLearner",
+    "OnlineS3Strategy",
+]

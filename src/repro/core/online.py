@@ -1,0 +1,154 @@
+"""Online-learning S³: keep the social model current from live traffic.
+
+The paper's future work: "we will implement S³ in our campus WLAN and
+further improve the S³ design by solving the issues encountered in
+practice."  The first practical issue is model aging — a model trained on
+a snapshot drifts as the semester's schedules change and new users appear.
+
+This module closes the loop: the controller already sees every
+association and disassociation, so the same event definitions used in
+training (Section III.D) can be evaluated *incrementally*:
+
+* **encounters** — when a user disassociates, every user still on the AP
+  whose co-presence lasted at least the encounter threshold yields one
+  encounter event for the pair;
+* **co-leavings** — a per-AP ring of recent departures; a departure within
+  the extraction window of another user's departure on the same AP yields
+  one co-leaving event per pair;
+* **demand** — each finished session's mean rate feeds the per-user EWMA.
+
+The :class:`OnlineS3Strategy` wraps a trained (or empty) model, applies
+the updates through the engine's observation hooks, and keeps serving
+Algorithm 1 decisions from the continuously refreshed model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+from repro.core.selection import APState, S3Selector
+from repro.core.social import SocialModel
+from repro.sim.timeline import MINUTE
+from repro.wlan.strategies import SelectionStrategy
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Event-extraction parameters for the online learner.
+
+    Defaults match the training-stage operating point (five-minute
+    co-leaving window, twenty-minute encounter threshold).
+    """
+
+    coleave_window: float = 5 * MINUTE
+    encounter_min_duration: float = 20 * MINUTE
+    #: Departures older than this are dropped from the per-AP ring.
+    departure_memory: float = 30 * MINUTE
+
+    def __post_init__(self) -> None:
+        if self.coleave_window <= 0:
+            raise ValueError("coleave_window must be positive")
+        if self.encounter_min_duration < 0:
+            raise ValueError("encounter_min_duration must be non-negative")
+        if self.departure_memory < self.coleave_window:
+            raise ValueError("departure_memory must cover the co-leave window")
+
+
+class OnlineLearner:
+    """Incremental churn-event extraction over the association stream."""
+
+    def __init__(self, social: SocialModel, config: Optional[OnlineConfig] = None):
+        self.social = social
+        self.config = config if config is not None else OnlineConfig()
+        #: ap id -> {user id -> association time}
+        self._present: Dict[str, Dict[str, float]] = {}
+        #: ap id -> recent departures (time, user), oldest first
+        self._departures: Dict[str, Deque[Tuple[float, str]]] = {}
+        self.encounters_recorded = 0
+        self.co_leavings_recorded = 0
+
+    # -------------------------------------------------------------- events
+
+    def on_arrival(self, user_id: str, ap_id: str, time: float) -> None:
+        """Record that a user associated to an AP."""
+        self._present.setdefault(ap_id, {})[user_id] = time
+
+    def on_departure(self, user_id: str, ap_id: str, time: float) -> None:
+        """Process a disassociation: emit encounter and co-leaving events."""
+        present = self._present.setdefault(ap_id, {})
+        joined_at = present.pop(user_id, None)
+        if joined_at is None:
+            return  # arrival never observed (e.g. learner attached late)
+
+        # Encounters: co-presence with everyone still on the AP.
+        for other, other_joined in present.items():
+            overlap = time - max(joined_at, other_joined)
+            if overlap >= self.config.encounter_min_duration:
+                self.social.record_events(user_id, other, encounters=1)
+                self.encounters_recorded += 1
+
+        # Co-leavings: pair with recent departures on the same AP.
+        ring = self._departures.setdefault(ap_id, deque())
+        horizon = time - self.config.departure_memory
+        while ring and ring[0][0] < horizon:
+            ring.popleft()
+        for departed_at, other in ring:
+            if other == user_id:
+                continue
+            if time - departed_at <= self.config.coleave_window:
+                self.social.record_events(user_id, other, co_leavings=1)
+                self.co_leavings_recorded += 1
+        ring.append((time, user_id))
+
+
+class OnlineS3Strategy(SelectionStrategy):
+    """S³ with live model updates from the association stream.
+
+    Wraps a selector (trained or cold-start) and learns as it serves.  A
+    cold-start deployment — empty pair statistics, uniform type prior —
+    behaves like load balancing on day one and grows its social knowledge
+    from the events it observes, which is exactly the bootstrap story an
+    operator needs.
+    """
+
+    name = "s3-online"
+
+    def __init__(
+        self,
+        selector: S3Selector,
+        config: Optional[OnlineConfig] = None,
+    ) -> None:
+        self.selector = selector
+        self.learner = OnlineLearner(selector.social, config)
+
+    def select(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Serve one arrival from the continuously updated model."""
+        return self.selector.select(user_id, aps)
+
+    def assign_batch(
+        self,
+        user_ids: Sequence[str],
+        aps: Sequence[APState],
+        rssi_by_user: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> Optional[Dict[str, str]]:
+        """Serve a batch (Algorithm 1) from the continuously updated model."""
+        return self.selector.assign_batch(user_ids, aps)
+
+    def observe_arrival(self, user_id: str, ap_id: str, time: float) -> None:
+        """Engine hook: feed an association into the learner."""
+        self.learner.on_arrival(user_id, ap_id, time)
+
+    def observe_departure(
+        self, user_id: str, ap_id: str, time: float, mean_rate: float = 0.0
+    ) -> None:
+        """Engine hook: feed a disassociation into learner and demand EWMA."""
+        self.learner.on_departure(user_id, ap_id, time)
+        if mean_rate > 0:
+            self.selector.demand.observe(user_id, mean_rate)

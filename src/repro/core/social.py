@@ -1,0 +1,169 @@
+"""The social relation index delta(u, v) (Section IV).
+
+    delta(u, v) = P(L(u,v) | E(u,v)) + alpha * T(type_u, type_v)
+
+The conditional term is estimated from the learning trace as the ratio of
+the pair's co-leaving events to its encounter events; the type term is the
+Table-I affinity weighted by the constant ``alpha`` (0.3 at the paper's
+chosen operating point, Fig. 10).  Pairs that never encountered each other
+fall back to the type term alone — "if the pair of users have not
+encountered each other before, we need other information to guess the
+possibility that they will leave together."
+
+Noise control: fake social relationships (coincidental co-leavings) are
+suppressed by requiring a minimum number of encounters before the
+conditional term is trusted, mirroring the paper's "aggregating multiple
+common events between the same pair of users."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.churn import ChurnEvents, Pair, make_pair
+from repro.core.typing import TypeModel
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class PairStats:
+    """Observed event counts for one user pair."""
+
+    encounters: int
+    co_leavings: int
+
+    @property
+    def conditional_probability(self) -> float:
+        """P(co-leave | encounter), capped at 1.
+
+        Pairs can log more co-leavings than encounters (brief joint stays
+        below the encounter-duration threshold still co-leave); the cap
+        keeps the index a probability.
+        """
+        if self.encounters <= 0:
+            return 0.0
+        return min(1.0, self.co_leavings / self.encounters)
+
+
+class SocialModel:
+    """Pairwise social relation indices over a trained user population."""
+
+    def __init__(
+        self,
+        pair_stats: Dict[Pair, PairStats],
+        type_model: TypeModel,
+        alpha: float = 0.3,
+        min_encounters: int = 2,
+        shrinkage: float = 1.0,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if min_encounters < 1:
+            raise ValueError("min_encounters must be >= 1")
+        if shrinkage < 0:
+            raise ValueError("shrinkage must be non-negative")
+        self._pairs = dict(pair_stats)
+        self.type_model = type_model
+        self.alpha = alpha
+        self.min_encounters = min_encounters
+        self.shrinkage = shrinkage
+
+    # -------------------------------------------------------------- queries
+
+    def pair_stats(self, user_a: str, user_b: str) -> Optional[PairStats]:
+        """Observed event counts for the pair, or None if never seen."""
+        return self._pairs.get(make_pair(user_a, user_b))
+
+    def conditional_term(self, user_a: str, user_b: str) -> float:
+        """P(L|E) for the pair, zero below the encounter-count floor.
+
+        Shrinkage (``co_leavings / (encounters + shrinkage)``) keeps a pair
+        observed only a couple of times from scoring a certain 1.0 — the
+        same fake-relationship suppression applied to the Table-I matrix.
+        """
+        stats = self.pair_stats(user_a, user_b)
+        if stats is None or stats.encounters < self.min_encounters:
+            return 0.0
+        return min(
+            1.0, stats.co_leavings / (stats.encounters + self.shrinkage)
+        )
+
+    def type_term(self, user_a: str, user_b: str) -> float:
+        """alpha * T(type_u, type_v)."""
+        return self.alpha * self.type_model.affinity_of(user_a, user_b)
+
+    def social_index(self, user_a: str, user_b: str) -> float:
+        """The full delta(u, v)."""
+        if user_a == user_b:
+            raise ValueError("social index of a user with themselves")
+        return self.conditional_term(user_a, user_b) + self.type_term(user_a, user_b)
+
+    # --------------------------------------------------------------- graphs
+
+    def build_graph(self, users: Iterable[str], threshold: float = 0.3) -> Graph:
+        """The user graph of Section IV.A: edges where delta > threshold.
+
+        Every user appears as a node; only pairs above the threshold get an
+        edge (weight = delta).  This is the input to the clique cover.
+        """
+        if threshold < 0:
+            raise ValueError(f"negative threshold {threshold!r}")
+        members = sorted(set(users))
+        graph = Graph()
+        for user in members:
+            graph.add_node(user)
+        for i, user_a in enumerate(members):
+            for user_b in members[i + 1 :]:
+                delta = self.social_index(user_a, user_b)
+                if delta > threshold:
+                    graph.add_edge(user_a, user_b, delta)
+        return graph
+
+    def known_pairs(self) -> int:
+        """Number of pairs with any recorded events."""
+        return len(self._pairs)
+
+    # ------------------------------------------------------ online updates
+
+    def record_events(
+        self, user_a: str, user_b: str, encounters: int = 0, co_leavings: int = 0
+    ) -> None:
+        """Fold freshly observed events into the pair's statistics.
+
+        This is the hook the online-learning extension
+        (:mod:`repro.core.online`) uses: the controller observes
+        encounters and co-leavings from the association stream it manages
+        anyway, and keeps the model current without retraining.
+        """
+        if encounters < 0 or co_leavings < 0:
+            raise ValueError("event deltas must be non-negative")
+        pair = make_pair(user_a, user_b)
+        old = self._pairs.get(pair, PairStats(0, 0))
+        self._pairs[pair] = PairStats(
+            encounters=old.encounters + encounters,
+            co_leavings=old.co_leavings + co_leavings,
+        )
+
+
+def build_social_model(
+    churn: ChurnEvents,
+    type_model: TypeModel,
+    alpha: float = 0.3,
+    min_encounters: int = 2,
+) -> SocialModel:
+    """Assemble the social model from extracted churn events."""
+    encounters = churn.encounter_pairs()
+    co_leavings = churn.co_leaving_pairs()
+    pairs: Dict[Pair, PairStats] = {}
+    for pair in set(encounters) | set(co_leavings):
+        pairs[pair] = PairStats(
+            encounters=encounters.get(pair, 0),
+            co_leavings=co_leavings.get(pair, 0),
+        )
+    return SocialModel(
+        pair_stats=pairs,
+        type_model=type_model,
+        alpha=alpha,
+        min_encounters=min_encounters,
+    )

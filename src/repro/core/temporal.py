@@ -1,0 +1,140 @@
+"""Temporal usage profiles — the paper's future-work extension.
+
+Section VII: "In our future work, we will further examine more aspects in
+characterizing the network usage profiles of users so that they can be
+used to obtain more accurate sociality information."  The most natural
+second aspect is *when* a user is online: two users who are active at the
+same hours are far likelier to share schedules (and co-leave) than two
+users with the same app mix active at disjoint hours.
+
+This module adds:
+
+* :func:`build_temporal_profiles` — per-user normalized time-of-day
+  activity vectors (24 hourly bins of connected time) from the session
+  log;
+* :func:`combine_profiles` — the joint feature vector
+  ``[(1-w) * app_profile, w * temporal_profile]`` used for extended
+  typing;
+* :func:`fit_extended_type_model` — the Section III.D pipeline run on the
+  joint features, producing a drop-in :class:`~repro.core.typing.TypeModel`
+  whose affinity matrix now conditions on *both* what and when users
+  consume.
+
+The extended model is evaluated in ``benchmarks/test_bench_extension_
+temporal.py``: on the synthetic campus the temporal dimension sharpens
+the type-affinity contrast because schedules, not app tastes, are what
+actually drive co-leaving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.analysis.churn import ChurnEvents
+from repro.cluster.kmeans import KMeans
+from repro.core.profiles import DailyProfileStore
+from repro.core.typing import TypeModel, type_affinity_matrix
+from repro.sim.timeline import DAY, HOUR
+from repro.trace.records import SessionRecord
+
+N_HOURS = 24
+
+
+def build_temporal_profiles(
+    sessions: Iterable[SessionRecord],
+) -> Dict[str, np.ndarray]:
+    """Per-user normalized hour-of-day activity vectors.
+
+    Bin ``h`` holds the fraction of the user's total connected time spent
+    during clock hour ``h`` (summed over all days).  Users with zero
+    connected time are omitted.
+    """
+    raw: Dict[str, np.ndarray] = {}
+    for session in sessions:
+        vector = raw.setdefault(session.user_id, np.zeros(N_HOURS))
+        first_day = int(session.connect // DAY)
+        last_day = int(max(session.connect, session.disconnect - 1e-9) // DAY)
+        for day in range(first_day, last_day + 1):
+            for hour in range(N_HOURS):
+                lo = day * DAY + hour * HOUR
+                overlap = session.overlap(lo, lo + HOUR)
+                if overlap > 0:
+                    vector[hour] += overlap
+    profiles: Dict[str, np.ndarray] = {}
+    for user_id, vector in raw.items():
+        total = vector.sum()
+        if total > 0:
+            profiles[user_id] = vector / total
+    return profiles
+
+
+def combine_profiles(
+    app_profile: np.ndarray,
+    temporal_profile: np.ndarray,
+    temporal_weight: float = 0.5,
+) -> np.ndarray:
+    """The joint feature vector for extended typing.
+
+    Both inputs are distributions; each block is scaled so the blocks'
+    masses are ``(1 - w)`` and ``w`` — the joint vector is again a
+    distribution, and ``w`` controls how much the clustering listens to
+    *when* versus *what*.
+    """
+    if not 0.0 <= temporal_weight <= 1.0:
+        raise ValueError("temporal_weight must be in [0, 1]")
+    app = np.asarray(app_profile, dtype=float)
+    temporal = np.asarray(temporal_profile, dtype=float)
+    if app.sum() <= 0 or temporal.sum() <= 0:
+        raise ValueError("profiles must carry mass")
+    return np.concatenate(
+        [
+            (1.0 - temporal_weight) * app / app.sum(),
+            temporal_weight * temporal / temporal.sum(),
+        ]
+    )
+
+
+def fit_extended_type_model(
+    store: DailyProfileStore,
+    sessions: List[SessionRecord],
+    churn: ChurnEvents,
+    k: int = 4,
+    temporal_weight: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    min_encounters: int = 2,
+    end_day: Optional[int] = None,
+    lookback: Optional[int] = None,
+) -> TypeModel:
+    """Fit a TypeModel over joint app + temporal features.
+
+    Drop-in compatible with :func:`repro.core.typing.fit_type_model`; the
+    centroids have ``6 + 24`` dimensions (``classify_profile`` expects the
+    joint vector).  Users lacking either profile are skipped.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    app_users, app_matrix = store.profile_matrix(end_day=end_day, lookback=lookback)
+    temporal = build_temporal_profiles(sessions)
+
+    users: List[str] = []
+    rows: List[np.ndarray] = []
+    for user_id, app_profile in zip(app_users, app_matrix):
+        when = temporal.get(user_id)
+        if when is None:
+            continue
+        users.append(user_id)
+        rows.append(combine_profiles(app_profile, when, temporal_weight))
+    if len(users) < k:
+        raise ValueError(
+            f"only {len(users)} users have both profiles, need >= {k}"
+        )
+    matrix = np.vstack(rows)
+    result = KMeans(k=k, rng=rng).fit(matrix)
+    assignments = {user: int(label) for user, label in zip(users, result.labels)}
+    affinity = type_affinity_matrix(
+        assignments, k, churn, min_encounters=min_encounters
+    )
+    return TypeModel(
+        centroids=result.centroids, assignments=assignments, affinity=affinity
+    )

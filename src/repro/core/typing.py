@@ -1,0 +1,173 @@
+"""User types: k-means over application profiles + the affinity matrix.
+
+Section III.D.2 clusters users' normalized application-usage vectors into
+``k = 4`` groups (gap statistic, Fig. 7) and tabulates
+``T(type_i, type_j)`` — "the mean possibility that a pair of tags from
+group type_i and type_j will leave together" (Table I).  The diagonal
+dominance of T is the prior S³ falls back on for user pairs that have
+never encountered each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.churn import ChurnEvents
+from repro.cluster.gap import gap_statistic
+from repro.cluster.kmeans import KMeans, KMeansResult
+from repro.core.profiles import DailyProfileStore
+
+
+@dataclass(frozen=True)
+class TypeModel:
+    """A fitted user-type model.
+
+    ``centroids`` are the cluster centers over the six realms (Fig. 8);
+    ``assignments`` maps user id -> type index; ``affinity`` is the k x k
+    Table-I matrix (NaN-free: unobserved type pairs get the global mean).
+    """
+
+    centroids: np.ndarray
+    assignments: Dict[str, int]
+    affinity: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of user types."""
+        return int(self.centroids.shape[0])
+
+    def type_of(self, user_id: str) -> Optional[int]:
+        """Type index of a known user, ``None`` for strangers."""
+        return self.assignments.get(user_id)
+
+    def affinity_of(self, user_a: str, user_b: str) -> float:
+        """``T(type_a, type_b)`` with unknown users mapped to the mean."""
+        type_a = self.assignments.get(user_a)
+        type_b = self.assignments.get(user_b)
+        if type_a is None or type_b is None:
+            return float(self.affinity.mean())
+        return float(self.affinity[type_a, type_b])
+
+    def classify_profile(self, profile: Sequence[float]) -> int:
+        """Nearest-centroid type for an arbitrary profile vector."""
+        vector = np.asarray(list(profile), dtype=float)
+        distances = np.linalg.norm(self.centroids - vector[None, :], axis=1)
+        return int(np.argmin(distances))
+
+    def type_sizes(self) -> np.ndarray:
+        """Users per type, indexed by type."""
+        counts = np.zeros(self.k, dtype=int)
+        for type_index in self.assignments.values():
+            counts[type_index] += 1
+        return counts
+
+
+def fit_user_clusters(
+    store: DailyProfileStore,
+    k: Optional[int] = None,
+    k_max: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    end_day: Optional[int] = None,
+    lookback: Optional[int] = None,
+) -> Tuple[List[str], KMeansResult, Optional[int]]:
+    """Cluster user profiles; k chosen by the gap statistic when not given.
+
+    Returns ``(user_ids, kmeans_result, selected_k_by_gap)`` — the third
+    element is ``None`` when ``k`` was forced by the caller.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    users, matrix = store.profile_matrix(end_day=end_day, lookback=lookback)
+    if len(users) < 2:
+        raise ValueError(f"need at least 2 profiled users, got {len(users)}")
+    selected: Optional[int] = None
+    if k is None:
+        gap = gap_statistic(matrix, k_max=min(k_max, len(users)), rng=rng)
+        selected = gap.selected_k
+        k = selected
+    result = KMeans(k=k, rng=rng).fit(matrix)
+    return users, result, selected
+
+
+def type_affinity_matrix(
+    assignments: Dict[str, int],
+    k: int,
+    churn: ChurnEvents,
+    min_encounters: int = 2,
+    shrinkage: float = 1.0,
+) -> np.ndarray:
+    """Table I: mean per-pair co-leaving probability by type pair.
+
+    For every user pair with at least ``min_encounters`` encounters, the
+    pair's co-leaving probability is estimated with Laplace-style
+    shrinkage ``min(1, co_leavings / (encounters + shrinkage))`` — a pair
+    seen together once that happened to co-leave once must not score a
+    certain 1.0 (these are exactly the "fake social relationships" the
+    paper treats as noise).  The matrix entry (i, j) is the
+    encounter-weighted average over pairs with types {i, j}, so
+    well-observed pairs dominate coincidences.  Type pairs never observed
+    together fall back to the global mean so the matrix stays total (S³
+    must be able to score any pair).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if shrinkage < 0:
+        raise ValueError("shrinkage must be non-negative")
+    encounter_counts = churn.encounter_pairs()
+    coleave_counts = churn.co_leaving_pairs()
+
+    sums = np.zeros((k, k))
+    weights = np.zeros((k, k))
+    for pair, n_encounters in encounter_counts.items():
+        if n_encounters < min_encounters:
+            continue
+        user_a, user_b = pair
+        type_a = assignments.get(user_a)
+        type_b = assignments.get(user_b)
+        if type_a is None or type_b is None:
+            continue
+        probability = min(
+            1.0, coleave_counts.get(pair, 0) / (n_encounters + shrinkage)
+        )
+        weight = float(n_encounters)
+        sums[type_a, type_b] += probability * weight
+        weights[type_a, type_b] += weight
+        if type_a != type_b:
+            sums[type_b, type_a] += probability * weight
+            weights[type_b, type_a] += weight
+
+    observed = weights > 0
+    matrix = np.zeros((k, k))
+    matrix[observed] = sums[observed] / weights[observed]
+    if observed.any():
+        fallback = float(matrix[observed].mean())
+    else:
+        fallback = 0.0
+    matrix[~observed] = fallback
+    return matrix
+
+
+def fit_type_model(
+    store: DailyProfileStore,
+    churn: ChurnEvents,
+    k: Optional[int] = 4,
+    rng: Optional[np.random.Generator] = None,
+    min_encounters: int = 2,
+    end_day: Optional[int] = None,
+    lookback: Optional[int] = None,
+) -> TypeModel:
+    """Fit the full type model: clusters + affinity matrix.
+
+    ``k`` defaults to the paper's 4; pass ``k=None`` to re-run the gap
+    statistic selection instead.
+    """
+    users, result, _ = fit_user_clusters(
+        store, k=k, rng=rng, end_day=end_day, lookback=lookback
+    )
+    assignments = {user: int(label) for user, label in zip(users, result.labels)}
+    affinity = type_affinity_matrix(
+        assignments, result.k, churn, min_encounters=min_encounters
+    )
+    return TypeModel(centroids=result.centroids, assignments=assignments, affinity=affinity)

@@ -1,0 +1,43 @@
+"""Per-figure / per-table experiment runners.
+
+One module per experiment, each exposing ``run(config) -> <Result>`` with a
+``render()`` method that prints the same rows/series the paper reports.
+The mapping to the paper (see DESIGN.md §4):
+
+=================  ====================================================
+``fig2_balance``   CDF of normalized balance index under LLF (Fig. 2)
+``fig3_appdyn``    CDF of the variance-of-balance statistic S (Fig. 3)
+``fig4_userload``  user-count vs traffic balance time series (Fig. 4)
+``fig5_coleave``   CDF of per-user co-leaving fraction (Fig. 5)
+``fig6_nmi``       NMI vs history depth (Fig. 6)
+``fig7_gap``       gap statistic over k (Fig. 7)
+``fig8_centroids`` the four cluster centroids (Fig. 8)
+``table1``         type-pair co-leaving affinity matrix (Table I)
+``fig10_window``   balance vs co-leaving window x alpha (Fig. 10)
+``fig11_history``  balance vs history depth x alpha (Fig. 11)
+``fig12_compare``  S3 vs LLF comparison with CIs (Fig. 12)
+=================  ====================================================
+
+``config`` holds the shared experiment presets (the PAPER preset is the
+calibrated campus used by the benchmark harness; SMALL is a fast variant
+for tests) and ``workload`` materializes and caches the synthetic campus,
+the LLF-collected training trace and the trained S³ model.
+"""
+
+from repro.experiments.config import (
+    PAPER,
+    SMALL,
+    TINY,
+    ExperimentConfig,
+)
+from repro.experiments.workload import Workload, build_workload, trained_model
+
+__all__ = [
+    "PAPER",
+    "SMALL",
+    "TINY",
+    "ExperimentConfig",
+    "Workload",
+    "build_workload",
+    "trained_model",
+]

@@ -1,0 +1,76 @@
+"""Run every experiment and print its rendered report.
+
+    python -m repro.experiments [paper|small|tiny] [fig2 fig5 table1 ...]
+
+Without experiment names, all twelve run in paper order.  This is the
+human-facing sibling of the benchmark harness (``pytest benchmarks/``),
+which runs the same code and asserts the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import config as config_module
+from repro.experiments import (
+    fig2_balance,
+    fig3_appdyn,
+    fig4_userload,
+    fig5_coleave,
+    fig6_nmi,
+    fig7_gap,
+    fig8_centroids,
+    table1,
+    fig10_window,
+    fig11_history,
+    fig12_compare,
+    forecast,
+    ablations,
+)
+
+EXPERIMENTS = {
+    "fig2": fig2_balance,
+    "fig3": fig3_appdyn,
+    "fig4": fig4_userload,
+    "fig5": fig5_coleave,
+    "fig6": fig6_nmi,
+    "fig7": fig7_gap,
+    "fig8": fig8_centroids,
+    "table1": table1,
+    "fig10": fig10_window,
+    "fig11": fig11_history,
+    "fig12": fig12_compare,
+    "forecast": forecast,
+    "ablations": ablations,
+}
+
+PRESETS = {
+    "paper": config_module.PAPER,
+    "small": config_module.SMALL,
+    "tiny": config_module.TINY,
+}
+
+
+def main(argv) -> int:
+    """Run the named experiments on the chosen preset; returns exit code."""
+    args = list(argv)
+    preset = config_module.PAPER
+    if args and args[0] in PRESETS:
+        preset = PRESETS[args.pop(0)]
+    names = args if args else list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name].run(preset)
+        elapsed = time.time() - started
+        print(f"\n=== {name} (preset {preset.name}, {elapsed:.1f}s) " + "=" * 20)
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,191 @@
+"""Ablation studies of the design choices DESIGN.md §5 calls out.
+
+Each function retrains / re-replays the evaluation days with one design
+element altered and reports mean daytime balance:
+
+* :func:`run_terms` — knock out each term of the social relation index;
+* :func:`run_batching` — clique-based batch distribution vs purely online
+  selection with the same scoring;
+* :func:`run_threshold` — sweep the 0.3 social-graph edge threshold;
+* :func:`run_staleness` — sweep the controller's load-polling interval
+  for LLF and S³ (the mechanism that makes arrival-based least-loaded
+  selection herd, and the sharpest demonstration of why S³ is steady).
+
+These back both the benchmark harness (``benchmarks/test_bench_ablation_
+*.py``) and the command-line runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.selection import SelectionConfig
+from repro.experiments.config import PAPER, ExperimentConfig
+from repro.experiments.evaluation import mean_daytime_balance
+from repro.experiments.reporting import format_table
+from repro.experiments.workload import build_workload, trained_model
+from repro.sim.timeline import MINUTE
+from repro.wlan.strategies import LeastLoadedFirst, S3Strategy, SelectionStrategy
+
+
+@dataclass
+class AblationResult:
+    """A labeled set of mean-balance outcomes."""
+
+    title: str
+    rows: List[Tuple[object, ...]]
+    headers: List[str]
+
+    def as_dict(self) -> Dict[object, Tuple[object, ...]]:
+        """Rows keyed by their first column."""
+        return {row[0]: row[1:] for row in self.rows}
+
+    def render(self) -> str:
+        """The report text the paper's figure/table corresponds to."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+class OnlineOnlyS3(SelectionStrategy):
+    """S³ scoring applied one user at a time — no clique batches.
+
+    The engine's sequential fallback (triggered by ``assign_batch``
+    returning ``None``) feeds arrivals through ``select`` with live state
+    updates, which is exactly an online-only controller.
+    """
+
+    name = "s3-online-only"
+
+    def __init__(self, selector) -> None:
+        self.selector = selector
+
+    def select(self, user_id, aps, rssi=None):
+        """One-at-a-time S3 selection (no batch hook)."""
+        return self.selector.select(user_id, aps)
+
+
+def run_terms(config: ExperimentConfig = PAPER) -> AblationResult:
+    """Social-index term knockout: full vs alpha=0 vs conditional-off."""
+    workload = build_workload(config)
+
+    def balance_for(training) -> float:
+        model = trained_model(config, training)
+        return mean_daytime_balance(
+            workload.replay_test(S3Strategy(model.selector()))
+        )
+
+    base = config.training
+    rows = [
+        ("full", balance_for(base)),
+        ("no-type-prior", balance_for(replace(base, alpha=0.0))),
+        ("type-prior-only", balance_for(replace(base, min_encounters=10**9))),
+        (
+            "llf-baseline",
+            mean_daytime_balance(workload.replay_test(LeastLoadedFirst())),
+        ),
+    ]
+    return AblationResult(
+        title="Ablation — social index terms",
+        headers=["variant", "mean_balance"],
+        rows=rows,
+    )
+
+
+def run_batching(config: ExperimentConfig = PAPER) -> AblationResult:
+    """Clique-based batch distribution vs online-only selection."""
+    workload = build_workload(config)
+    model = trained_model(config)
+    rows = [
+        (
+            "clique-batched",
+            mean_daytime_balance(
+                workload.replay_test(S3Strategy(model.selector()))
+            ),
+        ),
+        (
+            "online-only",
+            mean_daytime_balance(
+                workload.replay_test(OnlineOnlyS3(model.selector()))
+            ),
+        ),
+    ]
+    return AblationResult(
+        title="Ablation — clique batching vs online-only",
+        headers=["variant", "mean_balance"],
+        rows=rows,
+    )
+
+
+def run_threshold(
+    config: ExperimentConfig = PAPER,
+    thresholds: Sequence[float] = (0.05, 0.3, 0.6, 1.5),
+) -> AblationResult:
+    """Sweep of the social-graph edge threshold (paper: 0.3)."""
+    workload = build_workload(config)
+    rows = []
+    for threshold in thresholds:
+        training = replace(
+            config.training,
+            selection=SelectionConfig(edge_threshold=threshold),
+        )
+        model = trained_model(config, training)
+        rows.append(
+            (
+                threshold,
+                mean_daytime_balance(
+                    workload.replay_test(S3Strategy(model.selector()))
+                ),
+            )
+        )
+    return AblationResult(
+        title="Ablation — social-graph edge threshold",
+        headers=["edge_threshold", "mean_balance"],
+        rows=rows,
+    )
+
+
+@dataclass
+class AllAblations:
+    """Every ablation, for the command-line runner."""
+
+    results: List[AblationResult]
+
+    def render(self) -> str:
+        """The report text the paper's figure/table corresponds to."""
+        return "\n\n".join(result.render() for result in self.results)
+
+
+def run(config: ExperimentConfig = PAPER) -> AllAblations:
+    """Run all four ablations (the ``ablations`` runner entry)."""
+    return AllAblations(
+        results=[
+            run_terms(config),
+            run_batching(config),
+            run_threshold(config),
+            run_staleness(config),
+        ]
+    )
+
+
+def run_staleness(
+    config: ExperimentConfig = PAPER,
+    poll_intervals: Sequence[float] = (1.0, 5 * MINUTE, 15 * MINUTE),
+) -> AblationResult:
+    """Load-measurement staleness sweep for LLF vs S³."""
+    workload = build_workload(config)
+    model = trained_model(config)
+    rows = []
+    for interval in poll_intervals:
+        replay = replace(config.replay, load_measurement_interval=interval)
+        llf = mean_daytime_balance(
+            workload.replay_test(LeastLoadedFirst(), replay)
+        )
+        s3 = mean_daytime_balance(
+            workload.replay_test(S3Strategy(model.selector()), replay)
+        )
+        rows.append((interval, llf, s3))
+    return AblationResult(
+        title="Ablation — load-measurement staleness",
+        headers=["poll_interval_s", "llf_balance", "s3_balance"],
+        rows=rows,
+    )

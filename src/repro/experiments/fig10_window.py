@@ -1,0 +1,127 @@
+"""Fig. 10 — balance vs the co-leaving extraction window and alpha.
+
+Section V.B sweeps the co-leaving extraction window from one to twenty
+minutes (and the type-prior weight alpha over {0.1, 0.3, 0.5}), retrains
+the social relationships with each setting, and replays the evaluation
+days under S³.  The paper finds an interior optimum at five minutes: a
+tiny window collects too few co-leavings to learn from, a huge window
+collects too many coincidences (fake relationships), and alpha = 0.3 with
+the five-minute window is the operating point the rest of the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.config import PAPER, ExperimentConfig
+from repro.experiments.evaluation import mean_daytime_balance, social_graph_quality
+from repro.experiments.reporting import format_table
+from repro.experiments.workload import build_workload, trained_model
+from repro.sim.timeline import MINUTE
+from repro.wlan.strategies import S3Strategy
+
+WINDOW_MINUTES = (1.0, 5.0, 10.0, 15.0, 20.0)
+ALPHAS = (0.1, 0.3, 0.5)
+
+
+@dataclass
+class Fig10Result:
+    """Mean balance by (window, alpha), plus social-graph quality by window.
+
+    The balance surface is the paper's y-axis.  ``graph_quality`` (one row
+    per window, measured at the paper's alpha = 0.3) exposes the
+    *mechanism* behind the interior optimum: precision of the learned
+    relations falls with the window while recall saturates, so F1 peaks at
+    an intermediate window.  On the synthetic campus the balance surface
+    itself is nearly flat — Algorithm 1's balance guard makes S³ fail-safe
+    against a degraded social model — so the shape assertion lives on the
+    graph-quality curve (see EXPERIMENTS.md).
+    """
+
+    windows: Tuple[float, ...]
+    alphas: Tuple[float, ...]
+    balance: np.ndarray  # (n_windows, n_alphas)
+    graph_quality: List[Dict[str, float]]  # per window, at alpha = 0.3
+
+    def best_window(self, alpha: float) -> float:
+        """Window with the best mean balance for this alpha."""
+        column = self.alphas.index(alpha)
+        return self.windows[int(np.argmax(self.balance[:, column]))]
+
+    def best_f1_window(self) -> float:
+        """Window whose learned social graph has the best F1."""
+        return self.windows[
+            int(np.argmax([q["f1"] for q in self.graph_quality]))
+        ]
+
+    def render(self) -> str:
+        """The report text the paper's figure/table corresponds to."""
+        headers = ["window_min"] + [f"alpha={a:g}" for a in self.alphas]
+        rows = [
+            [w] + [float(v) for v in self.balance[i]]
+            for i, w in enumerate(self.windows)
+        ]
+        table = format_table(
+            headers, rows,
+            title="Fig. 10 — mean normalized balance vs co-leaving window",
+        )
+        quality_rows = [
+            (w, q["edges"], q["precision"], q["recall"], q["f1"])
+            for w, q in zip(self.windows, self.graph_quality)
+        ]
+        quality = format_table(
+            ["window_min", "edges", "precision", "recall", "F1"],
+            quality_rows,
+            title="social-graph quality vs window (alpha = 0.3, ground truth)",
+        )
+        best = {a: self.best_window(a) for a in self.alphas}
+        return (
+            f"{table}\n{quality}\n"
+            f"best balance window per alpha: {best}; best-F1 window: "
+            f"{self.best_f1_window()} min (paper: optimum at 5 minutes, "
+            f"alpha = 0.3 chosen)"
+        )
+
+
+def run(
+    config: ExperimentConfig = PAPER,
+    windows_minutes: Tuple[float, ...] = WINDOW_MINUTES,
+    alphas: Tuple[float, ...] = ALPHAS,
+) -> Fig10Result:
+    """Execute the Fig. 10 sweep on the given preset."""
+    workload = build_workload(config)
+    balance = np.zeros((len(windows_minutes), len(alphas)))
+    graph_quality: List[Dict[str, float]] = []
+    for i, window in enumerate(windows_minutes):
+        for j, alpha in enumerate(alphas):
+            training = replace(
+                config.training,
+                coleave_window=window * MINUTE,
+                alpha=alpha,
+            )
+            model = trained_model(config, training)
+            result = workload.replay_test(S3Strategy(model.selector()))
+            balance[i, j] = mean_daytime_balance(result)
+            if alpha == 0.3:
+                graph_quality.append(
+                    social_graph_quality(model, workload.world)
+                )
+    if not graph_quality:
+        # alpha = 0.3 not in the sweep: measure at the first alpha instead.
+        for window in windows_minutes:
+            training = replace(
+                config.training,
+                coleave_window=window * MINUTE,
+                alpha=alphas[0],
+            )
+            model = trained_model(config, training)
+            graph_quality.append(social_graph_quality(model, workload.world))
+    return Fig10Result(
+        windows=tuple(windows_minutes),
+        alphas=tuple(alphas),
+        balance=balance,
+        graph_quality=graph_quality,
+    )

@@ -1,0 +1,98 @@
+"""Plain-text reporting helpers shared by the experiment runners.
+
+The benchmark harness reproduces *tables and figure series* as text: every
+experiment renders the rows/series the paper plots, plus the headline
+statistics its prose quotes.  These helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width text table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """An (x, y) series as a two-column table."""
+    rows = [
+        (round(float(x), precision), round(float(y), precision))
+        for x, y in zip(xs, ys)
+    ]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def format_cdf_summary(
+    name: str, values: Sequence[float], thresholds: Sequence[float] = (0.5,)
+) -> str:
+    """One-line CDF summary: n, quantiles and threshold fractions."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return f"{name}: empty"
+    parts = [
+        f"{name}: n={data.size}",
+        f"p25={np.percentile(data, 25):.3f}",
+        f"median={np.percentile(data, 50):.3f}",
+        f"p75={np.percentile(data, 75):.3f}",
+    ]
+    for threshold in thresholds:
+        parts.append(f"frac<{threshold:g}={np.mean(data < threshold):.3f}")
+    return "  ".join(parts)
+
+
+def percent_gain(new: float, base: float) -> float:
+    """Relative improvement of ``new`` over ``base`` in percent."""
+    if base == 0:
+        raise ValueError("percent gain against a zero baseline")
+    return 100.0 * (new - base) / base
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, half-width) of the normal-approximation 95% CI."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("confidence interval of an empty sample")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, 0.0
+    half = 1.96 * float(data.std(ddof=1)) / float(np.sqrt(data.size))
+    return mean, half
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, (np.floating,)):
+        return f"{float(value):.4f}"
+    return str(value)

@@ -1,0 +1,46 @@
+"""From-scratch graph substrate: weighted graphs, coloring, max-clique.
+
+Section IV of the paper builds an undirected graph over the users awaiting
+assignment (edges where the social relation index exceeds 0.3), then
+iteratively extracts **maximum cliques** — "we adopt a heuristic
+branch-and-bound algorithm [Ostergard 2002]; each time the users are first
+sorted by a greedy vertex coloring algorithm" — distributing each clique
+across APs before removing it from the graph.
+
+This package implements that machinery without external graph libraries:
+
+``graph``     a weighted undirected graph with subgraph/removal support
+``coloring``  greedy vertex coloring (ordering + upper bounds)
+``clique``    branch-and-bound maximum clique with coloring bounds,
+              edge-weight tie-breaking and the iterative clique cover
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.coloring import greedy_coloring, color_classes
+from repro.graph.clique import CliqueCover, max_clique, clique_cover, is_clique
+from repro.graph.metrics import (
+    average_clustering,
+    average_degree,
+    component_sizes,
+    degree_histogram,
+    density,
+    local_clustering,
+    summarize,
+)
+
+__all__ = [
+    "Graph",
+    "greedy_coloring",
+    "color_classes",
+    "CliqueCover",
+    "max_clique",
+    "clique_cover",
+    "is_clique",
+    "average_clustering",
+    "average_degree",
+    "component_sizes",
+    "degree_histogram",
+    "density",
+    "local_clustering",
+    "summarize",
+]

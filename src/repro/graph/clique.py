@@ -1,0 +1,186 @@
+"""Branch-and-bound maximum clique and the iterative clique cover.
+
+Section IV.A of the paper: users whose social relation index exceeds the
+0.3 threshold are joined by an edge; "a group of users where each pair of
+users have a close relationship" is a clique.  The decomposition then
+"iteratively picks a maximum clique each time ... and deletes all vertices
+in the clique ... until there are no more vertices left"; among multiple
+maximum cliques "we choose the one with the largest sum of edges", because
+heavier cliques are the likeliest to co-leave and most urgent to spread.
+
+The search is the Östergård/Tomita family the paper cites: depth-first
+branch and bound where candidates are greedily colored and the color count
+bounds the achievable clique size.  Vertices are explored in descending
+color order so the bound tightens early.  Bitsets (Python ints) represent
+candidate sets, which keeps set intersection O(words) and makes the search
+comfortably fast at controller-domain scale (tens of waiting users).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph, Node
+
+
+def is_clique(graph: Graph, nodes: Sequence[Node]) -> bool:
+    """True when every pair in ``nodes`` is adjacent in ``graph``."""
+    members = list(nodes)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return False
+    return True
+
+
+class _BitsetSearch:
+    """One max-clique search instance over an index-mapped graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        # Descending-degree order concentrates dense structure at low
+        # indices, which improves both the coloring bound and cache locality.
+        self.nodes: List[Node] = sorted(
+            graph.nodes, key=lambda n: (-graph.degree(n), str(n))
+        )
+        self.index: Dict[Node, int] = {n: i for i, n in enumerate(self.nodes)}
+        n = len(self.nodes)
+        self.adj: List[int] = [0] * n
+        self.weights: List[Dict[int, float]] = [dict() for _ in range(n)]
+        for u, v, w in graph.edges():
+            i, j = self.index[u], self.index[v]
+            self.adj[i] |= 1 << j
+            self.adj[j] |= 1 << i
+            self.weights[i][j] = w
+            self.weights[j][i] = w
+        self.best_members: List[int] = []
+        self.best_weight = -1.0
+
+    # -------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _bits(mask: int) -> List[int]:
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def _color_sort(self, candidates: int) -> List[Tuple[int, int]]:
+        """Greedy-color the candidate set; return [(vertex, color)] with
+        colors ascending (1-based).  color(v) bounds the clique size any
+        extension through v can reach within the remaining candidates."""
+        result: List[Tuple[int, int]] = []
+        uncolored = candidates
+        color = 0
+        while uncolored:
+            color += 1
+            available = uncolored
+            while available:
+                low = available & -available
+                v = low.bit_length() - 1
+                result.append((v, color))
+                # v joins this color class: drop v and its neighbors from
+                # the class's availability, and v from the uncolored pool.
+                available &= ~(self.adj[v] | low)
+                uncolored &= ~low
+        return result
+
+    def _added_weight(self, v: int, clique: List[int]) -> float:
+        w = self.weights[v]
+        return sum(w.get(u, 0.0) for u in clique)
+
+    # --------------------------------------------------------------- search
+
+    def run(self) -> Tuple[List[Node], float]:
+        """Execute the branch-and-bound search; returns (members, weight)."""
+        if not self.nodes:
+            return [], 0.0
+        all_mask = (1 << len(self.nodes)) - 1
+        self._expand([], 0.0, all_mask)
+        members = [self.nodes[i] for i in self.best_members]
+        return members, self.best_weight
+
+    def _expand(self, clique: List[int], weight: float, candidates: int) -> None:
+        if not candidates:
+            size = len(clique)
+            best_size = len(self.best_members)
+            if size > best_size or (size == best_size and weight > self.best_weight):
+                self.best_members = list(clique)
+                self.best_weight = weight
+            return
+        colored = self._color_sort(candidates)
+        # Walk highest colors first; the bound len(clique) + color is the
+        # best size reachable through this vertex.  Pruning uses < so that
+        # equal-size, heavier-weight cliques are still explored (the
+        # paper's edge-weight tie-break needs them).
+        for v, color in reversed(colored):
+            if len(clique) + color < len(self.best_members):
+                return
+            added = self._added_weight(v, clique)
+            clique.append(v)
+            self._expand(clique, weight + added, candidates & self.adj[v])
+            clique.pop()
+            candidates &= ~(1 << v)
+
+
+def max_clique(graph: Graph) -> Tuple[List[Node], float]:
+    """The maximum clique of ``graph`` and its internal edge-weight sum.
+
+    Among maximum cliques of equal size, the one with the largest sum of
+    edge weights is returned (the paper's tie-break).  The empty graph
+    yields ``([], 0.0)``; an edgeless graph yields a single vertex.
+    """
+    members, weight = _BitsetSearch(graph).run()
+    return members, max(weight, 0.0)
+
+
+@dataclass(frozen=True)
+class CliqueCover:
+    """The result of the iterative clique decomposition."""
+
+    cliques: List[List[Node]]
+    weights: List[float]
+
+    def __len__(self) -> int:
+        return len(self.cliques)
+
+    def __iter__(self):
+        return iter(self.cliques)
+
+    @property
+    def nodes(self) -> Set[Node]:
+        """All nodes covered by the cliques."""
+        return {node for clique in self.cliques for node in clique}
+
+
+def clique_cover(graph: Graph, max_clique_size: Optional[int] = None) -> CliqueCover:
+    """Iteratively extract maximum cliques until the graph is exhausted.
+
+    Returns the cliques in extraction order (largest first — removing a
+    clique can only shrink later cliques).  Isolated vertices come out as
+    singleton cliques at the tail.  ``max_clique_size`` optionally caps a
+    clique's size by splitting oversized extractions (useful when a clique
+    exceeds the number of APs it must be spread over).
+    """
+    working = graph.copy()
+    cliques: List[List[Node]] = []
+    weights: List[float] = []
+    while len(working) > 0:
+        # Fast path: no edges left, everything remaining is a singleton.
+        if working.n_edges() == 0:
+            for node in sorted(working.nodes, key=str):
+                cliques.append([node])
+                weights.append(0.0)
+            break
+        members, weight = max_clique(working)
+        if not members:
+            raise RuntimeError("max_clique returned empty on a non-empty graph")
+        if max_clique_size is not None and len(members) > max_clique_size:
+            members = members[:max_clique_size]
+            weight = working.total_weight(members)
+        cliques.append(members)
+        weights.append(weight)
+        working.remove_nodes(members)
+    return CliqueCover(cliques=cliques, weights=weights)

@@ -1,0 +1,160 @@
+"""A small weighted undirected graph.
+
+Nodes are arbitrary hashable objects (user ids in the S³ pipeline); edges
+carry a positive weight (the social relation index).  The representation is
+a dict-of-dicts adjacency, which keeps neighbor iteration, edge lookup and
+node removal all O(degree) — the operations the clique decomposition loop
+performs repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Node = Hashable
+
+
+class Graph:
+    """Weighted undirected simple graph (no self-loops, no multi-edges)."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------- building
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add or overwrite the edge ``{u, v}``.
+
+        Self-loops are rejected: a user has no social relation with
+        themselves, and cliques are defined over distinct vertices.
+        """
+        if u == v:
+            raise ValueError(f"self-loop on {u!r}")
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight!r}")
+        self._adj.setdefault(u, {})[v] = float(weight)
+        self._adj.setdefault(v, {})[u] = float(weight)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and its incident edges; raises if absent."""
+        if node not in self._adj:
+            raise KeyError(f"node {node!r} not in graph")
+        for neighbor in self._adj.pop(node):
+            del self._adj[neighbor][node]
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> None:
+        """Remove several nodes (and their edges)."""
+        for node in list(nodes):
+            self.remove_node(node)
+
+    # ------------------------------------------------------------- querying
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Each undirected edge exactly once, as ``(u, v, weight)``."""
+        seen: Set[frozenset] = set()
+        for u, neighbors in self._adj.items():
+            for v, weight in neighbors.items():
+                key = frozenset((u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield (u, v, weight)
+
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nb) for nb in self._adj.values()) // 2
+
+    def neighbors(self, node: Node) -> Dict[Node, float]:
+        """Neighbor -> weight mapping (a live view is never exposed)."""
+        if node not in self._adj:
+            raise KeyError(f"node {node!r} not in graph")
+        return dict(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbors of the node."""
+        if node not in self._adj:
+            raise KeyError(f"node {node!r} not in graph")
+        return len(self._adj[node])
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True when the undirected edge exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node, default: float = 0.0) -> float:
+        """Edge weight, or ``default`` when the edge is absent."""
+        if u in self._adj and v in self._adj[u]:
+            return self._adj[u][v]
+        return default
+
+    def total_weight(self, nodes: Iterable[Node]) -> float:
+        """Sum of edge weights inside the induced subgraph of ``nodes``."""
+        members = list(nodes)
+        member_set = set(members)
+        total = 0.0
+        for u in members:
+            if u not in self._adj:
+                continue
+            for v, weight in self._adj[u].items():
+                if v in member_set:
+                    total += weight
+        return total / 2.0
+
+    # ----------------------------------------------------------- transforms
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``nodes`` (unknown nodes ignored)."""
+        keep = {n for n in nodes if n in self._adj}
+        out = Graph()
+        for node in keep:
+            out.add_node(node)
+        for node in keep:
+            for neighbor, weight in self._adj[node].items():
+                if neighbor in keep and not out.has_edge(node, neighbor):
+                    out.add_edge(node, neighbor, weight)
+        return out
+
+    def copy(self) -> "Graph":
+        """A deep copy of the graph structure."""
+        out = Graph()
+        out._adj = {node: dict(nb) for node, nb in self._adj.items()}
+        return out
+
+    def connected_components(self) -> List[Set[Node]]:
+        """Connected components, each as a node set."""
+        seen: Set[Node] = set()
+        components: List[Set[Node]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            component: Set[Node] = set()
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(n for n in self._adj[node] if n not in component)
+            seen |= component
+            components.append(component)
+        return components
+
+    def __repr__(self) -> str:
+        return f"Graph(nodes={len(self)}, edges={self.n_edges()})"

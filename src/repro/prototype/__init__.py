@@ -1,0 +1,58 @@
+"""Message-level feasibility prototype (Section V of the paper).
+
+The paper validates S³ with "a small-scale prototype" — stations, APs and
+a controller running the real association protocol with the S³ decision
+logic in the controller.  The hardware testbed is replaced here by an
+in-process, event-driven emulation of the same *control path*:
+
+* stations broadcast probe requests and collect probe responses (with
+  RSSI) from the APs of their building;
+* the chosen AP relays the association request to its WLAN controller;
+* the controller runs the pluggable selection strategy (S³ or a baseline)
+  over live AP states and either accepts the association or *redirects*
+  the station to the AP the strategy picked — exactly the controller-side
+  steering a lightweight-AP architecture performs;
+* the station completes authentication/association against the directed
+  AP and later disassociates.
+
+All messages are typed frames over an in-memory bus with simulated
+latency, driven by the :mod:`repro.sim` kernel, so the prototype also
+serves as an integration test of kernel + strategy + entities.
+"""
+
+from repro.prototype.messages import (
+    AssocRequest,
+    AssocResponse,
+    AuthRequest,
+    AuthResponse,
+    Disassociation,
+    Frame,
+    ProbeRequest,
+    ProbeResponse,
+    RedirectDirective,
+)
+from repro.prototype.transport import MessageBus
+from repro.prototype.ap_daemon import APDaemon
+from repro.prototype.controller_daemon import ControllerDaemon
+from repro.prototype.station import Station, StationLog
+from repro.prototype.testbed import Testbed, TestbedReport, run_feasibility_demo
+
+__all__ = [
+    "AssocRequest",
+    "AssocResponse",
+    "AuthRequest",
+    "AuthResponse",
+    "Disassociation",
+    "Frame",
+    "ProbeRequest",
+    "ProbeResponse",
+    "RedirectDirective",
+    "MessageBus",
+    "APDaemon",
+    "ControllerDaemon",
+    "Station",
+    "StationLog",
+    "Testbed",
+    "TestbedReport",
+    "run_feasibility_demo",
+]

@@ -1,0 +1,177 @@
+"""The lightweight-AP daemon of the prototype.
+
+Responsibilities, matching a thin-AP architecture:
+
+* answer probe requests with a probe response carrying the RSSI the
+  station would see (computed from the radio model);
+* answer authentication requests (always open-auth success here);
+* relay association requests to the WLAN controller as a steering query
+  and translate the controller's directive into the association response
+  (accept here, or redirect to the AP the strategy chose);
+* maintain the local association table and report it on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.prototype.messages import (
+    AssocRequest,
+    AssocResponse,
+    AuthRequest,
+    AuthResponse,
+    Disassociation,
+    Frame,
+    LoadReport,
+    ProbeRequest,
+    ProbeResponse,
+    RedirectDirective,
+    SteeringQuery,
+)
+from repro.prototype.transport import MessageBus
+from repro.trace.social import AccessPointInfo
+from repro.wlan.radio import path_loss_rssi
+
+import numpy as np
+
+
+class APDaemon:
+    """One AP endpoint on the bus."""
+
+    def __init__(
+        self,
+        info: AccessPointInfo,
+        bus: MessageBus,
+        controller_endpoint: str,
+    ) -> None:
+        self.info = info
+        self.bus = bus
+        self.controller_endpoint = controller_endpoint
+        #: station id -> offered rate (bytes/s); rate is set on association.
+        self.associations: Dict[str, float] = {}
+        #: station id -> pending rate while the controller decides.
+        self._pending: Dict[str, float] = {}
+        bus.register(self.endpoint, self.handle)
+
+    @property
+    def endpoint(self) -> str:
+        """This daemon's bus address."""
+        return f"ap:{self.info.ap_id}"
+
+    @property
+    def load(self) -> float:
+        """Aggregate offered load of associated stations (bytes/second)."""
+        return sum(self.associations.values())
+
+    @property
+    def user_count(self) -> int:
+        """Number of associated stations."""
+        return len(self.associations)
+
+    # ------------------------------------------------------------- handlers
+
+    def handle(self, frame: Frame) -> None:
+        """Dispatch one incoming frame."""
+        if isinstance(frame, ProbeRequest):
+            self._on_probe(frame)
+        elif isinstance(frame, AuthRequest):
+            self._on_auth(frame)
+        elif isinstance(frame, AssocRequest):
+            self._on_assoc(frame)
+        elif isinstance(frame, RedirectDirective):
+            self._on_directive(frame)
+        elif isinstance(frame, Disassociation):
+            self._on_disassociation(frame)
+        else:
+            raise TypeError(f"AP {self.info.ap_id}: unexpected frame {frame!r}")
+
+    def _on_probe(self, frame: ProbeRequest) -> None:
+        # Station position is encoded in the probe's src endpoint by the
+        # Station object; the station computes its own RSSI when receiving
+        # the response, so the AP just answers with its identity and a
+        # nominal signal (stations overwrite it with the radio model).
+        self.bus.send(
+            ProbeResponse(
+                src=self.endpoint,
+                dst=frame.src,
+                ap_id=self.info.ap_id,
+                rssi_dbm=path_loss_rssi(1.0),
+            )
+        )
+
+    def _on_auth(self, frame: AuthRequest) -> None:
+        self.bus.send(
+            AuthResponse(
+                src=self.endpoint,
+                dst=frame.src,
+                ap_id=self.info.ap_id,
+                success=True,
+            )
+        )
+
+    def _on_assoc(self, frame: AssocRequest) -> None:
+        # Thin AP: the controller decides.  Remember who asked so the
+        # directive can be answered back to the right station.
+        self._pending[frame.station_id] = 0.0
+        self.bus.send(
+            SteeringQuery(
+                src=self.endpoint,
+                dst=self.controller_endpoint,
+                station_id=frame.station_id,
+                via_ap=self.info.ap_id,
+                rssi_report=frame.rssi_report,
+            )
+        )
+
+    def _on_directive(self, frame: RedirectDirective) -> None:
+        if frame.station_id not in self._pending:
+            return  # station gave up in the meantime
+        del self._pending[frame.station_id]
+        station_endpoint = f"sta:{frame.station_id}"
+        if frame.target_ap == self.info.ap_id:
+            self.associations[frame.station_id] = 0.0
+            self.bus.send(
+                AssocResponse(
+                    src=self.endpoint,
+                    dst=station_endpoint,
+                    ap_id=self.info.ap_id,
+                    accepted=True,
+                )
+            )
+        else:
+            self.bus.send(
+                AssocResponse(
+                    src=self.endpoint,
+                    dst=station_endpoint,
+                    ap_id=self.info.ap_id,
+                    accepted=False,
+                    redirect_to=frame.target_ap,
+                )
+            )
+
+    def _on_disassociation(self, frame: Disassociation) -> None:
+        self.associations.pop(frame.station_id, None)
+
+    # --------------------------------------------------------------- extras
+
+    def set_station_rate(self, station_id: str, rate: float) -> None:
+        """Record the station's offered rate once traffic starts flowing."""
+        if station_id not in self.associations:
+            raise KeyError(
+                f"station {station_id} not associated to {self.info.ap_id}"
+            )
+        if rate < 0:
+            raise ValueError(f"negative rate {rate!r}")
+        self.associations[station_id] = rate
+
+    def report_load(self) -> LoadReport:
+        """The periodic CAPWAP-style load report to the controller."""
+        report = LoadReport(
+            src=self.endpoint,
+            dst=self.controller_endpoint,
+            ap_id=self.info.ap_id,
+            load=self.load,
+            user_count=self.user_count,
+        )
+        self.bus.send(report)
+        return report

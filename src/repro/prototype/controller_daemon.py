@@ -1,0 +1,103 @@
+"""The WLAN-controller daemon of the prototype.
+
+Holds the pluggable selection strategy (S³ or a baseline) and answers
+steering queries from its APs: gather the current AP states (association
+tables are authoritative at the controller; loads come from the last
+LoadReport, mirroring the measured-load semantics of the replay engine),
+run the strategy, and direct the station to the chosen AP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.selection import APState
+from repro.prototype.ap_daemon import APDaemon
+from repro.prototype.messages import (
+    Frame,
+    LoadReport,
+    RedirectDirective,
+    SteeringQuery,
+)
+from repro.prototype.transport import MessageBus
+from repro.wlan.strategies import SelectionStrategy
+
+
+class ControllerDaemon:
+    """One controller endpoint commanding a set of AP daemons."""
+
+    def __init__(
+        self,
+        controller_id: str,
+        aps: List[APDaemon],
+        strategy: SelectionStrategy,
+        bus: MessageBus,
+    ) -> None:
+        if not aps:
+            raise ValueError(f"controller {controller_id} has no APs")
+        self.controller_id = controller_id
+        self.strategy = strategy
+        self.bus = bus
+        self.aps: Dict[str, APDaemon] = {ap.info.ap_id: ap for ap in aps}
+        self._measured_loads: Dict[str, float] = {ap_id: 0.0 for ap_id in self.aps}
+        self.decisions = 0
+        bus.register(self.endpoint, self.handle)
+
+    @property
+    def endpoint(self) -> str:
+        """This daemon's bus address."""
+        return f"ctrl:{self.controller_id}"
+
+    # ------------------------------------------------------------- handlers
+
+    def handle(self, frame: Frame) -> None:
+        """Dispatch one incoming frame."""
+        if isinstance(frame, SteeringQuery):
+            self._on_query(frame)
+        elif isinstance(frame, LoadReport):
+            self._measured_loads[frame.ap_id] = frame.load
+        else:
+            raise TypeError(
+                f"controller {self.controller_id}: unexpected frame {frame!r}"
+            )
+
+    def _on_query(self, frame: SteeringQuery) -> None:
+        states = self.snapshot_states()
+        rssi = dict(frame.rssi_report) if frame.rssi_report else None
+        target = self.strategy.select(frame.station_id, states, rssi=rssi)
+        if target not in self.aps:
+            raise RuntimeError(
+                f"strategy {self.strategy.name} chose unknown AP {target!r}"
+            )
+        self.decisions += 1
+        self.bus.send(
+            RedirectDirective(
+                src=self.endpoint,
+                dst=f"ap:{frame.via_ap}",
+                station_id=frame.station_id,
+                target_ap=target,
+            )
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    def snapshot_states(self) -> List[APState]:
+        """AP states as the controller knows them: fresh association
+        tables, last-reported loads."""
+        states = []
+        for ap_id in sorted(self.aps):
+            daemon = self.aps[ap_id]
+            states.append(
+                APState(
+                    ap_id=ap_id,
+                    bandwidth=daemon.info.bandwidth,
+                    load=self._measured_loads[ap_id],
+                    users=tuple(sorted(daemon.associations)),
+                )
+            )
+        return states
+
+    def poll_loads(self) -> None:
+        """Trigger a load report from every AP (the measurement cycle)."""
+        for ap_id in sorted(self.aps):
+            self.aps[ap_id].report_load()

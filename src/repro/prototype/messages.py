@@ -1,0 +1,120 @@
+"""Typed frames of the prototype's control plane.
+
+The frame set mirrors the 802.11 management exchange a lightweight-AP
+deployment uses, plus the AP <-> controller steering messages (CAPWAP-like)
+that let the controller direct a station to the AP the selection strategy
+chose.  Frames are immutable dataclasses; the bus delivers them verbatim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_SEQ = itertools.count(1)
+
+
+def next_frame_id() -> int:
+    """Allocate the next globally unique frame id."""
+    return next(_SEQ)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Base class: source/destination endpoint names plus a unique id."""
+
+    src: str
+    dst: str
+    frame_id: int = field(default_factory=next_frame_id)
+
+
+# ----------------------------------------------------------- station <-> AP
+
+
+@dataclass(frozen=True)
+class ProbeRequest(Frame):
+    """Station scanning: broadcast to every AP in radio range."""
+
+    station_id: str = ""
+
+
+@dataclass(frozen=True)
+class ProbeResponse(Frame):
+    """AP's beacon answer, carrying the signal strength the station sees."""
+
+    ap_id: str = ""
+    rssi_dbm: float = 0.0
+
+
+@dataclass(frozen=True)
+class AuthRequest(Frame):
+    """Open-system authentication request."""
+    station_id: str = ""
+
+
+@dataclass(frozen=True)
+class AuthResponse(Frame):
+    """Authentication verdict from the AP."""
+    ap_id: str = ""
+    success: bool = True
+
+
+@dataclass(frozen=True)
+class AssocRequest(Frame):
+    """Association request; the AP relays it to its controller."""
+
+    station_id: str = ""
+    #: RSSI map the station gathered while scanning, forwarded so the
+    #: controller can steer signal-aware strategies.
+    rssi_report: Tuple[Tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class AssocResponse(Frame):
+    """Final answer to the station.
+
+    ``accepted`` with ``ap_id == the asked AP`` completes association
+    there; ``redirect_to`` names the AP the controller's strategy chose
+    instead (the station then re-associates with that AP).
+    """
+
+    ap_id: str = ""
+    accepted: bool = True
+    redirect_to: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Disassociation(Frame):
+    """Station leaving its AP."""
+    station_id: str = ""
+
+
+# ------------------------------------------------------- AP <-> controller
+
+
+@dataclass(frozen=True)
+class SteeringQuery(Frame):
+    """AP asks the controller where an associating station belongs."""
+
+    station_id: str = ""
+    via_ap: str = ""
+    rssi_report: Tuple[Tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class RedirectDirective(Frame):
+    """Controller's verdict for a steering query."""
+
+    station_id: str = ""
+    target_ap: str = ""
+
+
+@dataclass(frozen=True)
+class LoadReport(Frame):
+    """Periodic AP load report (the measured-load poll of the replay
+    engine, as an explicit message here)."""
+
+    ap_id: str = ""
+    load: float = 0.0
+    user_count: int = 0

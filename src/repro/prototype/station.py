@@ -1,0 +1,186 @@
+"""The station (client) side of the prototype handshake.
+
+A station walks the full join sequence:
+
+1. **scan** — probe every AP in its building, collect probe responses and
+   compute the RSSI it would see via the radio model (the AP cannot know
+   the station's path loss; the receiver measures it);
+2. **join** — authenticate and associate against the strongest AP; if the
+   controller redirects, re-run auth/assoc against the directed AP
+   (at most ``max_redirects`` hops);
+3. **leave** — disassociate.
+
+Every state transition is recorded in :class:`StationLog`, which the
+feasibility report inspects (e.g. "every station associated within N
+frames and one redirect").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.prototype.messages import (
+    AssocRequest,
+    AssocResponse,
+    AuthRequest,
+    AuthResponse,
+    Disassociation,
+    Frame,
+    ProbeRequest,
+    ProbeResponse,
+)
+from repro.prototype.transport import MessageBus
+from repro.wlan.radio import rssi_map
+from repro.trace.social import AccessPointInfo
+
+
+@dataclass
+class StationLog:
+    """Chronological record of one station's protocol life."""
+
+    events: List[Tuple[float, str]] = field(default_factory=list)
+
+    def add(self, time: float, event: str) -> None:
+        """Append one timestamped event."""
+        self.events.append((time, event))
+
+    def count(self, prefix: str) -> int:
+        """Number of events whose label starts with the prefix."""
+        return sum(1 for _, event in self.events if event.startswith(prefix))
+
+    def last(self) -> Optional[str]:
+        """The most recent event label, or None."""
+        return self.events[-1][1] if self.events else None
+
+
+class Station:
+    """One client device."""
+
+    def __init__(
+        self,
+        station_id: str,
+        position: Tuple[float, float],
+        visible_aps: List[AccessPointInfo],
+        bus: MessageBus,
+        max_redirects: int = 3,
+    ) -> None:
+        if not visible_aps:
+            raise ValueError(f"station {station_id} sees no APs")
+        self.station_id = station_id
+        self.position = position
+        self.visible_aps = {ap.ap_id: ap for ap in visible_aps}
+        self.bus = bus
+        self.max_redirects = max_redirects
+        self.log = StationLog()
+        self.rssi: Dict[str, float] = {}
+        self.associated_ap: Optional[str] = None
+        self._redirects_left = max_redirects
+        self._probing = False
+        bus.register(self.endpoint, self.handle)
+
+    @property
+    def endpoint(self) -> str:
+        """This station's bus address."""
+        return f"sta:{self.station_id}"
+
+    # --------------------------------------------------------------- states
+
+    def handle(self, frame: Frame) -> None:
+        """Dispatch one incoming frame."""
+        if isinstance(frame, ProbeResponse):
+            self._on_probe_response(frame)
+        elif isinstance(frame, AuthResponse):
+            self._on_auth_response(frame)
+        elif isinstance(frame, AssocResponse):
+            self._on_assoc_response(frame)
+        else:
+            raise TypeError(f"station {self.station_id}: unexpected {frame!r}")
+
+    def scan(self) -> None:
+        """Broadcast probes to every visible AP."""
+        self._probing = True
+        self.rssi = {}
+        self.log.add(self.bus.sim.now, "scan")
+        for ap_id in sorted(self.visible_aps):
+            self.bus.send(
+                ProbeRequest(
+                    src=self.endpoint,
+                    dst=f"ap:{ap_id}",
+                    station_id=self.station_id,
+                )
+            )
+
+    def _on_probe_response(self, frame: ProbeResponse) -> None:
+        if not self._probing:
+            return
+        # Receiver-side RSSI: the station measures the signal of the
+        # responding AP from its own position via the radio model.
+        ap = self.visible_aps[frame.ap_id]
+        measured = rssi_map(self.position, [ap])
+        if frame.ap_id in measured:
+            self.rssi[frame.ap_id] = measured[frame.ap_id]
+        self.log.add(self.bus.sim.now, f"probe-response:{frame.ap_id}")
+        if len(self.rssi) == len(self.visible_aps):
+            self._probing = False
+            self._begin_join(self._strongest_ap())
+
+    def _strongest_ap(self) -> str:
+        if not self.rssi:
+            return sorted(self.visible_aps)[0]
+        return max(self.rssi.items(), key=lambda item: (item[1], item[0]))[0]
+
+    def _begin_join(self, ap_id: str) -> None:
+        self.log.add(self.bus.sim.now, f"auth-request:{ap_id}")
+        self.bus.send(
+            AuthRequest(
+                src=self.endpoint,
+                dst=f"ap:{ap_id}",
+                station_id=self.station_id,
+            )
+        )
+
+    def _on_auth_response(self, frame: AuthResponse) -> None:
+        if not frame.success:
+            self.log.add(self.bus.sim.now, f"auth-failed:{frame.ap_id}")
+            return
+        self.log.add(self.bus.sim.now, f"assoc-request:{frame.ap_id}")
+        self.bus.send(
+            AssocRequest(
+                src=self.endpoint,
+                dst=f"ap:{frame.ap_id}",
+                station_id=self.station_id,
+                rssi_report=tuple(sorted(self.rssi.items())),
+            )
+        )
+
+    def _on_assoc_response(self, frame: AssocResponse) -> None:
+        if frame.accepted:
+            self.associated_ap = frame.ap_id
+            self.log.add(self.bus.sim.now, f"associated:{frame.ap_id}")
+            return
+        if frame.redirect_to and self._redirects_left > 0:
+            self._redirects_left -= 1
+            self.log.add(
+                self.bus.sim.now, f"redirected:{frame.ap_id}->{frame.redirect_to}"
+            )
+            self._begin_join(frame.redirect_to)
+        else:
+            self.log.add(self.bus.sim.now, "association-failed")
+
+    def leave(self) -> None:
+        """Disassociate from the current AP (no-op when not associated)."""
+        if self.associated_ap is None:
+            return
+        self.log.add(self.bus.sim.now, f"disassociate:{self.associated_ap}")
+        self.bus.send(
+            Disassociation(
+                src=self.endpoint,
+                dst=f"ap:{self.associated_ap}",
+                station_id=self.station_id,
+            )
+        )
+        self.associated_ap = None
+        self._redirects_left = self.max_redirects

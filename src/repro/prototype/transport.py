@@ -1,0 +1,75 @@
+"""In-memory message bus with simulated delivery latency.
+
+Endpoints register a handler under a unique name; ``send`` schedules the
+handler invocation on the shared :class:`~repro.sim.kernel.Simulator`
+after a per-link latency.  Broadcast domains (a station's radio range) are
+expressed by the caller sending one frame per receiver — the bus stays a
+dumb, reliable, ordered channel, which is all the control-plane emulation
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.prototype.messages import Frame
+from repro.sim.kernel import Simulator
+
+Handler = Callable[[Frame], None]
+
+#: Default one-way delivery latency, seconds (a LAN/radio hop).
+DEFAULT_LATENCY = 0.002
+
+
+class MessageBus:
+    """Reliable, ordered, latency-delayed frame delivery."""
+
+    def __init__(self, sim: Simulator, latency: float = DEFAULT_LATENCY) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency!r}")
+        self.sim = sim
+        self.latency = latency
+        self._endpoints: Dict[str, Handler] = {}
+        self.frames_delivered = 0
+        #: Optional transcript of (time, frame) pairs for debugging/tests.
+        self.transcript: List[Tuple[float, Frame]] = []
+        self.record_transcript = False
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Attach an endpoint; names must be unique."""
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already registered")
+        self._endpoints[name] = handler
+
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint; in-flight frames to it are dropped."""
+        if name not in self._endpoints:
+            raise KeyError(f"endpoint {name!r} not registered")
+        del self._endpoints[name]
+
+    def is_registered(self, name: str) -> bool:
+        """True when the endpoint is attached."""
+        return name in self._endpoints
+
+    def send(self, frame: Frame, latency: Optional[float] = None) -> None:
+        """Schedule delivery of ``frame`` to ``frame.dst``.
+
+        Sending to an unregistered endpoint raises immediately — a typo'd
+        destination is a bug, not a lost packet.
+        """
+        if frame.dst not in self._endpoints:
+            raise KeyError(f"no endpoint {frame.dst!r} on the bus")
+        delay = self.latency if latency is None else latency
+
+        def deliver() -> None:
+            # The endpoint may have deregistered between send and delivery
+            # (station left); that is a legitimate race, drop silently.
+            handler = self._endpoints.get(frame.dst)
+            if handler is None:
+                return
+            self.frames_delivered += 1
+            if self.record_transcript:
+                self.transcript.append((self.sim.now, frame))
+            handler(frame)
+
+        self.sim.schedule_after(delay, deliver, name=f"deliver-{type(frame).__name__}")

@@ -1,0 +1,50 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the lowest substrate of the reproduction: everything that
+"happens over time" (the synthetic campus trace generator, the enterprise
+WLAN simulator, and the message-level prototype) is driven by the
+:class:`~repro.sim.kernel.Simulator` event loop defined here.
+
+The kernel is intentionally small and fully deterministic:
+
+* events fire in ``(time, priority, sequence)`` order, so two runs with the
+  same seed produce byte-identical traces;
+* randomness is never drawn from global state — components receive
+  :class:`~repro.sim.rng.RandomStreams` children so that adding a new
+  consumer does not perturb existing streams.
+"""
+
+from repro.sim.kernel import Event, EventQueue, Simulator, SimulationError
+from repro.sim.rng import RandomStreams
+from repro.sim.timeline import (
+    MINUTE,
+    HOUR,
+    DAY,
+    WEEK,
+    Timeline,
+    day_index,
+    format_clock,
+    hour_of_day,
+    minute_of_day,
+    seconds_of_day,
+    weekday,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "RandomStreams",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "Timeline",
+    "day_index",
+    "format_clock",
+    "hour_of_day",
+    "minute_of_day",
+    "seconds_of_day",
+    "weekday",
+]

@@ -1,0 +1,241 @@
+"""Discrete-event simulation kernel.
+
+The kernel implements the classic event-list algorithm: a priority queue of
+timestamped events, a clock that only moves forward when an event is popped,
+and a run loop that dispatches callbacks.  The design goals, in order:
+
+1. **Determinism.**  Events scheduled for the same instant fire in a stable,
+   reproducible order (``priority`` first, then insertion sequence).  This is
+   what makes the trace generator and the WLAN simulator replayable.
+2. **Simplicity.**  No coroutine magic; an event is a plain callback.  The
+   higher layers (association manager, schedule engine) build their own
+   abstractions on top.
+3. **Safety.**  Scheduling into the past, running a stopped simulator, or
+   re-cancelling an event raise :class:`SimulationError` instead of silently
+   corrupting the timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``.  ``priority`` lets a
+    caller force ordering between events at the same instant (lower fires
+    first); ``seq`` is a monotonically increasing insertion counter that
+    guarantees a stable order among equal-priority simultaneous events.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the run loop skips it.
+
+        Cancellation is lazy: the event stays in the heap but its action is
+        never invoked.  Cancelling twice raises, because double-cancel is
+        almost always a bookkeeping bug in the caller.
+        """
+        if self.cancelled:
+            raise SimulationError(f"event {self.name or self.seq} already cancelled")
+        self.cancelled = True
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Insert an event and return the handle (usable for cancellation)."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        self._heap.clear()
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over live events in heap (not chronological) order."""
+        return (event for event in self._heap if not event.cancelled)
+
+
+class Simulator:
+    """The discrete-event run loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print("fires at t=10"))
+        sim.every(60.0, sample_load, start=0.0)   # periodic sampler
+        sim.run(until=3600.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.3f}, clock already at t={self._now:.3f}"
+            )
+        return self._queue.push(time, action, priority=priority, name=name)
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, action, priority=priority, name=name)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        start: Optional[float] = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> Callable[[], None]:
+        """Schedule ``action`` periodically; returns a stopper callable.
+
+        The first firing happens at ``start`` (defaulting to ``now +
+        interval``); subsequent firings every ``interval`` seconds until the
+        returned stopper is invoked or the run horizon is reached.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval!r}")
+        state = {"event": None, "stopped": False}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            action()
+            state["event"] = self.schedule_after(
+                interval, fire, priority=priority, name=name
+            )
+
+        first = self._now + interval if start is None else start
+        state["event"] = self.schedule(first, fire, priority=priority, name=name)
+
+        def stop() -> None:
+            """Cancel the periodic firing."""
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None and not event.cancelled:
+                event.cancel()
+
+        return stop
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given the clock is advanced exactly to ``until``
+        even if the last event fires earlier, so periodic samplers and load
+        series have a well-defined horizon.  Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self.events_processed += 1
+                event.action()
+            if until is not None and until > self._now and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_empty(self) -> float:
+        """Drain every scheduled event; returns the final clock value."""
+        return self.run(until=None)

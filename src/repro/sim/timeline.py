@@ -1,0 +1,177 @@
+"""Calendar arithmetic for simulated campus time.
+
+The synthetic trace, like the paper's real one, spans weeks of campus life.
+All timestamps in the reproduction are plain floats: **seconds since the
+start of the trace**, where second 0 is 00:00 on day 0 and day 0 is a
+Monday.  This module centralizes the conversions (day index, hour of day,
+weekday, clock formatting) and the :class:`Timeline` helper that iterates
+analysis windows, so that every figure slices time identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+#: Peak hours used throughout the paper's Section III (Fig. 2): the network
+#: throughput peaks at 10:00-11:00 and 15:00-16:00.
+PEAK_HOURS: Tuple[int, ...] = (10, 15)
+
+#: Departure-peak windows from Section V.C (Fig. 12 discussion): 12:00-13:00,
+#: 16:00-17:50 and 21:00-22:00 are when users leave the network in bulk.
+DEPARTURE_PEAKS: Tuple[Tuple[float, float], ...] = (
+    (12 * HOUR, 13 * HOUR),
+    (16 * HOUR, 17 * HOUR + 50 * MINUTE),
+    (21 * HOUR, 22 * HOUR),
+)
+
+
+def day_index(t: float) -> int:
+    """Zero-based day number of timestamp ``t``."""
+    return int(t // DAY)
+
+
+def seconds_of_day(t: float) -> float:
+    """Seconds elapsed since midnight of ``t``'s day."""
+    return t % DAY
+
+
+def hour_of_day(t: float) -> int:
+    """Hour-of-day (0-23) of timestamp ``t``."""
+    return int(seconds_of_day(t) // HOUR)
+
+
+def minute_of_day(t: float) -> int:
+    """Minute-of-day (0-1439) of timestamp ``t``."""
+    return int(seconds_of_day(t) // MINUTE)
+
+
+def weekday(t: float) -> int:
+    """Day-of-week of ``t``: 0 = Monday ... 6 = Sunday (day 0 is a Monday)."""
+    return day_index(t) % 7
+
+
+def is_workday(t: float) -> bool:
+    """True when ``t`` falls on Monday through Friday."""
+    return weekday(t) < 5
+
+
+def is_peak_hour(t: float) -> bool:
+    """True when ``t`` falls inside one of the paper's throughput peaks."""
+    return hour_of_day(t) in PEAK_HOURS
+
+
+def in_departure_peak(t: float) -> bool:
+    """True when ``t`` falls inside one of the paper's departure peaks."""
+    s = seconds_of_day(t)
+    return any(lo <= s < hi for lo, hi in DEPARTURE_PEAKS)
+
+
+def format_clock(t: float) -> str:
+    """Human-readable ``dayN HH:MM:SS`` rendering of a timestamp."""
+    day = day_index(t)
+    s = seconds_of_day(t)
+    hours = int(s // HOUR)
+    minutes = int((s % HOUR) // MINUTE)
+    seconds = int(s % MINUTE)
+    return f"day{day} {hours:02d}:{minutes:02d}:{seconds:02d}"
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A half-open span of simulated time ``[start, end)`` with slicers.
+
+    Experiments use one :class:`Timeline` per analysis scope (a training
+    stage, an evaluation day, a peak hour) so window boundaries are computed
+    in one place.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty timeline: [{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in seconds."""
+        return self.end - self.start
+
+    def windows(self, width: float) -> Iterator[Tuple[float, float]]:
+        """Yield consecutive ``[lo, hi)`` windows of ``width`` seconds.
+
+        The final window is truncated at ``end`` so the union of the windows
+        is exactly the timeline.
+        """
+        if width <= 0:
+            raise ValueError(f"non-positive window width {width!r}")
+        lo = self.start
+        while lo < self.end:
+            hi = min(lo + width, self.end)
+            yield (lo, hi)
+            lo = hi
+
+    def subdivide(self, parts: int) -> List["Timeline"]:
+        """Split the timeline into ``parts`` equal sub-timelines."""
+        if parts <= 0:
+            raise ValueError(f"non-positive part count {parts!r}")
+        width = self.duration / parts
+        return [
+            Timeline(self.start + i * width, self.start + (i + 1) * width)
+            for i in range(parts)
+        ]
+
+    def days(self) -> Iterator["Timeline"]:
+        """Yield one Timeline per calendar day overlapped by this span."""
+        first = day_index(self.start)
+        last = day_index(self.end - 1e-9)
+        for day in range(first, last + 1):
+            lo = max(self.start, day * DAY)
+            hi = min(self.end, (day + 1) * DAY)
+            if hi > lo:
+                yield Timeline(lo, hi)
+
+    def hours(self) -> Iterator["Timeline"]:
+        """Yield one Timeline per clock hour overlapped by this span."""
+        first = int(self.start // HOUR)
+        last = int((self.end - 1e-9) // HOUR)
+        for hour in range(first, last + 1):
+            lo = max(self.start, hour * HOUR)
+            hi = min(self.end, (hour + 1) * HOUR)
+            if hi > lo:
+                yield Timeline(lo, hi)
+
+    def contains(self, t: float) -> bool:
+        """True when t lies inside the half-open span."""
+        return self.start <= t < self.end
+
+    def clamp(self, t: float) -> float:
+        """Clamp ``t`` into the timeline (useful for session overlaps)."""
+        return min(max(t, self.start), self.end)
+
+    def overlap(self, lo: float, hi: float) -> float:
+        """Length of the intersection between ``[lo, hi)`` and the span."""
+        return max(0.0, min(hi, self.end) - max(lo, self.start))
+
+    @staticmethod
+    def for_day(day: int) -> "Timeline":
+        """The full calendar day ``day``."""
+        return Timeline(day * DAY, (day + 1) * DAY)
+
+    @staticmethod
+    def for_days(first_day: int, count: int) -> "Timeline":
+        """``count`` consecutive days starting at ``first_day``."""
+        if count <= 0:
+            raise ValueError(f"non-positive day count {count!r}")
+        return Timeline(first_day * DAY, (first_day + count) * DAY)
+
+
+def workday_timelines(span: Timeline) -> List[Timeline]:
+    """The Monday-Friday days inside ``span`` (the paper analyses workdays)."""
+    return [day for day in span.days() if is_workday(day.start)]

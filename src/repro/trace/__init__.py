@@ -1,0 +1,67 @@
+"""Trace data model and synthetic campus-trace generator.
+
+The paper works from a proprietary three-month WLAN trace of Shanghai Jiao
+Tong University (12,374 users, 334 APs, 22 buildings).  That trace is not
+available, so this package provides the substitution documented in
+DESIGN.md §2: a *synthetic campus* whose logged records have exactly the
+fields the paper describes (hashed user ids, connect/disconnect timestamps,
+accessed AP, served traffic, and core-router flow records with transport /
+application ports) and whose statistical structure reproduces the phenomena
+the paper mines — diurnal load, co-arrivals and co-leavings driven by
+social groups, and user-type-conditioned application profiles.
+
+Layering:
+
+``apps``        the six application realms and their port tables
+``records``     typed record dataclasses + the :class:`TraceBundle`
+``classifier``  the port-combination heuristic app classifier (paper ref [1])
+``social``      the ground-truth social world (buildings, groups, schedules)
+``generator``   social world -> demand trace -> logged records
+``io``          CSV round-trip for all record types
+``anonymize``   SHA-based pseudonymization of user identifiers
+"""
+
+from repro.trace.apps import AppRealm, REALMS, TrafficModel
+from repro.trace.records import (
+    DemandSession,
+    FlowRecord,
+    SessionRecord,
+    TraceBundle,
+)
+from repro.trace.classifier import PortClassifier
+from repro.trace.social import (
+    AccessPointInfo,
+    BuildingInfo,
+    CampusLayout,
+    SocialGroup,
+    SocialWorld,
+    UserInfo,
+    UserTypeProfile,
+    DEFAULT_TYPE_PROFILES,
+)
+from repro.trace.generator import GeneratorConfig, TraceGenerator, generate_trace
+from repro.trace.anonymize import anonymize_user_id, pseudonymize_bundle
+
+__all__ = [
+    "AppRealm",
+    "REALMS",
+    "TrafficModel",
+    "DemandSession",
+    "FlowRecord",
+    "SessionRecord",
+    "TraceBundle",
+    "PortClassifier",
+    "AccessPointInfo",
+    "BuildingInfo",
+    "CampusLayout",
+    "SocialGroup",
+    "SocialWorld",
+    "UserInfo",
+    "UserTypeProfile",
+    "DEFAULT_TYPE_PROFILES",
+    "GeneratorConfig",
+    "TraceGenerator",
+    "generate_trace",
+    "anonymize_user_id",
+    "pseudonymize_bundle",
+]

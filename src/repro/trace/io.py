@@ -1,0 +1,267 @@
+"""CSV persistence for trace records.
+
+The paper's data pipeline stores login records and router flow logs in a
+back-end data center; this module provides the equivalent flat-file
+round-trip so generated traces can be saved, shared and re-analyzed without
+re-running the generator.  One CSV file per record family, with explicit
+headers; floats are written with full repr precision so round-trips are
+exact.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.trace.records import DemandSession, FlowRecord, SessionRecord, TraceBundle
+from repro.trace.social import AccessPointInfo, BuildingInfo, CampusLayout
+
+PathLike = Union[str, os.PathLike]
+
+SESSION_FIELDS = [
+    "user_id",
+    "ap_id",
+    "controller_id",
+    "connect",
+    "disconnect",
+    "bytes_total",
+]
+FLOW_FIELDS = [
+    "user_id",
+    "start",
+    "end",
+    "src_ip",
+    "dst_ip",
+    "protocol",
+    "src_port",
+    "dst_port",
+    "bytes_total",
+]
+DEMAND_FIELDS = [
+    "user_id",
+    "building_id",
+    "arrival",
+    "departure",
+    "group_id",
+    "realm_bytes",
+]
+
+
+def write_sessions(path: PathLike, sessions: Iterable[SessionRecord]) -> int:
+    """Write session records to CSV; returns the record count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SESSION_FIELDS)
+        for record in sessions:
+            writer.writerow(
+                [
+                    record.user_id,
+                    record.ap_id,
+                    record.controller_id,
+                    repr(record.connect),
+                    repr(record.disconnect),
+                    repr(record.bytes_total),
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_sessions(path: PathLike) -> List[SessionRecord]:
+    """Read session records from CSV written by :func:`write_sessions`."""
+    records: List[SessionRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, SESSION_FIELDS, path)
+        for row in reader:
+            records.append(
+                SessionRecord(
+                    user_id=row["user_id"],
+                    ap_id=row["ap_id"],
+                    controller_id=row["controller_id"],
+                    connect=float(row["connect"]),
+                    disconnect=float(row["disconnect"]),
+                    bytes_total=float(row["bytes_total"]),
+                )
+            )
+    return records
+
+
+def write_flows(path: PathLike, flows: Iterable[FlowRecord]) -> int:
+    """Write flow records to CSV; returns the record count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(FLOW_FIELDS)
+        for record in flows:
+            writer.writerow(
+                [
+                    record.user_id,
+                    repr(record.start),
+                    repr(record.end),
+                    record.src_ip,
+                    record.dst_ip,
+                    record.protocol,
+                    record.src_port,
+                    record.dst_port,
+                    repr(record.bytes_total),
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_flows(path: PathLike) -> List[FlowRecord]:
+    """Read flow records written by :func:`write_flows`."""
+    records: List[FlowRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, FLOW_FIELDS, path)
+        for row in reader:
+            records.append(
+                FlowRecord(
+                    user_id=row["user_id"],
+                    start=float(row["start"]),
+                    end=float(row["end"]),
+                    src_ip=row["src_ip"],
+                    dst_ip=row["dst_ip"],
+                    protocol=row["protocol"],
+                    src_port=int(row["src_port"]),
+                    dst_port=int(row["dst_port"]),
+                    bytes_total=float(row["bytes_total"]),
+                )
+            )
+    return records
+
+
+def write_demands(path: PathLike, demands: Iterable[DemandSession]) -> int:
+    """Write demand sessions to CSV; returns the record count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(DEMAND_FIELDS)
+        for record in demands:
+            writer.writerow(
+                [
+                    record.user_id,
+                    record.building_id,
+                    repr(record.arrival),
+                    repr(record.departure),
+                    record.group_id or "",
+                    "|".join(repr(v) for v in record.realm_bytes),
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_demands(path: PathLike) -> List[DemandSession]:
+    """Read demand sessions written by :func:`write_demands`."""
+    records: List[DemandSession] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, DEMAND_FIELDS, path)
+        for row in reader:
+            records.append(
+                DemandSession(
+                    user_id=row["user_id"],
+                    building_id=row["building_id"],
+                    arrival=float(row["arrival"]),
+                    departure=float(row["departure"]),
+                    group_id=row["group_id"] or None,
+                    realm_bytes=tuple(
+                        float(v) for v in row["realm_bytes"].split("|")
+                    ),
+                )
+            )
+    return records
+
+
+def save_bundle(directory: PathLike, bundle: TraceBundle) -> None:
+    """Write a bundle as ``sessions.csv`` / ``flows.csv`` / ``demands.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_sessions(directory / "sessions.csv", bundle.sessions)
+    write_flows(directory / "flows.csv", bundle.flows)
+    write_demands(directory / "demands.csv", bundle.demands)
+
+
+def load_bundle(directory: PathLike) -> TraceBundle:
+    """Load a bundle previously written by :func:`save_bundle`.
+
+    Missing files are treated as empty record families, so a demands-only
+    directory loads fine.
+    """
+    directory = Path(directory)
+    sessions_path = directory / "sessions.csv"
+    flows_path = directory / "flows.csv"
+    demands_path = directory / "demands.csv"
+    return TraceBundle(
+        sessions=read_sessions(sessions_path) if sessions_path.exists() else [],
+        flows=read_flows(flows_path) if flows_path.exists() else [],
+        demands=read_demands(demands_path) if demands_path.exists() else [],
+    )
+
+
+def write_layout(path: PathLike, layout: CampusLayout) -> None:
+    """Serialize a campus layout as JSON (buildings + APs)."""
+    payload = {
+        "buildings": [
+            {
+                "building_id": b.building_id,
+                "controller_id": b.controller_id,
+                "position": list(b.position),
+                "ap_ids": list(b.ap_ids),
+            }
+            for b in sorted(layout.buildings.values(), key=lambda b: b.building_id)
+        ],
+        "aps": [
+            {
+                "ap_id": a.ap_id,
+                "building_id": a.building_id,
+                "controller_id": a.controller_id,
+                "position": list(a.position),
+                "bandwidth": a.bandwidth,
+            }
+            for a in sorted(layout.aps.values(), key=lambda a: a.ap_id)
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def read_layout(path: PathLike) -> CampusLayout:
+    """Load a campus layout written by :func:`write_layout`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    buildings = [
+        BuildingInfo(
+            building_id=entry["building_id"],
+            controller_id=entry["controller_id"],
+            position=tuple(entry["position"]),
+            ap_ids=tuple(entry["ap_ids"]),
+        )
+        for entry in payload["buildings"]
+    ]
+    aps = [
+        AccessPointInfo(
+            ap_id=entry["ap_id"],
+            building_id=entry["building_id"],
+            controller_id=entry["controller_id"],
+            position=tuple(entry["position"]),
+            bandwidth=entry["bandwidth"],
+        )
+        for entry in payload["aps"]
+    ]
+    return CampusLayout(buildings, aps)
+
+
+def _require_fields(found: Optional[List[str]], expected: List[str], path: PathLike) -> None:
+    if found is None or list(found) != expected:
+        raise ValueError(
+            f"{path}: unexpected header {found!r}, expected {expected!r}"
+        )

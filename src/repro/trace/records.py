@@ -1,0 +1,272 @@
+"""Typed trace records and the :class:`TraceBundle` container.
+
+Three record families mirror the paper's data sources (Section III.A):
+
+* :class:`SessionRecord` — what the back-end data center logs: user
+  identifier, connected / disconnected time stamps, accessed AP, and the
+  served traffic amount of the connection.
+* :class:`FlowRecord` — what the core-network routers log: source /
+  destination IP addresses, transport protocol and ports, byte counts.
+  Application realms are *not* stored on the record; they are recovered by
+  the port-heuristic classifier, exactly as in the paper.
+* :class:`DemandSession` — the *replayable demand* underlying a session:
+  who wanted to be online, where, when, and with which per-realm traffic.
+  This is the input to trace-driven simulation (Section V methodology);
+  the AP actually chosen is a property of the strategy under test, not of
+  the demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.trace.apps import N_REALMS, AppRealm
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One logged WLAN association, as recorded by the data center."""
+
+    user_id: str
+    ap_id: str
+    controller_id: str
+    connect: float
+    disconnect: float
+    bytes_total: float
+
+    def __post_init__(self) -> None:
+        if self.disconnect < self.connect:
+            raise ValueError(
+                f"session for {self.user_id} disconnects at {self.disconnect} "
+                f"before connecting at {self.connect}"
+            )
+        if self.bytes_total < 0:
+            raise ValueError(f"negative traffic {self.bytes_total!r}")
+
+    @property
+    def duration(self) -> float:
+        """Session length in seconds."""
+        return self.disconnect - self.connect
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean throughput in bytes/second (0 for zero-length sessions)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_total / self.duration
+
+    def overlap(self, lo: float, hi: float) -> float:
+        """Seconds of this session inside the window ``[lo, hi)``."""
+        return max(0.0, min(self.disconnect, hi) - max(self.connect, lo))
+
+    def bytes_in(self, lo: float, hi: float) -> float:
+        """Traffic attributed to ``[lo, hi)`` assuming a uniform rate."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_total * self.overlap(lo, hi) / self.duration
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One logged core-router flow.
+
+    ``dst_port`` is the server-side port; the classifier keys on
+    ``(protocol, dst_port)``.  ``user_id`` stands in for the IP-to-user join
+    the paper performs against DHCP/auth logs.
+    """
+
+    user_id: str
+    start: float
+    end: float
+    src_ip: str
+    dst_ip: str
+    protocol: str
+    src_port: int
+    dst_port: int
+    bytes_total: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"flow ends at {self.end} before start {self.start}")
+        if self.protocol not in ("tcp", "udp"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.bytes_total < 0:
+            raise ValueError(f"negative flow bytes {self.bytes_total!r}")
+        if not (0 < self.dst_port < 65536) or not (0 < self.src_port < 65536):
+            raise ValueError(
+                f"port out of range: src={self.src_port}, dst={self.dst_port}"
+            )
+
+
+@dataclass(frozen=True)
+class DemandSession:
+    """The strategy-independent demand behind one session.
+
+    ``realm_bytes`` is the ground-truth per-realm traffic (a 6-tuple in
+    :class:`~repro.trace.apps.AppRealm` order).  ``group_id`` is the
+    generator's ground-truth social group, carried for validation only —
+    the S³ pipeline never reads it.
+    """
+
+    user_id: str
+    building_id: str
+    arrival: float
+    departure: float
+    realm_bytes: Tuple[float, ...]
+    group_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.departure < self.arrival:
+            raise ValueError(
+                f"demand for {self.user_id} departs at {self.departure} "
+                f"before arriving at {self.arrival}"
+            )
+        if len(self.realm_bytes) != N_REALMS:
+            raise ValueError(
+                f"expected {N_REALMS} realm volumes, got {len(self.realm_bytes)}"
+            )
+        if any(b < 0 for b in self.realm_bytes):
+            raise ValueError("negative realm volume")
+
+    @property
+    def duration(self) -> float:
+        """Demanded online time in seconds."""
+        return self.departure - self.arrival
+
+    @property
+    def bytes_total(self) -> float:
+        """Total demanded bytes across all realms."""
+        return float(sum(self.realm_bytes))
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean demanded throughput in bytes/second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_total / self.duration
+
+    def realm_vector(self) -> np.ndarray:
+        """The per-realm volumes as a numpy vector."""
+        return np.asarray(self.realm_bytes, dtype=float)
+
+
+class TraceBundle:
+    """An immutable-ish container for one synthetic (or loaded) trace.
+
+    Holds the three record families plus the id universe, with the indexed
+    accessors the analysis toolkit needs.  Records are stored sorted by
+    start time; accessors build lazy per-user / per-AP indices.
+    """
+
+    def __init__(
+        self,
+        sessions: Iterable[SessionRecord] = (),
+        flows: Iterable[FlowRecord] = (),
+        demands: Iterable[DemandSession] = (),
+    ) -> None:
+        self.sessions: List[SessionRecord] = sorted(
+            sessions, key=lambda r: (r.connect, r.user_id, r.ap_id)
+        )
+        self.flows: List[FlowRecord] = sorted(
+            flows, key=lambda r: (r.start, r.user_id, r.dst_port)
+        )
+        self.demands: List[DemandSession] = sorted(
+            demands, key=lambda r: (r.arrival, r.user_id)
+        )
+        self._sessions_by_user: Optional[Dict[str, List[SessionRecord]]] = None
+        self._sessions_by_ap: Optional[Dict[str, List[SessionRecord]]] = None
+        self._flows_by_user: Optional[Dict[str, List[FlowRecord]]] = None
+
+    # ------------------------------------------------------------------ ids
+
+    @property
+    def user_ids(self) -> List[str]:
+        """All user ids seen anywhere in the bundle, sorted."""
+        ids = {r.user_id for r in self.sessions}
+        ids.update(r.user_id for r in self.flows)
+        ids.update(r.user_id for r in self.demands)
+        return sorted(ids)
+
+    @property
+    def ap_ids(self) -> List[str]:
+        """All AP ids seen in the session log, sorted."""
+        return sorted({r.ap_id for r in self.sessions})
+
+    @property
+    def controller_ids(self) -> List[str]:
+        """All controller ids seen in the session log, sorted."""
+        return sorted({r.controller_id for r in self.sessions})
+
+    # -------------------------------------------------------------- indexing
+
+    def sessions_by_user(self) -> Dict[str, List[SessionRecord]]:
+        """user id -> that user's sessions (built lazily)."""
+        if self._sessions_by_user is None:
+            index: Dict[str, List[SessionRecord]] = {}
+            for record in self.sessions:
+                index.setdefault(record.user_id, []).append(record)
+            self._sessions_by_user = index
+        return self._sessions_by_user
+
+    def sessions_by_ap(self) -> Dict[str, List[SessionRecord]]:
+        """ap id -> its sessions (built lazily)."""
+        if self._sessions_by_ap is None:
+            index: Dict[str, List[SessionRecord]] = {}
+            for record in self.sessions:
+                index.setdefault(record.ap_id, []).append(record)
+            self._sessions_by_ap = index
+        return self._sessions_by_ap
+
+    def flows_by_user(self) -> Dict[str, List[FlowRecord]]:
+        """user id -> that user's flows (built lazily)."""
+        if self._flows_by_user is None:
+            index: Dict[str, List[FlowRecord]] = {}
+            for record in self.flows:
+                index.setdefault(record.user_id, []).append(record)
+            self._flows_by_user = index
+        return self._flows_by_user
+
+    # -------------------------------------------------------------- slicing
+
+    def sessions_in(self, lo: float, hi: float) -> List[SessionRecord]:
+        """Sessions overlapping the half-open window ``[lo, hi)``."""
+        return [r for r in self.sessions if r.connect < hi and r.disconnect > lo]
+
+    def flows_in(self, lo: float, hi: float) -> List[FlowRecord]:
+        """Flows overlapping the half-open window [lo, hi)."""
+        return [r for r in self.flows if r.start < hi and r.end > lo]
+
+    def demands_in(self, lo: float, hi: float) -> List[DemandSession]:
+        """Demands overlapping the half-open window [lo, hi)."""
+        return [r for r in self.demands if r.arrival < hi and r.departure > lo]
+
+    def restrict(self, lo: float, hi: float) -> "TraceBundle":
+        """A new bundle containing only records overlapping ``[lo, hi)``."""
+        return TraceBundle(
+            sessions=self.sessions_in(lo, hi),
+            flows=self.flows_in(lo, hi),
+            demands=self.demands_in(lo, hi),
+        )
+
+    # ------------------------------------------------------------- mutation
+
+    def merged_with(self, other: "TraceBundle") -> "TraceBundle":
+        """A new bundle with the union of both bundles' records."""
+        return TraceBundle(
+            sessions=self.sessions + other.sessions,
+            flows=self.flows + other.flows,
+            demands=self.demands + other.demands,
+        )
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceBundle(sessions={len(self.sessions)}, "
+            f"flows={len(self.flows)}, demands={len(self.demands)}, "
+            f"users={len(self.user_ids)})"
+        )

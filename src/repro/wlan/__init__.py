@@ -1,0 +1,48 @@
+"""Enterprise WLAN simulator with pluggable AP-selection strategies.
+
+The runtime model mirrors Fig. 1 of the paper: light-weight APs grouped
+under WLAN controllers; a controller assigns each arriving user to one of
+its APs.  The simulator is *trace-driven* (Section V.A): it replays
+:class:`~repro.trace.records.DemandSession` streams — arrivals, departures
+and per-session traffic are fixed by the trace; only the AP choice varies
+with the strategy under test.
+
+``entities``    runtime AP / controller / campus state
+``radio``       log-distance path-loss RSSI model and position sampling
+``strategies``  StrongestSignal, LeastLoadedFirst, Random, and the S³
+                adapter over :mod:`repro.core`
+``replay``      the event-driven replay engine (arrival batching, metrics)
+``metrics``     per-controller load/user time series and balance series
+"""
+
+from repro.wlan.entities import APRuntime, CampusRuntime, ControllerRuntime
+from repro.wlan.radio import path_loss_rssi, rssi_map, sample_position
+from repro.wlan.strategies import (
+    LeastLoadedFirst,
+    RandomSelection,
+    S3Strategy,
+    SelectionStrategy,
+    StrongestSignal,
+)
+from repro.wlan.replay import ReplayConfig, ReplayEngine, ReplayResult, collect_trace
+from repro.wlan.metrics import ControllerSeries, MetricsCollector
+
+__all__ = [
+    "APRuntime",
+    "CampusRuntime",
+    "ControllerRuntime",
+    "path_loss_rssi",
+    "rssi_map",
+    "sample_position",
+    "LeastLoadedFirst",
+    "RandomSelection",
+    "S3Strategy",
+    "SelectionStrategy",
+    "StrongestSignal",
+    "ReplayConfig",
+    "ReplayEngine",
+    "ReplayResult",
+    "collect_trace",
+    "ControllerSeries",
+    "MetricsCollector",
+]

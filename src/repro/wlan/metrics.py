@@ -1,0 +1,102 @@
+"""Per-controller load/user time series sampled during replay.
+
+The collector periodically snapshots every controller's per-AP offered
+load and association counts; the resulting :class:`ControllerSeries`
+exposes the normalized balance-index series directly (the quantity every
+figure in the paper's evaluation is built from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.balance import normalized_balance_index
+from repro.wlan.entities import CampusRuntime
+
+
+@dataclass
+class ControllerSeries:
+    """Sampled time series of one controller domain."""
+
+    controller_id: str
+    ap_ids: List[str]
+    times: np.ndarray  # (T,)
+    loads: np.ndarray  # (T, n_aps) bytes/s
+    user_counts: np.ndarray  # (T, n_aps)
+
+    def balance_series(self) -> np.ndarray:
+        """Normalized traffic-balance index at every sample."""
+        return np.array([normalized_balance_index(row) for row in self.loads])
+
+    def user_balance_series(self) -> np.ndarray:
+        """Normalized user-count-balance index at every sample."""
+        return np.array([normalized_balance_index(row) for row in self.user_counts])
+
+    def mean_balance(self) -> float:
+        """Mean normalized balance over every sample (idle samples are 1.0)."""
+        series = self.balance_series()
+        return float(series.mean()) if series.size else 1.0
+
+    def active_mask(self) -> np.ndarray:
+        """Samples where the domain actually carries traffic.
+
+        Idle samples score a trivial 1.0 balance; evaluation statistics
+        that average over a whole day should usually restrict to active
+        samples so night hours do not wash out the differences.
+        """
+        return self.loads.sum(axis=1) > 0
+
+    def restrict(self, lo: float, hi: float) -> "ControllerSeries":
+        """The sub-series with ``lo <= t < hi``."""
+        mask = (self.times >= lo) & (self.times < hi)
+        return ControllerSeries(
+            controller_id=self.controller_id,
+            ap_ids=self.ap_ids,
+            times=self.times[mask],
+            loads=self.loads[mask],
+            user_counts=self.user_counts[mask],
+        )
+
+
+class MetricsCollector:
+    """Accumulates samples during a replay run."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._loads: Dict[str, List[List[float]]] = {}
+        self._counts: Dict[str, List[List[int]]] = {}
+        self._ap_ids: Dict[str, List[str]] = {}
+
+    def sample(self, now: float, campus: CampusRuntime) -> None:
+        """Record one snapshot of every controller."""
+        self._times.append(now)
+        for controller_id in sorted(campus.controllers):
+            controller = campus.controllers[controller_id]
+            if controller_id not in self._ap_ids:
+                self._ap_ids[controller_id] = controller.ap_ids
+                self._loads[controller_id] = []
+                self._counts[controller_id] = []
+            self._loads[controller_id].append(controller.loads())
+            self._counts[controller_id].append(controller.user_counts())
+
+    @property
+    def n_samples(self) -> int:
+        """Number of snapshots collected."""
+        return len(self._times)
+
+    def series(self) -> Dict[str, ControllerSeries]:
+        """Freeze the collected samples into per-controller series."""
+        times = np.asarray(self._times)
+        out: Dict[str, ControllerSeries] = {}
+        for controller_id, ap_ids in self._ap_ids.items():
+            out[controller_id] = ControllerSeries(
+                controller_id=controller_id,
+                ap_ids=list(ap_ids),
+                times=times.copy(),
+                loads=np.asarray(self._loads[controller_id], dtype=float),
+                user_counts=np.asarray(self._counts[controller_id], dtype=float),
+            )
+        return out

@@ -1,0 +1,362 @@
+"""Trace-driven replay: demands in, session log + metrics out.
+
+This is the paper's evaluation vehicle (Section V.A): the *demand* side of
+the trace — who arrives where, when they leave, how much traffic they
+carry — is fixed; the strategy under test only decides which AP serves
+each arrival.  Users are never migrated once associated (the paper's
+user-friendliness requirement), so a strategy's entire influence is the
+association decision.
+
+Mechanics (driven by the :mod:`repro.sim` kernel):
+
+* **arrivals** are buffered per controller for ``batch_window`` seconds,
+  then flushed as one batch — simultaneous (co-)arrivals reach the
+  strategy together, which is what Algorithm 1's "users to be distributed"
+  graph operates on.  Strategies without batch logic are fed the batch
+  sequentially with live state updates in between, which is exactly the
+  behaviour of an arrival-based controller;
+* **departures** are exact events at the demanded departure time;
+* a **sampler** snapshots every controller's per-AP load and user counts
+  on a fixed interval for the metrics series.
+
+Event ordering at equal timestamps: departures (priority 0) before
+arrivals (priority 1) before batch flushes (priority 2) before samples
+(priority 3), so a flush sees every departure up to its instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.timeline import MINUTE
+from repro.trace.records import DemandSession, SessionRecord, TraceBundle
+from repro.trace.social import CampusLayout
+from repro.wlan.entities import CampusRuntime
+from repro.wlan.metrics import ControllerSeries, MetricsCollector
+from repro.wlan.radio import rssi_map, sample_position
+from repro.wlan.strategies import SelectionStrategy
+
+_PRIORITY_DEPARTURE = 0
+_PRIORITY_ARRIVAL = 1
+_PRIORITY_FLUSH = 2
+_PRIORITY_SAMPLE = 3
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay engine knobs."""
+
+    #: Arrival batching window per controller (seconds).  Zero still groups
+    #: arrivals with identical timestamps into one batch.
+    batch_window: float = 60.0
+    #: Metrics sampling interval (seconds).
+    sample_interval: float = 5 * MINUTE
+    #: Controller load-polling interval (seconds).  Strategies only see AP
+    #: loads as of the last poll — real controllers read AP traffic
+    #: counters periodically, and the staleness between polls is precisely
+    #: what makes arrival-based least-loaded selection herd co-arriving
+    #: users onto the momentarily-emptiest AP.  Association *counts* are
+    #: always fresh (the controller owns the association table).
+    load_measurement_interval: float = 5 * MINUTE
+    #: Log-normal shadowing sigma for the radio model (dB); zero disables.
+    shadowing_sigma_db: float = 4.0
+    #: Seed for station-position / shadowing draws.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if self.load_measurement_interval <= 0:
+            raise ValueError("load_measurement_interval must be positive")
+
+
+@dataclass
+class ReplayResult:
+    """Everything a replay run produces."""
+
+    strategy_name: str
+    sessions: List[SessionRecord]
+    series: Dict[str, ControllerSeries]
+    events_processed: int
+
+    def to_bundle(
+        self, source: Optional[TraceBundle] = None
+    ) -> TraceBundle:
+        """A trace bundle of the replayed sessions.
+
+        With ``source`` given, its flows and demands are carried over —
+        this is how the *collected* training trace (sessions under LLF +
+        router flows) is assembled.
+        """
+        return TraceBundle(
+            sessions=self.sessions,
+            flows=source.flows if source is not None else [],
+            demands=source.demands if source is not None else [],
+        )
+
+    def mean_balance(self) -> float:
+        """Mean normalized balance index over controllers' active samples."""
+        values: List[float] = []
+        for series in self.series.values():
+            mask = series.active_mask()
+            if mask.any():
+                values.extend(series.balance_series()[mask])
+        return float(np.mean(values)) if values else 1.0
+
+
+class ReplayEngine:
+    """Replays a demand stream under one strategy."""
+
+    def __init__(
+        self,
+        layout: CampusLayout,
+        strategy: SelectionStrategy,
+        config: Optional[ReplayConfig] = None,
+    ) -> None:
+        self.layout = layout
+        self.strategy = strategy
+        self.config = config if config is not None else ReplayConfig()
+        self._streams = RandomStreams(self.config.seed)
+
+    # ------------------------------------------------------------- running
+
+    def run(self, demands: Sequence[DemandSession]) -> ReplayResult:
+        """Replay all demands; returns sessions and sampled metrics."""
+        demands = sorted(demands, key=lambda d: (d.arrival, d.user_id))
+        if not demands:
+            return ReplayResult(self.strategy.name, [], {}, 0)
+
+        campus = CampusRuntime(self.layout)
+        collector = MetricsCollector()
+        sim = Simulator(start_time=demands[0].arrival)
+        sessions: List[SessionRecord] = []
+        # Per-controller arrival buffers and their pending flush flags.
+        buffers: Dict[str, List[DemandSession]] = {}
+        flush_scheduled: Dict[str, bool] = {}
+        # user -> (ap_id, controller_id, owning demand) while associated.
+        active: Dict[str, Tuple[str, str, DemandSession]] = {}
+
+        def handle_departure(demand: DemandSession) -> None:
+            entry = active.get(demand.user_id)
+            if entry is None or entry[2] is not demand:
+                # This demand's arrival was skipped (user already online
+                # under another demand); nothing to tear down.
+                return
+            del active[demand.user_id]
+            ap_id, controller_id, _ = entry
+            campus.controllers[controller_id].aps[ap_id].disassociate(demand.user_id)
+            sessions.append(
+                SessionRecord(
+                    user_id=demand.user_id,
+                    ap_id=ap_id,
+                    controller_id=controller_id,
+                    connect=demand.arrival,
+                    disconnect=demand.departure,
+                    bytes_total=demand.bytes_total,
+                )
+            )
+            self.strategy.observe_departure(
+                demand.user_id, ap_id, demand.departure, mean_rate=demand.mean_rate
+            )
+
+        # user -> demands currently waiting in some controller's buffer.
+        buffered: Dict[str, List[DemandSession]] = {}
+
+        def place(demand: DemandSession, ap_id: str, controller_id: str) -> None:
+            """Commit one placement decision.
+
+            A demand whose departure already passed (it lived and died
+            within the batching latency) is recorded directly — its load
+            never materializes, but the session existed and the log must
+            say so.  Everything else associates normally.
+            """
+            controller = campus.controllers[controller_id]
+            if ap_id not in controller.aps:
+                raise RuntimeError(
+                    f"strategy {self.strategy.name} returned invalid AP "
+                    f"{ap_id!r} for user {demand.user_id}"
+                )
+            self.strategy.observe_arrival(demand.user_id, ap_id, sim.now)
+            if demand.departure <= sim.now:
+                sessions.append(
+                    SessionRecord(
+                        user_id=demand.user_id,
+                        ap_id=ap_id,
+                        controller_id=controller_id,
+                        connect=demand.arrival,
+                        disconnect=demand.departure,
+                        bytes_total=demand.bytes_total,
+                    )
+                )
+                self.strategy.observe_departure(
+                    demand.user_id, ap_id, demand.departure,
+                    mean_rate=demand.mean_rate,
+                )
+                return
+            controller.aps[ap_id].associate(demand.user_id, demand.mean_rate)
+            active[demand.user_id] = (ap_id, controller_id, demand)
+
+        def flush(controller_id: str) -> None:
+            flush_scheduled[controller_id] = False
+            batch = buffers.get(controller_id, [])
+            if not batch:
+                return
+            buffers[controller_id] = []
+            for demand in batch:
+                waiting = buffered.get(demand.user_id, [])
+                if demand in waiting:
+                    waiting.remove(demand)
+                if not waiting:
+                    buffered.pop(demand.user_id, None)
+            self._assign_batch(campus, controller_id, batch, place, sim)
+
+        def handle_arrival(demand: DemandSession) -> None:
+            # One radio per station: a demand that temporally overlaps the
+            # user's active or already-buffered demand cannot hold a second
+            # link and is dropped.  Non-overlapping demands that merely
+            # *look* concurrent because of batching latency proceed.
+            entry = active.get(demand.user_id)
+            if entry is not None and entry[2].departure > demand.arrival:
+                return
+            for waiting in buffered.get(demand.user_id, ()):
+                if waiting.departure > demand.arrival:
+                    return
+            controller = campus.controller_for_building(demand.building_id)
+            buffers.setdefault(controller.controller_id, []).append(demand)
+            buffered.setdefault(demand.user_id, []).append(demand)
+            if not flush_scheduled.get(controller.controller_id, False):
+                flush_scheduled[controller.controller_id] = True
+                sim.schedule(
+                    sim.now + self.config.batch_window,
+                    lambda cid=controller.controller_id: flush(cid),
+                    priority=_PRIORITY_FLUSH,
+                    name=f"flush-{controller.controller_id}",
+                )
+
+        for demand in demands:
+            sim.schedule(
+                demand.arrival,
+                lambda d=demand: handle_arrival(d),
+                priority=_PRIORITY_ARRIVAL,
+                name="arrival",
+            )
+            # A session shorter than the batch window departs only after its
+            # arrival batch has been flushed; the epsilon puts the departure
+            # strictly after the flush event at the window boundary.
+            departure_time = demand.departure
+            flush_time = demand.arrival + self.config.batch_window
+            if departure_time <= flush_time:
+                departure_time = flush_time + 1e-6
+            sim.schedule(
+                departure_time,
+                lambda d=demand: handle_departure(d),
+                priority=_PRIORITY_DEPARTURE,
+                name="departure",
+            )
+
+        horizon = max(d.departure for d in demands) + self.config.batch_window
+        stop_sampler = sim.every(
+            self.config.sample_interval,
+            lambda: collector.sample(sim.now, campus),
+            start=demands[0].arrival,
+            priority=_PRIORITY_SAMPLE,
+            name="sample",
+        )
+
+        def poll_loads() -> None:
+            for controller in campus.controllers.values():
+                controller.refresh_measurements()
+
+        stop_poller = sim.every(
+            self.config.load_measurement_interval,
+            poll_loads,
+            start=demands[0].arrival,
+            priority=_PRIORITY_DEPARTURE,  # polls see departures of the instant
+            name="load-poll",
+        )
+        sim.run(until=horizon)
+        stop_sampler()
+        stop_poller()
+
+        return ReplayResult(
+            strategy_name=self.strategy.name,
+            sessions=sorted(sessions, key=lambda s: (s.connect, s.user_id)),
+            series=collector.series(),
+            events_processed=sim.events_processed,
+        )
+
+    # ----------------------------------------------------------- internals
+
+    def _assign_batch(
+        self,
+        campus: CampusRuntime,
+        controller_id: str,
+        batch: List[DemandSession],
+        place,
+        sim: Simulator,
+    ) -> None:
+        controller = campus.controllers[controller_id]
+        rssi_by_user = {
+            d.user_id: self._station_rssi(d) for d in batch
+        }
+        user_ids = [d.user_id for d in batch]
+        snapshots = controller.snapshots()
+        placement = self.strategy.assign_batch(
+            user_ids, snapshots, rssi_by_user=rssi_by_user
+        )
+        if placement is None:
+            # Sequential fallback: live snapshots between picks, which is
+            # what an arrival-at-a-time controller does.
+            for demand in batch:
+                choice = self.strategy.select(
+                    demand.user_id,
+                    controller.snapshots(),
+                    rssi=rssi_by_user[demand.user_id],
+                )
+                place(demand, choice, controller_id)
+            return
+
+        for demand in batch:
+            ap_id = placement.get(demand.user_id)
+            if ap_id is None:
+                raise RuntimeError(
+                    f"strategy {self.strategy.name} returned no AP "
+                    f"for user {demand.user_id}"
+                )
+            place(demand, ap_id, controller_id)
+
+    def _station_rssi(self, demand: DemandSession) -> Dict[str, float]:
+        """Deterministic per-session RSSI map for the arriving station."""
+        rng = self._streams.get(f"radio-{demand.user_id}-{demand.arrival:.3f}")
+        building = self.layout.buildings[demand.building_id]
+        position = sample_position(building, rng)
+        return rssi_map(
+            position,
+            self.layout.aps_of_building(demand.building_id),
+            rng=rng,
+            shadowing_sigma_db=self.config.shadowing_sigma_db,
+        )
+
+
+def collect_trace(
+    layout: CampusLayout,
+    source: TraceBundle,
+    strategy: SelectionStrategy,
+    config: Optional[ReplayConfig] = None,
+) -> TraceBundle:
+    """Replay ``source.demands`` under ``strategy`` and return the collected
+    trace (replayed sessions + the source's flows and demands).
+
+    With the LLF strategy this reconstructs the paper's production trace:
+    the session log an enterprise WLAN running least-loaded-first would
+    have recorded for this demand."""
+    engine = ReplayEngine(layout, strategy, config=config)
+    result = engine.run(source.demands)
+    return result.to_bundle(source)

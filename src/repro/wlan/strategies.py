@@ -1,0 +1,174 @@
+"""AP-selection strategies: the baselines and the S³ adapter.
+
+A strategy answers one question: *given an arriving user, the candidate
+APs of the controller domain and the station's RSSI readings, which AP
+serves the user?*  Four implementations:
+
+* :class:`StrongestSignal` — the 802.11 default the paper's Section I
+  describes: pick the AP with the best RSSI, ignoring load entirely;
+* :class:`LeastLoadedFirst` — the state of the art in enterprise WLANs
+  (the paper's LLF baseline, ref [9]): least traffic load, or least user
+  count in the ``"users"`` variant;
+* :class:`RandomSelection` — the sanity-floor baseline;
+* :class:`S3Strategy` — the paper's contribution, delegating to a trained
+  :class:`~repro.core.selection.S3Selector`; the only strategy that
+  implements true batch assignment (Algorithm 1's clique distribution).
+
+Strategies are stateless with respect to the network: all network state
+arrives as immutable :class:`~repro.core.selection.APState` snapshots.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.selection import APState, S3Selector, least_loaded
+from repro.wlan.radio import strongest_ap
+
+
+class SelectionStrategy(abc.ABC):
+    """The strategy interface the replay engine and prototype drive."""
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Choose the AP id for one arriving user."""
+
+    def assign_batch(
+        self,
+        user_ids: Sequence[str],
+        aps: Sequence[APState],
+        rssi_by_user: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> Optional[Dict[str, str]]:
+        """Batch assignment hook.
+
+        Returns ``None`` when the strategy has no batch logic — the engine
+        then falls back to sequential ``select`` calls with live state
+        updates between them (which is what an arrival-based controller
+        actually does).
+        """
+        return None
+
+    def observe_arrival(self, user_id: str, ap_id: str, time: float) -> None:
+        """Called by the engine after a user associates.  Default: no-op.
+
+        Online-learning strategies (see :mod:`repro.core.online`) use
+        these observation hooks to keep their social model current from
+        the association stream the controller sees anyway.
+        """
+
+    def observe_departure(
+        self, user_id: str, ap_id: str, time: float, mean_rate: float = 0.0
+    ) -> None:
+        """Called by the engine after a user disassociates.  Default: no-op."""
+
+
+class StrongestSignal(SelectionStrategy):
+    """The RSSI default: strongest signal wins, load is ignored."""
+
+    name = "rssi"
+
+    def select(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Pick the AP per this strategy's policy."""
+        if not aps:
+            raise ValueError("no candidate APs")
+        if not rssi:
+            # No radio information: deterministic fallback to the first AP
+            # by id, the closest analogue of an arbitrary beacon pick.
+            return min(ap.ap_id for ap in aps)
+        candidates = {ap.ap_id for ap in aps}
+        visible = {ap_id: v for ap_id, v in rssi.items() if ap_id in candidates}
+        if not visible:
+            return min(candidates)
+        return strongest_ap(visible)
+
+
+class LeastLoadedFirst(SelectionStrategy):
+    """LLF: the AP with the least workload gets the new user.
+
+    ``metric="load"`` ranks by current traffic load (the paper's main
+    reading of LLF); ``metric="users"`` ranks by association count (the
+    parenthetical variant "or with the least number of users").
+    """
+
+    def __init__(self, metric: str = "load") -> None:
+        if metric not in ("load", "users"):
+            raise ValueError(f"unknown LLF metric {metric!r}")
+        self.metric = metric
+        self.name = "llf" if metric == "load" else "llf-users"
+
+    def select(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Pick the AP per this strategy's policy."""
+        if not aps:
+            raise ValueError("no candidate APs")
+        if self.metric == "load":
+            return least_loaded(aps).ap_id
+        return min(aps, key=lambda ap: (ap.user_count, ap.load, ap.ap_id)).ap_id
+
+
+class RandomSelection(SelectionStrategy):
+    """Uniform random choice — the floor any useful strategy must beat."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Pick the AP per this strategy's policy."""
+        if not aps:
+            raise ValueError("no candidate APs")
+        ordered = sorted(ap.ap_id for ap in aps)
+        return ordered[int(self.rng.integers(len(ordered)))]
+
+
+class S3Strategy(SelectionStrategy):
+    """The paper's scheme, wrapping a trained selector."""
+
+    name = "s3"
+
+    def __init__(self, selector: S3Selector) -> None:
+        self.selector = selector
+
+    def select(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Pick the AP per this strategy's policy."""
+        return self.selector.select(user_id, aps)
+
+    def assign_batch(
+        self,
+        user_ids: Sequence[str],
+        aps: Sequence[APState],
+        rssi_by_user: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> Optional[Dict[str, str]]:
+        """Algorithm 1 batch distribution via the wrapped selector."""
+        return self.selector.assign_batch(user_ids, aps)

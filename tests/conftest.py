@@ -1,0 +1,35 @@
+"""Shared fixtures: small, session-scoped workloads and trained models.
+
+Generating a campus and training S³ is the expensive part of the suite, so
+the TINY and SMALL workloads (and their models) are materialized once per
+session through the same cache the experiment runners use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SMALL, TINY
+from repro.experiments.workload import build_workload, trained_model
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """One building, 48 users, 8 days — the smallest end-to-end campus."""
+    return build_workload(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_workload):
+    return trained_model(TINY)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """Two buildings, 150 users, 12 days — integration-test scale."""
+    return build_workload(SMALL)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_workload):
+    return trained_model(SMALL)

@@ -1,0 +1,87 @@
+"""Unit and property tests for empirical CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import EmpiricalCDF, fraction_below
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0, float("nan")])
+
+    def test_quantile_inverts_cdf(self):
+        cdf = EmpiricalCDF([10.0, 20.0, 30.0, 40.0])
+        assert cdf.quantile(0.25) == 10.0
+        assert cdf.quantile(0.5) == 20.0
+        assert cdf.quantile(1.0) == 40.0
+        assert cdf.quantile(0.0) == 10.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).quantile(1.5)
+
+    def test_steps_shape(self):
+        xs, ys = EmpiricalCDF([3.0, 1.0, 2.0]).steps()
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ys) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_series_grid(self):
+        xs, ys = EmpiricalCDF([0.0, 10.0]).series(points=11)
+        assert len(xs) == 11
+        assert ys[0] == 0.5  # one sample at grid start
+        assert ys[-1] == 1.0
+
+    def test_series_with_constant_sample(self):
+        xs, ys = EmpiricalCDF([5.0, 5.0]).series()
+        assert np.all(ys == 1.0)
+
+    def test_series_needs_two_points(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).series(points=1)
+
+    @given(samples)
+    def test_monotone_and_bounded(self, values):
+        cdf = EmpiricalCDF(values)
+        grid = np.linspace(min(values) - 1, max(values) + 1, 30)
+        evaluated = cdf.evaluate(grid)
+        assert np.all(np.diff(evaluated) >= -1e-12)
+        assert evaluated[0] >= 0.0
+        assert evaluated[-1] == 1.0
+
+    @given(samples)
+    def test_evaluate_matches_scalar_call(self, values):
+        cdf = EmpiricalCDF(values)
+        grid = [min(values), max(values)]
+        vector = cdf.evaluate(grid)
+        assert vector[0] == pytest.approx(cdf(grid[0]))
+        assert vector[1] == pytest.approx(cdf(grid[1]))
+
+
+class TestFractionBelow:
+    def test_counts_strictly_below(self):
+        assert fraction_below([1, 2, 3, 4], 3) == 0.5
+        assert fraction_below([1, 1, 1], 1) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1.0)

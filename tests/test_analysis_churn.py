@@ -1,0 +1,193 @@
+"""Unit tests for churn-event extraction."""
+
+import pytest
+
+from repro.analysis.churn import (
+    coleaving_fraction_per_user,
+    extract_churn,
+    make_pair,
+)
+from repro.sim.timeline import MINUTE
+from repro.trace.records import SessionRecord
+
+
+def make_session(user, ap, t0, t1):
+    return SessionRecord(user, ap, "c1", t0, t1, 0.0)
+
+
+class TestMakePair:
+    def test_canonical_order(self):
+        assert make_pair("b", "a") == ("a", "b")
+        assert make_pair("a", "b") == ("a", "b")
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            make_pair("a", "a")
+
+
+class TestCoLeaving:
+    def test_same_ap_within_window_detected(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 1000.0),
+            make_session("b", "ap1", 0.0, 1100.0),
+        ]
+        churn = extract_churn(sessions, coleave_window=5 * MINUTE)
+        assert len(churn.co_leavings) == 1
+        assert churn.co_leavings[0].pair == ("a", "b")
+        assert churn.co_leavings[0].gap == pytest.approx(100.0)
+
+    def test_different_aps_not_co_leaving(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 1000.0),
+            make_session("b", "ap2", 0.0, 1001.0),
+        ]
+        churn = extract_churn(sessions)
+        assert churn.co_leavings == []
+
+    def test_outside_window_not_co_leaving(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 1000.0),
+            make_session("b", "ap1", 0.0, 1000.0 + 6 * MINUTE),
+        ]
+        churn = extract_churn(sessions, coleave_window=5 * MINUTE)
+        assert churn.co_leavings == []
+
+    def test_three_way_coleave_yields_three_pairs(self):
+        sessions = [
+            make_session(u, "ap1", 0.0, 1000.0 + i) for i, u in enumerate("abc")
+        ]
+        churn = extract_churn(sessions)
+        assert len(churn.co_leavings) == 3
+        assert set(e.pair for e in churn.co_leavings) == {
+            ("a", "b"), ("a", "c"), ("b", "c"),
+        }
+
+    def test_repeated_events_counted_per_pair(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 1000.0),
+            make_session("b", "ap1", 0.0, 1010.0),
+            make_session("a", "ap1", 2000.0, 3000.0),
+            make_session("b", "ap1", 2000.0, 3020.0),
+        ]
+        churn = extract_churn(sessions)
+        assert churn.co_leaving_pairs()[("a", "b")] == 2
+
+    def test_same_user_twice_in_window_not_a_pair(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 1000.0),
+            make_session("a", "ap1", 1100.0, 1200.0),
+        ]
+        churn = extract_churn(sessions)
+        assert churn.co_leavings == []
+
+
+class TestCoComing:
+    def test_co_coming_detected(self):
+        sessions = [
+            make_session("a", "ap1", 100.0, 5000.0),
+            make_session("b", "ap1", 150.0, 9000.0),
+        ]
+        churn = extract_churn(sessions, cocome_window=5 * MINUTE)
+        assert len(churn.co_comings) == 1
+        assert churn.co_comings[0].kind == "co-come"
+
+
+class TestEncounters:
+    def test_long_overlap_is_encounter(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 3600.0),
+            make_session("b", "ap1", 600.0, 4000.0),
+        ]
+        churn = extract_churn(sessions, encounter_min_duration=20 * MINUTE)
+        assert len(churn.encounters) == 1
+        encounter = churn.encounters[0]
+        assert encounter.pair == ("a", "b")
+        assert encounter.duration == pytest.approx(3000.0)
+
+    def test_short_overlap_not_encounter(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 3600.0),
+            make_session("b", "ap1", 3500.0, 7200.0),
+        ]
+        churn = extract_churn(sessions, encounter_min_duration=20 * MINUTE)
+        assert churn.encounters == []
+
+    def test_co_coming_without_encounter(self):
+        # The paper's remark: a co-coming need not become an encounter when
+        # one user leaves before the minimum joint duration.
+        sessions = [
+            make_session("a", "ap1", 0.0, 300.0),
+            make_session("b", "ap1", 30.0, 7200.0),
+        ]
+        churn = extract_churn(
+            sessions, cocome_window=5 * MINUTE, encounter_min_duration=20 * MINUTE
+        )
+        assert len(churn.co_comings) == 1
+        assert churn.encounters == []
+
+    def test_different_ap_overlap_not_encounter(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 3600.0),
+            make_session("b", "ap2", 0.0, 3600.0),
+        ]
+        churn = extract_churn(sessions)
+        assert churn.encounters == []
+
+    def test_encounter_pairs_counts(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 3600.0),
+            make_session("b", "ap1", 0.0, 3600.0),
+            make_session("a", "ap1", 10000.0, 14000.0),
+            make_session("b", "ap1", 10000.0, 14000.0),
+        ]
+        churn = extract_churn(sessions)
+        assert churn.encounter_pairs()[("a", "b")] == 2
+
+
+class TestLeavingsArrivals:
+    def test_every_session_produces_one_of_each(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 100.0),
+            make_session("b", "ap2", 10.0, 200.0),
+        ]
+        churn = extract_churn(sessions)
+        assert len(churn.leavings) == 2
+        assert len(churn.arrivals) == 2
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            extract_churn([], coleave_window=0.0)
+        with pytest.raises(ValueError):
+            extract_churn([], encounter_min_duration=-1.0)
+
+
+class TestColeavingFraction:
+    def test_fraction_counts_shared_departures(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 1000.0),
+            make_session("b", "ap1", 0.0, 1050.0),
+            make_session("a", "ap1", 5000.0, 9000.0),  # solo departure
+        ]
+        fractions = coleaving_fraction_per_user(sessions, window=5 * MINUTE)
+        assert fractions["a"] == pytest.approx(0.5)
+        assert fractions["b"] == pytest.approx(1.0)
+
+    def test_detects_earlier_neighbor(self):
+        # b leaves after a; a's departure must also count as shared.
+        sessions = [
+            make_session("a", "ap1", 0.0, 1000.0),
+            make_session("b", "ap1", 0.0, 1200.0),
+        ]
+        fractions = coleaving_fraction_per_user(sessions, window=5 * MINUTE)
+        assert fractions == {"a": 1.0, "b": 1.0}
+
+    def test_window_zero_rejected(self):
+        with pytest.raises(ValueError):
+            coleaving_fraction_per_user([], window=0.0)
+
+    def test_larger_window_never_decreases_fraction(self, tiny_workload):
+        sessions = tiny_workload.collected.sessions
+        small = coleaving_fraction_per_user(sessions, 5 * MINUTE)
+        large = coleaving_fraction_per_user(sessions, 30 * MINUTE)
+        for user, fraction in small.items():
+            assert large[user] >= fraction - 1e-12

@@ -1,0 +1,134 @@
+"""Unit and property tests for entropy / MI / NMI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.info import (
+    entropy,
+    jensen_shannon_divergence,
+    maximal_coupling,
+    mutual_information,
+    normalized_mutual_information,
+)
+
+distributions = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    min_size=6,
+    max_size=6,
+).filter(lambda values: sum(values) > 1e-6)
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        assert entropy([1, 1, 1, 1]) == pytest.approx(np.log(4))
+
+    def test_point_mass_zero_entropy(self):
+        assert entropy([1, 0, 0]) == pytest.approx(0.0)
+
+    def test_unnormalized_input_normalized(self):
+        assert entropy([2, 2]) == pytest.approx(entropy([0.5, 0.5]))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            entropy([0.0, 0.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            entropy([1.0, -0.5])
+
+    @given(distributions)
+    def test_entropy_bounds(self, values):
+        h = entropy(values)
+        assert -1e-9 <= h <= np.log(len(values)) + 1e-9
+
+
+class TestMaximalCoupling:
+    def test_identical_marginals_couple_on_diagonal(self):
+        p = [0.5, 0.3, 0.2]
+        joint = maximal_coupling(p, p)
+        assert np.allclose(joint, np.diag(p))
+
+    def test_marginals_preserved(self):
+        p = [0.7, 0.2, 0.1]
+        q = [0.1, 0.2, 0.7]
+        joint = maximal_coupling(p, q)
+        assert np.allclose(joint.sum(axis=1), p)
+        assert np.allclose(joint.sum(axis=0), q)
+
+    def test_disjoint_marginals_have_zero_diagonal(self):
+        joint = maximal_coupling([1, 0], [0, 1])
+        assert joint[0, 0] == pytest.approx(0.0)
+        assert joint[1, 1] == pytest.approx(0.0)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            maximal_coupling([1, 0], [1, 0, 0])
+
+    @given(distributions, distributions)
+    def test_coupling_is_a_joint_distribution(self, p, q):
+        joint = maximal_coupling(p, q)
+        assert joint.min() >= -1e-12
+        assert joint.sum() == pytest.approx(1.0)
+        assert np.allclose(joint.sum(axis=1), np.asarray(p) / sum(p), atol=1e-9)
+
+
+class TestMutualInformation:
+    def test_identical_profiles_reach_entropy(self):
+        p = [0.4, 0.3, 0.2, 0.1]
+        assert mutual_information(p, p) == pytest.approx(entropy(p))
+
+    def test_disjoint_profiles_low_information(self):
+        # Disjoint supports couple off-diagonal as a product: MI ~ 0.
+        assert mutual_information([1, 0, 0], [0, 0.5, 0.5]) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    @given(distributions, distributions)
+    def test_mi_non_negative(self, p, q):
+        assert mutual_information(p, q) >= 0.0
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        p = [0.4, 0.3, 0.2, 0.05, 0.03, 0.02]
+        assert normalized_mutual_information(p, p) == pytest.approx(1.0)
+
+    def test_point_mass_degenerate_cases(self):
+        point = [1, 0, 0, 0, 0, 0]
+        assert normalized_mutual_information(point, point) == 1.0
+        other = [0, 1, 0, 0, 0, 0]
+        assert normalized_mutual_information(point, other) == 0.0
+
+    def test_similarity_monotonicity(self):
+        base = np.array([0.4, 0.3, 0.1, 0.1, 0.05, 0.05])
+        near = 0.9 * base + 0.1 / 6
+        far = np.full(6, 1 / 6)
+        nmi_near = normalized_mutual_information(base, near)
+        nmi_far = normalized_mutual_information(base, far)
+        assert nmi_near > nmi_far
+
+    @given(distributions, distributions)
+    def test_nmi_bounded(self, p, q):
+        value = normalized_mutual_information(p, q)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestJSD:
+    def test_identical_is_zero(self):
+        p = [0.5, 0.25, 0.25]
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric(self):
+        p = [0.7, 0.2, 0.1]
+        q = [0.2, 0.3, 0.5]
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_bounded_by_log2(self):
+        assert jensen_shannon_divergence([1, 0], [0, 1]) <= np.log(2) + 1e-9
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence([1, 0], [1, 0, 0])

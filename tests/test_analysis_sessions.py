@@ -1,0 +1,106 @@
+"""Tests for the descriptive session analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sessions import (
+    describe_bundle,
+    diurnal_activity,
+    per_ap_utilization,
+    session_stats,
+)
+from repro.sim.timeline import DAY, HOUR
+from repro.trace.records import SessionRecord, TraceBundle
+
+
+def make_session(user, ap, t0, t1, size=1000.0, ctrl="c1"):
+    return SessionRecord(user, ap, ctrl, t0, t1, size)
+
+
+class TestSessionStats:
+    def test_counts(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, HOUR),
+            make_session("b", "ap2", HOUR, 3 * HOUR),
+            make_session("a", "ap1", DAY, DAY + HOUR),
+        ]
+        stats = session_stats(sessions)
+        assert stats.n_sessions == 3
+        assert stats.n_users == 2
+        assert stats.n_aps == 2
+        assert stats.n_controllers == 1
+        assert stats.total_bytes == pytest.approx(3000.0)
+
+    def test_durations_and_rates(self):
+        sessions = [make_session("a", "ap1", 0.0, 100.0, size=1000.0)]
+        stats = session_stats(sessions)
+        assert stats.median_duration == pytest.approx(100.0)
+        assert stats.median_rate == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            session_stats([])
+
+    def test_render_mentions_scale(self):
+        sessions = [make_session("a", "ap1", 0.0, 3600.0)]
+        text = session_stats(sessions).render()
+        assert "sessions        : 1" in text
+        assert "users           : 1" in text
+
+
+class TestDiurnalActivity:
+    def test_activity_lands_in_right_hours(self):
+        sessions = [make_session("a", "ap1", 10 * HOUR, 12 * HOUR)]
+        activity = diurnal_activity(sessions)
+        assert activity[10] == pytest.approx(1.0)
+        assert activity[11] == pytest.approx(1.0)
+        assert activity[9] == 0.0
+        assert activity[12] == 0.0
+
+    def test_averaged_over_days(self):
+        sessions = [
+            make_session("a", "ap1", 10 * HOUR, 11 * HOUR),
+            make_session("a", "ap1", DAY + 10 * HOUR, DAY + 11 * HOUR),
+        ]
+        activity = diurnal_activity(sessions)
+        assert activity[10] == pytest.approx(1.0)  # one session in hour 10 per day
+
+    def test_empty_is_zero(self):
+        assert diurnal_activity([]).sum() == 0.0
+
+
+class TestUtilization:
+    def test_mean_rate_per_ap(self):
+        sessions = [
+            make_session("a", "ap1", 0.0, 100.0, size=500.0),
+            make_session("b", "ap2", 0.0, 100.0, size=1500.0),
+        ]
+        util = per_ap_utilization(sessions)
+        assert util["ap1"] == pytest.approx(5.0)
+        assert util["ap2"] == pytest.approx(15.0)
+
+    def test_normalized_by_bandwidth(self):
+        sessions = [make_session("a", "ap1", 0.0, 100.0, size=500.0)]
+        util = per_ap_utilization(sessions, bandwidths={"ap1": 50.0})
+        assert util["ap1"] == pytest.approx(0.1)
+
+    def test_empty(self):
+        assert per_ap_utilization([]) == {}
+
+
+class TestDescribeBundle:
+    def test_describes_all_families(self, tiny_workload):
+        text = describe_bundle(tiny_workload.collected)
+        assert "sessions" in text
+        assert "flows" in text
+        assert "demands" in text
+        assert "diurnal peak" in text
+
+    def test_demands_only_bundle(self):
+        from repro.trace.records import DemandSession
+
+        bundle = TraceBundle(
+            demands=[DemandSession("u", "B00", 0.0, 10.0, (1.0,) * 6)]
+        )
+        text = describe_bundle(bundle)
+        assert "demands" in text

@@ -1,0 +1,96 @@
+"""Tests for the gap statistic and its k-selection rule."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.gap import gap_statistic, select_k
+
+
+def blobs(rng, k, n_per=40, dim=2, spread=6.0, scale=0.15):
+    centers = rng.random((k, dim)) * spread
+    return np.vstack(
+        [rng.normal(center, scale, size=(n_per, dim)) for center in centers]
+    )
+
+
+class TestSelectK:
+    def test_rule_fires_at_first_satisfying_k(self):
+        gaps = [0.1, 0.5, 0.9, 0.91, 0.92]
+        s_k = [0.01] * 5
+        # Gap(3)=0.9 >= Gap(4)-s4 = 0.90 -> k=3
+        assert select_k(gaps, s_k) == 3
+
+    def test_falls_back_to_argmax(self):
+        gaps = [0.1, 0.2, 0.3]
+        s_k = [0.0, 0.0, 0.0]
+        assert select_k(gaps, s_k) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_k([], [])
+        with pytest.raises(ValueError):
+            select_k([1.0], [0.1, 0.2])
+
+
+class TestGapStatistic:
+    @pytest.mark.parametrize("true_k", [2, 3, 4])
+    def test_recovers_planted_k(self, true_k):
+        rng = np.random.default_rng(true_k)
+        data = blobs(rng, true_k)
+        result = gap_statistic(data, k_max=7, rng=rng, n_references=8)
+        assert result.selected_k == true_k
+
+    def test_pca_reference_on_simplex_data(self):
+        # Dirichlet clusters live on a simplex; the PCA reference must
+        # still recover the planted k (uniform boxes often do not).
+        rng = np.random.default_rng(1)
+        alphas = [
+            np.array([40, 2, 2, 2, 2, 2]),
+            np.array([2, 40, 2, 2, 2, 2]),
+            np.array([2, 2, 40, 2, 2, 2]),
+            np.array([2, 2, 2, 2, 40, 2]),
+        ]
+        data = np.vstack([rng.dirichlet(a, size=60) for a in alphas])
+        result = gap_statistic(data, k_max=8, rng=rng, n_references=8)
+        assert result.selected_k == 4
+
+    def test_gap_curve_shapes(self):
+        rng = np.random.default_rng(2)
+        data = blobs(rng, 3)
+        result = gap_statistic(data, k_max=6, rng=rng, n_references=6)
+        assert result.ks.tolist() == [1, 2, 3, 4, 5, 6]
+        assert result.gaps.shape == (6,)
+        assert np.all(result.s_k >= 0)
+        # log W_k decreases with k (more clusters, less dispersion).
+        assert np.all(np.diff(result.log_wk) <= 1e-9)
+
+    def test_k_max_clamped_to_n(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((4, 2))
+        result = gap_statistic(data, k_max=10, rng=rng, n_references=4)
+        assert result.ks[-1] <= 4
+
+    def test_as_rows(self):
+        rng = np.random.default_rng(4)
+        result = gap_statistic(blobs(rng, 2), k_max=3, rng=rng, n_references=4)
+        rows = result.as_rows()
+        assert len(rows) == 3
+        assert set(rows[0]) == {"k", "gap", "s_k", "log_wk"}
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            gap_statistic(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            gap_statistic(np.zeros((10, 2)), k_max=0)
+
+    def test_unknown_reference_method_rejected(self):
+        with pytest.raises(ValueError):
+            gap_statistic(np.random.default_rng(0).random((10, 2)), reference="bogus")
+
+    def test_uniform_reference_still_works_on_blobs(self):
+        rng = np.random.default_rng(5)
+        data = blobs(rng, 3)
+        result = gap_statistic(
+            data, k_max=6, rng=rng, n_references=8, reference="uniform"
+        )
+        assert result.selected_k == 3

@@ -1,0 +1,165 @@
+"""Tests for the online-learning S³ extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandEstimator
+from repro.core.online import OnlineConfig, OnlineLearner, OnlineS3Strategy
+from repro.core.selection import APState, S3Selector
+from repro.core.social import SocialModel
+from repro.core.typing import TypeModel
+from repro.sim.timeline import MINUTE
+from repro.wlan.replay import ReplayEngine
+from repro.wlan.strategies import LeastLoadedFirst
+
+
+def empty_social(alpha=0.3, min_encounters=2):
+    types = TypeModel(
+        centroids=np.full((4, 6), 1 / 6),
+        assignments={},
+        affinity=np.full((4, 4), 0.25),
+    )
+    return SocialModel({}, types, alpha=alpha, min_encounters=min_encounters)
+
+
+class TestOnlineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(coleave_window=0.0)
+        with pytest.raises(ValueError):
+            OnlineConfig(encounter_min_duration=-1.0)
+        with pytest.raises(ValueError):
+            OnlineConfig(coleave_window=600.0, departure_memory=300.0)
+
+
+class TestOnlineLearner:
+    def test_encounter_recorded_for_long_copresence(self):
+        social = empty_social()
+        learner = OnlineLearner(social)
+        learner.on_arrival("a", "ap1", 0.0)
+        learner.on_arrival("b", "ap1", 60.0)
+        learner.on_departure("a", "ap1", 30 * MINUTE)
+        stats = social.pair_stats("a", "b")
+        assert stats is not None
+        assert stats.encounters == 1
+        assert learner.encounters_recorded == 1
+
+    def test_short_copresence_not_an_encounter(self):
+        social = empty_social()
+        learner = OnlineLearner(social)
+        learner.on_arrival("a", "ap1", 0.0)
+        learner.on_arrival("b", "ap1", 0.0)
+        learner.on_departure("a", "ap1", 5 * MINUTE)
+        assert social.pair_stats("a", "b") is None
+
+    def test_coleaving_recorded_within_window(self):
+        social = empty_social()
+        learner = OnlineLearner(social)
+        learner.on_arrival("a", "ap1", 0.0)
+        learner.on_arrival("b", "ap1", 0.0)
+        learner.on_departure("a", "ap1", 3600.0)
+        learner.on_departure("b", "ap1", 3600.0 + 2 * MINUTE)
+        stats = social.pair_stats("a", "b")
+        assert stats.co_leavings == 1
+        # Both also encountered (an hour together).
+        assert stats.encounters == 1
+
+    def test_departure_outside_window_not_coleaving(self):
+        social = empty_social()
+        learner = OnlineLearner(social)
+        learner.on_arrival("a", "ap1", 0.0)
+        learner.on_arrival("b", "ap1", 0.0)
+        learner.on_departure("a", "ap1", 3600.0)
+        learner.on_departure("b", "ap1", 3600.0 + 10 * MINUTE)
+        stats = social.pair_stats("a", "b")
+        assert stats.co_leavings == 0
+
+    def test_different_aps_do_not_pair(self):
+        social = empty_social()
+        learner = OnlineLearner(social)
+        learner.on_arrival("a", "ap1", 0.0)
+        learner.on_arrival("b", "ap2", 0.0)
+        learner.on_departure("a", "ap1", 3600.0)
+        learner.on_departure("b", "ap2", 3601.0)
+        assert social.pair_stats("a", "b") is None
+
+    def test_unseen_arrival_ignored_gracefully(self):
+        social = empty_social()
+        learner = OnlineLearner(social)
+        learner.on_departure("ghost", "ap1", 100.0)  # no crash
+        assert learner.co_leavings_recorded == 0
+
+    def test_old_departures_expire_from_ring(self):
+        social = empty_social()
+        config = OnlineConfig(departure_memory=30 * MINUTE)
+        learner = OnlineLearner(social, config)
+        learner.on_arrival("a", "ap1", 0.0)
+        learner.on_departure("a", "ap1", 1000.0)
+        learner.on_arrival("b", "ap1", 0.0)
+        learner.on_departure("b", "ap1", 1000.0 + 35 * MINUTE)
+        ring = learner._departures["ap1"]
+        assert [user for _, user in ring] == ["b"]
+
+    def test_repeated_events_accumulate(self):
+        social = empty_social()
+        learner = OnlineLearner(social)
+        for round_start in (0.0, 10000.0, 20000.0):
+            learner.on_arrival("a", "ap1", round_start)
+            learner.on_arrival("b", "ap1", round_start)
+            learner.on_departure("a", "ap1", round_start + 3600.0)
+            learner.on_departure("b", "ap1", round_start + 3630.0)
+        stats = social.pair_stats("a", "b")
+        assert stats.encounters == 3
+        assert stats.co_leavings == 3
+        # Enough evidence for a real social index now.
+        assert social.social_index("a", "b") > 0.5
+
+
+class TestOnlineS3Strategy:
+    def _strategy(self):
+        selector = S3Selector(empty_social(), DemandEstimator())
+        return OnlineS3Strategy(selector)
+
+    def test_serves_selections_like_s3(self):
+        strategy = self._strategy()
+        states = [APState("a", 1e6, 0.0), APState("b", 1e6, 0.0)]
+        assert strategy.select("u", states) in ("a", "b")
+        placement = strategy.assign_batch(["u", "v"], states)
+        assert sorted(placement) == ["u", "v"]
+
+    def test_departure_updates_demand_estimate(self):
+        strategy = self._strategy()
+        strategy.observe_arrival("u", "ap1", 0.0)
+        strategy.observe_departure("u", "ap1", 100.0, mean_rate=1234.0)
+        assert strategy.selector.demand.estimate("u") == pytest.approx(1234.0)
+
+    def test_cold_start_learns_during_replay(self, tiny_workload):
+        """Replaying a cold-start online S³ over the evaluation days must
+        accumulate social knowledge from scratch."""
+        strategy = self._strategy()
+        engine = ReplayEngine(
+            tiny_workload.world.layout, strategy, tiny_workload.config.replay
+        )
+        result = engine.run(tiny_workload.test_demands)
+        assert len(result.sessions) > 0
+        assert strategy.selector.social.known_pairs() > 0
+        assert strategy.learner.co_leavings_recorded > 0
+        assert strategy.learner.encounters_recorded > 0
+
+    def test_learned_pairs_match_offline_extraction_scale(self, tiny_workload):
+        """The online extractor should find the same order of magnitude of
+        co-leavings as the offline extractor over the same sessions."""
+        from repro.analysis.churn import extract_churn
+
+        strategy = self._strategy()
+        engine = ReplayEngine(
+            tiny_workload.world.layout, strategy, tiny_workload.config.replay
+        )
+        result = engine.run(tiny_workload.test_demands)
+        offline = extract_churn(result.sessions)
+        online_count = strategy.learner.co_leavings_recorded
+        offline_count = len(offline.co_leavings)
+        assert offline_count > 0
+        # Online counting uses association times (post-batching), offline
+        # the recorded demand times, so allow a generous band.
+        assert 0.4 * offline_count <= online_count <= 2.0 * offline_count

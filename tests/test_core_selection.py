@@ -1,0 +1,235 @@
+"""Tests for Algorithm 1: APState, single select, batch clique placement."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demand import DemandEstimator
+from repro.core.selection import (
+    APState,
+    S3Selector,
+    SelectionConfig,
+    least_loaded,
+)
+from repro.core.social import PairStats, SocialModel
+from repro.core.typing import TypeModel
+
+
+def make_social(pairs=None, affinity=0.0, assignments=None, alpha=0.3):
+    k = 2
+    model = TypeModel(
+        centroids=np.zeros((k, 6)),
+        assignments=assignments or {},
+        affinity=np.full((k, k), affinity),
+    )
+    stats = {}
+    for (u, v), (enc, col) in (pairs or {}).items():
+        key = (u, v) if u < v else (v, u)
+        stats[key] = PairStats(encounters=enc, co_leavings=col)
+    return SocialModel(stats, model, alpha=alpha)
+
+
+def estimator(rates=None, default=10.0):
+    est = DemandEstimator(smoothing=1.0, default_rate=default)
+    for user, rate in (rates or {}).items():
+        est.observe(user, rate)
+    return est
+
+
+def aps(*specs):
+    return [
+        APState(ap_id=name, bandwidth=bw, load=load, users=tuple(users))
+        for name, bw, load, users in specs
+    ]
+
+
+class TestAPState:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            APState("a", 0.0, 0.0)
+        with pytest.raises(ValueError):
+            APState("a", 10.0, -1.0)
+
+    def test_with_user(self):
+        state = APState("a", 100.0, 10.0, ("u1",))
+        grown = state.with_user("u2", 5.0)
+        assert grown.load == 15.0
+        assert grown.users == ("u1", "u2")
+        assert state.users == ("u1",)  # immutable original
+
+    def test_headroom(self):
+        assert APState("a", 100.0, 30.0).headroom() == 70.0
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_load(self):
+        states = aps(("a", 100, 50, []), ("b", 100, 20, []), ("c", 100, 80, []))
+        assert least_loaded(states).ap_id == "b"
+
+    def test_tie_breaks_by_user_count_then_id(self):
+        states = aps(("b", 100, 10, ["u"]), ("a", 100, 10, []))
+        assert least_loaded(states).ap_id == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            least_loaded([])
+
+
+class TestSelect:
+    def test_avoids_ap_with_groupmate(self):
+        social = make_social(pairs={("new", "mate"): (9, 9)})
+        selector = S3Selector(social, estimator())
+        states = aps(
+            ("a", 1000, 10.0, ["mate"]),  # holds the co-leaver
+            ("b", 1000, 10.0, []),
+        )
+        assert selector.select("new", states) == "b"
+
+    def test_falls_back_to_llf_without_social_signal(self):
+        selector = S3Selector(make_social(), estimator())
+        states = aps(("a", 1000, 50.0, []), ("b", 1000, 5.0, []))
+        assert selector.select("new", states) == "b"
+
+    def test_bandwidth_constraint_excludes_full_ap(self):
+        selector = S3Selector(make_social(), estimator(default=20.0))
+        states = aps(
+            ("a", 100, 95.0, []),   # 95 + 20 > 100: infeasible
+            ("b", 100, 95.0, []),
+            ("c", 1000, 500.0, []),
+        )
+        assert selector.select("new", states) == "c"
+
+    def test_all_infeasible_degrades_to_least_loaded(self):
+        selector = S3Selector(make_social(), estimator(default=1000.0))
+        states = aps(("a", 100, 60.0, []), ("b", 100, 40.0, []))
+        assert selector.select("new", states) == "b"
+
+    def test_no_candidates_rejected(self):
+        selector = S3Selector(make_social(), estimator())
+        with pytest.raises(ValueError):
+            selector.select("new", [])
+
+    def test_balance_rerank_within_top_fraction(self):
+        # Both APs socially free; the one improving balance most wins even
+        # if slightly more loaded... top_fraction=1.0 keeps both.
+        config = SelectionConfig(top_fraction=1.0)
+        selector = S3Selector(make_social(), estimator(default=30.0), config)
+        states = aps(("a", 1000, 40.0, []), ("b", 1000, 10.0, []))
+        # placing on b: loads (40, 40) balanced; placing on a: (70, 10).
+        assert selector.select("new", states) == "b"
+
+    def test_added_social_cost_sums_over_residents(self):
+        social = make_social(
+            pairs={("new", "x"): (9, 9), ("new", "y"): (9, 4)}
+        )
+        selector = S3Selector(social, estimator())
+        state = APState("a", 1000, 0.0, ("x", "y"))
+        cost = selector.added_social_cost("new", state)
+        assert cost == pytest.approx(0.9 + 0.4)
+
+
+class TestAssignBatch:
+    def test_spreads_clique_across_aps(self):
+        members = ["m1", "m2", "m3", "m4"]
+        pairs = {
+            (a, b): (9, 9) for a, b in itertools.combinations(members, 2)
+        }
+        selector = S3Selector(make_social(pairs=pairs), estimator())
+        states = aps(*[(f"ap{i}", 1000, 0.0, []) for i in range(4)])
+        placement = selector.assign_batch(members, states)
+        assert sorted(placement) == members
+        assert len(set(placement.values())) == 4  # fully spread
+
+    def test_strangers_balance_by_load(self):
+        selector = S3Selector(make_social(), estimator(default=10.0))
+        states = aps(("a", 1000, 0.0, []), ("b", 1000, 0.0, []))
+        placement = selector.assign_batch(["u1", "u2", "u3", "u4"], states)
+        counts = {ap: 0 for ap in ("a", "b")}
+        for ap in placement.values():
+            counts[ap] += 1
+        assert counts["a"] == counts["b"] == 2
+
+    def test_empty_batch(self):
+        selector = S3Selector(make_social(), estimator())
+        assert selector.assign_batch([], aps(("a", 100, 0, []))) == {}
+
+    def test_single_user_batch_equals_select(self):
+        social = make_social(pairs={("new", "mate"): (9, 9)})
+        selector = S3Selector(social, estimator())
+        states = aps(("a", 1000, 0.0, ["mate"]), ("b", 1000, 0.0, []))
+        placement = selector.assign_batch(["new"], states)
+        assert placement == {"new": selector.select("new", states)}
+
+    def test_duplicate_users_deduped(self):
+        selector = S3Selector(make_social(), estimator())
+        states = aps(("a", 1000, 0.0, []), ("b", 1000, 0.0, []))
+        placement = selector.assign_batch(["u", "u"], states)
+        assert list(placement) == ["u"]
+
+    def test_two_cliques_both_spread(self):
+        clique1 = ["a1", "a2", "a3"]
+        clique2 = ["b1", "b2"]
+        pairs = {}
+        for u, v in itertools.combinations(clique1, 2):
+            pairs[(u, v)] = (9, 9)
+        pairs[("b1", "b2")] = (9, 8)
+        selector = S3Selector(make_social(pairs=pairs), estimator())
+        states = aps(*[(f"ap{i}", 1000, 0.0, []) for i in range(3)])
+        placement = selector.assign_batch(clique1 + clique2, states)
+        assert len({placement[u] for u in clique1}) == 3
+        assert placement["b1"] != placement["b2"]
+
+    def test_greedy_path_for_large_cliques(self):
+        members = [f"m{i}" for i in range(8)]
+        pairs = {
+            (a, b): (9, 9) for a, b in itertools.combinations(members, 2)
+        }
+        config = SelectionConfig(max_enumeration=10)  # force greedy
+        selector = S3Selector(make_social(pairs=pairs), estimator(), config)
+        states = aps(*[(f"ap{i}", 1000, 0.0, []) for i in range(4)])
+        placement = selector.assign_batch(members, states)
+        counts = {}
+        for ap in placement.values():
+            counts[ap] = counts.get(ap, 0) + 1
+        assert max(counts.values()) == 2  # 8 users over 4 APs, even split
+
+    def test_batch_respects_bandwidth(self):
+        members = ["h1", "h2", "h3"]
+        pairs = {(a, b): (9, 9) for a, b in itertools.combinations(members, 2)}
+        selector = S3Selector(
+            make_social(pairs=pairs),
+            estimator(rates={m: 60.0 for m in members}),
+        )
+        states = aps(("a", 100, 0.0, []), ("b", 100, 0.0, []), ("c", 100, 0.0, []))
+        placement = selector.assign_batch(members, states)
+        # 60 B/s each against 100 B/s APs: one user per AP is forced.
+        assert len(set(placement.values())) == 3
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_batch_always_total_and_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        users = [f"u{i}" for i in range(int(rng.integers(1, 10)))]
+        pairs = {}
+        for u, v in itertools.combinations(users, 2):
+            if rng.random() < 0.4:
+                pairs[(u, v)] = (int(rng.integers(2, 10)), int(rng.integers(0, 10)))
+        selector = S3Selector(make_social(pairs=pairs, affinity=0.3), estimator())
+        states = aps(*[(f"ap{i}", 1e6, float(rng.random() * 100), []) for i in range(3)])
+        placement = selector.assign_batch(users, states)
+        assert sorted(placement) == sorted(users)
+        assert all(ap in {"ap0", "ap1", "ap2"} for ap in placement.values())
+
+
+class TestSelectionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(top_fraction=0.0)
+        with pytest.raises(ValueError):
+            SelectionConfig(top_fraction=1.5)
+        with pytest.raises(ValueError):
+            SelectionConfig(max_enumeration=0)
+        with pytest.raises(ValueError):
+            SelectionConfig(edge_threshold=-0.2)

@@ -1,0 +1,142 @@
+"""Tests for the temporal-profile extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.churn import extract_churn
+from repro.core.profiles import build_daily_profiles
+from repro.core.temporal import (
+    build_temporal_profiles,
+    combine_profiles,
+    fit_extended_type_model,
+)
+from repro.sim.timeline import DAY, HOUR
+from repro.trace.records import SessionRecord
+
+
+def make_session(user, t0, t1, ap="ap1"):
+    return SessionRecord(user, ap, "c1", t0, t1, 100.0)
+
+
+class TestTemporalProfiles:
+    def test_mass_lands_in_session_hours(self):
+        sessions = [make_session("u", 9 * HOUR, 11 * HOUR)]
+        profiles = build_temporal_profiles(sessions)
+        vector = profiles["u"]
+        assert vector[9] == pytest.approx(0.5)
+        assert vector[10] == pytest.approx(0.5)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_partial_hours_weighted(self):
+        sessions = [make_session("u", 9.5 * HOUR, 10 * HOUR)]
+        vector = build_temporal_profiles(sessions)["u"]
+        assert vector[9] == pytest.approx(1.0)
+
+    def test_multi_day_aggregation(self):
+        sessions = [
+            make_session("u", 9 * HOUR, 10 * HOUR),
+            make_session("u", DAY + 20 * HOUR, DAY + 21 * HOUR),
+        ]
+        vector = build_temporal_profiles(sessions)["u"]
+        assert vector[9] == pytest.approx(0.5)
+        assert vector[20] == pytest.approx(0.5)
+
+    def test_session_crossing_midnight(self):
+        sessions = [make_session("u", 23 * HOUR, DAY + 1 * HOUR)]
+        vector = build_temporal_profiles(sessions)["u"]
+        assert vector[23] == pytest.approx(0.5)
+        assert vector[0] == pytest.approx(0.5)
+
+    def test_zero_duration_user_omitted(self):
+        sessions = [make_session("u", HOUR, HOUR)]
+        assert "u" not in build_temporal_profiles(sessions)
+
+
+class TestCombineProfiles:
+    def test_joint_vector_is_distribution(self):
+        app = np.array([0.5, 0.5, 0, 0, 0, 0])
+        when = np.zeros(24)
+        when[9] = 1.0
+        joint = combine_profiles(app, when, temporal_weight=0.5)
+        assert joint.shape == (30,)
+        assert joint.sum() == pytest.approx(1.0)
+        assert joint[:6].sum() == pytest.approx(0.5)
+
+    def test_weight_extremes(self):
+        app = np.array([1.0, 0, 0, 0, 0, 0])
+        when = np.zeros(24)
+        when[0] = 1.0
+        only_app = combine_profiles(app, when, temporal_weight=0.0)
+        assert only_app[:6].sum() == pytest.approx(1.0)
+        only_when = combine_profiles(app, when, temporal_weight=1.0)
+        assert only_when[6:].sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        app = np.ones(6)
+        when = np.ones(24)
+        with pytest.raises(ValueError):
+            combine_profiles(app, when, temporal_weight=1.5)
+        with pytest.raises(ValueError):
+            combine_profiles(np.zeros(6), when)
+
+
+class TestExtendedTypeModel:
+    def test_separates_users_by_schedule(self):
+        """Two populations with identical app usage but disjoint schedules
+        must split on the temporal dimension."""
+        rng = np.random.default_rng(0)
+        from repro.core.profiles import DailyProfileStore
+
+        store = DailyProfileStore()
+        sessions = []
+        for i in range(20):
+            user = f"m{i:02d}"  # morning people
+            for day in range(5):
+                store.add(user, day, rng.dirichlet(np.ones(6) * 5) * 1e6)
+                sessions.append(
+                    make_session(user, day * DAY + 8 * HOUR, day * DAY + 11 * HOUR)
+                )
+        for i in range(20):
+            user = f"e{i:02d}"  # evening people
+            for day in range(5):
+                store.add(user, day, rng.dirichlet(np.ones(6) * 5) * 1e6)
+                sessions.append(
+                    make_session(user, day * DAY + 19 * HOUR, day * DAY + 22 * HOUR)
+                )
+        from repro.analysis.churn import ChurnEvents
+
+        model = fit_extended_type_model(
+            store, sessions, ChurnEvents(), k=2, temporal_weight=0.7, rng=rng
+        )
+        morning_types = {model.type_of(f"m{i:02d}") for i in range(20)}
+        evening_types = {model.type_of(f"e{i:02d}") for i in range(20)}
+        assert len(morning_types) == 1
+        assert len(evening_types) == 1
+        assert morning_types != evening_types
+
+    def test_too_few_users_rejected(self):
+        from repro.analysis.churn import ChurnEvents
+        from repro.core.profiles import DailyProfileStore
+
+        store = DailyProfileStore()
+        store.add("u", 0, np.ones(6))
+        with pytest.raises(ValueError):
+            fit_extended_type_model(
+                store, [make_session("u", 0.0, HOUR)], ChurnEvents(), k=4
+            )
+
+    def test_on_generated_trace(self, tiny_workload):
+        store = build_daily_profiles(tiny_workload.collected.flows)
+        churn = extract_churn(tiny_workload.collected.sessions)
+        model = fit_extended_type_model(
+            store,
+            tiny_workload.collected.sessions,
+            churn,
+            k=4,
+            temporal_weight=0.4,
+        )
+        assert model.k == 4
+        assert model.centroids.shape == (4, 30)
+        assert len(model.assignments) > 30
+        # Affinity remains a valid probability matrix.
+        assert np.all(model.affinity >= 0) and np.all(model.affinity <= 1)

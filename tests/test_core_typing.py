@@ -1,0 +1,173 @@
+"""Tests for the user-type model and the Table-I affinity matrix."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.churn import ChurnEvents, CoEvent, Encounter
+from repro.core.profiles import DailyProfileStore
+from repro.core.typing import (
+    TypeModel,
+    fit_type_model,
+    fit_user_clusters,
+    type_affinity_matrix,
+)
+
+
+def churn_with(pairs):
+    """Build ChurnEvents with given (pair, encounters, co_leavings)."""
+    events = ChurnEvents()
+    for pair, encounters, co_leavings in pairs:
+        for i in range(encounters):
+            events.encounters.append(
+                Encounter(pair=pair, ap_id="ap1", start=i * 10000.0, end=i * 10000.0 + 2000.0)
+            )
+        for i in range(co_leavings):
+            events.co_leavings.append(
+                CoEvent(kind="co-leave", pair=pair, ap_id="ap1", times=(float(i), float(i)))
+            )
+    return events
+
+
+def planted_store(rng, n_per_type=12):
+    """Four clearly-separated profile groups."""
+    store = DailyProfileStore()
+    bases = [
+        np.array([0.7, 0.06, 0.06, 0.06, 0.06, 0.06]),
+        np.array([0.06, 0.7, 0.06, 0.06, 0.06, 0.06]),
+        np.array([0.06, 0.06, 0.06, 0.06, 0.7, 0.06]),
+        np.array([0.06, 0.06, 0.06, 0.7, 0.06, 0.06]),
+    ]
+    users = {}
+    index = 0
+    for type_index, base in enumerate(bases):
+        for _ in range(n_per_type):
+            user = f"u{index:03d}"
+            users[user] = type_index
+            for day in range(5):
+                store.add(user, day, rng.dirichlet(base * 80) * 1e6)
+            index += 1
+    return store, users
+
+
+class TestTypeModel:
+    def test_affinity_of_unknown_user_is_mean(self):
+        affinity = np.array([[0.6, 0.2], [0.2, 0.5]])
+        model = TypeModel(
+            centroids=np.zeros((2, 6)), assignments={"a": 0}, affinity=affinity
+        )
+        assert model.affinity_of("a", "stranger") == pytest.approx(affinity.mean())
+
+    def test_affinity_of_known_pair(self):
+        affinity = np.array([[0.6, 0.2], [0.2, 0.5]])
+        model = TypeModel(
+            centroids=np.zeros((2, 6)),
+            assignments={"a": 0, "b": 1},
+            affinity=affinity,
+        )
+        assert model.affinity_of("a", "b") == pytest.approx(0.2)
+        assert model.affinity_of("a", "a") == pytest.approx(0.6)
+
+    def test_classify_profile_nearest_centroid(self):
+        centroids = np.array([[1.0] + [0.0] * 5, [0.0] * 5 + [1.0]])
+        model = TypeModel(centroids=centroids, assignments={}, affinity=np.zeros((2, 2)))
+        assert model.classify_profile([0.9, 0, 0, 0, 0, 0.1]) == 0
+        assert model.classify_profile([0.1, 0, 0, 0, 0, 0.9]) == 1
+
+    def test_type_sizes(self):
+        model = TypeModel(
+            centroids=np.zeros((2, 6)),
+            assignments={"a": 0, "b": 1, "c": 1},
+            affinity=np.zeros((2, 2)),
+        )
+        assert model.type_sizes().tolist() == [1, 2]
+
+
+class TestFitUserClusters:
+    def test_recovers_planted_clusters(self):
+        rng = np.random.default_rng(0)
+        store, truth = planted_store(rng)
+        users, result, _ = fit_user_clusters(store, k=4, rng=rng)
+        assert len(users) == len(truth)
+        # Purity: each cluster dominated by one planted type.
+        confusion = np.zeros((4, 4))
+        for user, label in zip(users, result.labels):
+            confusion[label, truth[user]] += 1
+        purity = confusion.max(axis=1).sum() / confusion.sum()
+        assert purity > 0.9
+
+    def test_gap_selection_path(self):
+        rng = np.random.default_rng(1)
+        store, _ = planted_store(rng, n_per_type=10)
+        users, result, selected = fit_user_clusters(store, k=None, k_max=6, rng=rng)
+        assert selected is not None
+        assert result.k == selected
+
+    def test_too_few_users_rejected(self):
+        store = DailyProfileStore()
+        store.add("only", 0, np.ones(6))
+        with pytest.raises(ValueError):
+            fit_user_clusters(store, k=2)
+
+
+class TestAffinityMatrix:
+    def test_diagonal_dominance_from_events(self):
+        assignments = {"a": 0, "b": 0, "c": 1, "d": 1}
+        churn = churn_with(
+            [
+                (("a", "b"), 10, 9),  # same type, tight
+                (("c", "d"), 10, 8),
+                (("a", "c"), 10, 2),  # cross type, loose
+                (("b", "d"), 10, 1),
+            ]
+        )
+        matrix = type_affinity_matrix(assignments, 2, churn)
+        assert matrix[0, 0] > matrix[0, 1]
+        assert matrix[1, 1] > matrix[1, 0]
+        assert np.allclose(matrix, matrix.T)
+
+    def test_min_encounters_filters_coincidences(self):
+        assignments = {"a": 0, "b": 1}
+        churn = churn_with([(("a", "b"), 1, 1)])
+        matrix = type_affinity_matrix(assignments, 2, churn, min_encounters=2)
+        # The single coincidence is filtered; fallback (0.0) everywhere.
+        assert np.allclose(matrix, 0.0)
+
+    def test_shrinkage_caps_one_off_pairs(self):
+        assignments = {"a": 0, "b": 0}
+        churn = churn_with([(("a", "b"), 2, 2)])
+        matrix = type_affinity_matrix(assignments, 2, churn, shrinkage=1.0)
+        assert matrix[0, 0] == pytest.approx(2 / 3)
+
+    def test_unobserved_pairs_get_global_mean(self):
+        assignments = {"a": 0, "b": 0}
+        churn = churn_with([(("a", "b"), 5, 5)])
+        matrix = type_affinity_matrix(assignments, 3, churn)
+        observed = matrix[0, 0]
+        assert matrix[1, 2] == pytest.approx(observed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            type_affinity_matrix({}, 0, ChurnEvents())
+        with pytest.raises(ValueError):
+            type_affinity_matrix({}, 2, ChurnEvents(), shrinkage=-1)
+
+
+class TestFitTypeModel:
+    def test_end_to_end_on_planted_data(self):
+        rng = np.random.default_rng(3)
+        store, truth = planted_store(rng)
+        users = sorted(truth)
+        churn = churn_with(
+            [((users[0], users[1]), 6, 5), ((users[0], users[20]), 6, 1)]
+        )
+        model = fit_type_model(store, churn, k=4, rng=rng)
+        assert model.k == 4
+        assert len(model.assignments) == len(truth)
+        assert model.affinity.shape == (4, 4)
+
+    def test_trained_model_diagonal_dominant(self, small_model):
+        affinity = small_model.types.affinity
+        k = affinity.shape[0]
+        diag = affinity.diagonal().mean()
+        off = (affinity.sum() - affinity.trace()) / (k * k - k)
+        assert diag > off

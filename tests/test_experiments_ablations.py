@@ -1,0 +1,58 @@
+"""Tests for the ablation runners (SMALL scale)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.config import SMALL
+from repro.sim.timeline import MINUTE
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm(small_workload, small_model):
+    """Materialize the SMALL artifacts once."""
+
+
+class TestTerms:
+    def test_rows_and_ordering(self):
+        result = ablations.run_terms(SMALL)
+        rows = {name: values[0] for name, values in result.as_dict().items()}
+        assert set(rows) == {
+            "full", "no-type-prior", "type-prior-only", "llf-baseline",
+        }
+        assert all(0.0 <= v <= 1.0 for v in rows.values())
+        assert rows["full"] > rows["llf-baseline"]
+        assert "Ablation" in result.render()
+
+
+class TestBatching:
+    def test_batched_not_worse_than_online(self):
+        result = ablations.run_batching(SMALL)
+        rows = {name: values[0] for name, values in result.as_dict().items()}
+        assert rows["clique-batched"] >= rows["online-only"] - 0.05
+
+
+class TestThreshold:
+    def test_sweep_shape(self):
+        result = ablations.run_threshold(SMALL, thresholds=(0.3, 1.5))
+        rows = result.as_dict()
+        assert set(rows) == {0.3, 1.5}
+        assert all(0.0 <= values[0] <= 1.0 for values in rows.values())
+
+
+class TestStaleness:
+    def test_llf_degrades_more_than_s3(self):
+        result = ablations.run_staleness(
+            SMALL, poll_intervals=(1.0, 15 * MINUTE)
+        )
+        by_interval = {row[0]: (row[1], row[2]) for row in result.rows}
+        fresh_llf, fresh_s3 = by_interval[1.0]
+        stale_llf, stale_s3 = by_interval[15 * MINUTE]
+        assert (fresh_llf - stale_llf) > (fresh_s3 - stale_s3) - 0.02
+        assert stale_s3 > stale_llf
+
+
+class TestRunAll:
+    def test_combined_runner_renders_all_four(self):
+        result = ablations.run(SMALL)
+        text = result.render()
+        assert text.count("Ablation —") == 4

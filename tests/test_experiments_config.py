@@ -1,0 +1,61 @@
+"""Tests for experiment presets, workload materialization and caching."""
+
+import pytest
+
+from repro.experiments.config import PAPER, SMALL, TINY, ExperimentConfig
+from repro.experiments.workload import build_workload, trained_model
+from repro.sim.timeline import DAY
+from repro.trace.social import WorldConfig
+
+
+class TestExperimentConfig:
+    def test_presets_are_consistent(self):
+        for preset in (PAPER, SMALL, TINY):
+            assert 0 < preset.train_days < preset.n_days
+            assert preset.split_time == preset.train_days * DAY
+            assert preset.test_days >= 1
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                name="bad", world=WorldConfig(), n_days=5, train_days=5
+            )
+
+    def test_generator_config_carries_world_and_seed(self):
+        generated = SMALL.generator_config()
+        assert generated.n_days == SMALL.n_days
+        assert generated.seed == SMALL.seed
+        assert generated.world is SMALL.world
+
+    def test_with_world_override(self):
+        changed = SMALL.with_world(n_users=7)
+        assert changed.world.n_users == 7
+        assert SMALL.world.n_users != 7  # original untouched
+        assert changed.name == SMALL.name
+
+
+class TestWorkload:
+    def test_workload_cached(self, tiny_workload):
+        assert build_workload(TINY) is tiny_workload
+
+    def test_collected_trace_covers_training_period_only(self, tiny_workload):
+        split = TINY.split_time
+        assert all(s.connect < split for s in tiny_workload.collected.sessions)
+        assert all(d.arrival >= split for d in tiny_workload.test_demands)
+
+    def test_collected_has_sessions_and_flows(self, tiny_workload):
+        assert tiny_workload.collected.sessions
+        assert tiny_workload.collected.flows
+
+    def test_model_cached(self, tiny_model):
+        assert trained_model(TINY) is tiny_model
+
+    def test_replay_test_runs_strategy(self, tiny_workload):
+        from repro.wlan.strategies import LeastLoadedFirst
+
+        result = tiny_workload.replay_test(LeastLoadedFirst())
+        assert result.strategy_name == "llf"
+        assert len(result.sessions) > 0
+        # Every test demand that is not an overlapping duplicate replays.
+        assert len(result.sessions) <= len(tiny_workload.test_demands)
+        assert len(result.sessions) > 0.9 * len(tiny_workload.test_demands)

@@ -1,0 +1,48 @@
+"""Tests for the co-leaving forecast evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import forecast
+from repro.experiments.config import SMALL
+from repro.experiments.forecast import _auc
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert _auc(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_reverse_separation(self):
+        assert _auc(np.array([0.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_identical_scores_give_half(self):
+        assert _auc(np.array([1.0, 1.0]), np.array([1.0, 1.0])) == pytest.approx(0.5)
+
+    def test_interleaved(self):
+        auc = _auc(np.array([1.0, 3.0]), np.array([0.0, 2.0]))
+        assert auc == pytest.approx(0.75)
+
+    def test_empty_side_is_nan(self):
+        assert np.isnan(_auc(np.array([]), np.array([1.0])))
+
+
+class TestForecastRun:
+    @pytest.fixture(scope="class")
+    def result(self, small_workload, small_model):
+        return forecast.run(SMALL, max_negative_pairs=20_000)
+
+    def test_structure(self, result):
+        assert result.n_positive_pairs > 50
+        assert result.n_scored_pairs > result.n_positive_pairs
+        assert 0.0 <= result.precision_at_k <= 1.0
+        assert "AUC" in result.render()
+
+    def test_beats_chance(self, result):
+        assert result.auc_full > 0.6
+
+    def test_pair_history_adds_signal(self, result):
+        assert result.auc_full > result.auc_type_only
+
+    def test_precision_enriched_over_base_rate(self, result):
+        base_rate = result.n_positive_pairs / result.n_scored_pairs
+        assert result.precision_at_k > 2 * base_rate

@@ -1,0 +1,44 @@
+"""Smoke tests for the experiment runner entry point.
+
+``python -m repro.experiments tiny`` must execute every registered
+experiment end-to-end on the TINY preset — this exercises all runner
+code paths (including sweeps and the forecast) in one go.
+"""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestRunnerRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table1", "fig10", "fig11", "fig12", "forecast", "ablations",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        assert main(["tiny", "fig99"]) == 2
+
+
+class TestTinyRuns:
+    @pytest.mark.parametrize(
+        "name",
+        ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1"],
+    )
+    def test_measurement_experiments_run(self, name, capsys, tiny_workload):
+        assert main(["tiny", name]) == 0
+        output = capsys.readouterr().out
+        assert f"=== {name}" in output
+
+    def test_evaluation_experiments_run(self, capsys, tiny_workload, tiny_model):
+        assert main(["tiny", "fig12", "forecast"]) == 0
+        output = capsys.readouterr().out
+        assert "S3 gain over LLF" in output
+        assert "AUC" in output
+
+    def test_sweeps_run_on_tiny(self, capsys, tiny_workload):
+        assert main(["tiny", "fig11"]) == 0
+        output = capsys.readouterr().out
+        assert "history" in output

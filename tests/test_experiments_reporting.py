@@ -1,0 +1,72 @@
+"""Tests for reporting helpers and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import (
+    confidence_interval_95,
+    format_cdf_summary,
+    format_series,
+    format_table,
+    percent_gain,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [("alpha", 1.0), ("b", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert "1.0000" in lines[3]
+        assert "22" in lines[4]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [(1, 2)])
+
+    def test_numpy_floats_formatted(self):
+        text = format_table(["x"], [(np.float64(0.5),)])
+        assert "0.5000" in text
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series([1, 2], [0.5, 0.75], "k", "gap")
+        assert "k" in text and "gap" in text
+        assert "0.75" in text
+
+
+class TestCdfSummary:
+    def test_contains_quantiles_and_thresholds(self):
+        text = format_cdf_summary("sample", [0.1, 0.4, 0.6, 0.9], thresholds=(0.5,))
+        assert "n=4" in text
+        assert "median=" in text
+        assert "frac<0.5=0.500" in text
+
+    def test_empty_sample(self):
+        assert "empty" in format_cdf_summary("nothing", [])
+
+
+class TestStats:
+    def test_percent_gain(self):
+        assert percent_gain(1.5, 1.0) == pytest.approx(50.0)
+        assert percent_gain(0.8, 1.0) == pytest.approx(-20.0)
+        with pytest.raises(ValueError):
+            percent_gain(1.0, 0.0)
+
+    def test_confidence_interval(self):
+        mean, half = confidence_interval_95([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert half > 0
+
+    def test_single_sample_zero_width(self):
+        mean, half = confidence_interval_95([5.0])
+        assert (mean, half) == (5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval_95([])

@@ -1,0 +1,150 @@
+"""Tests for branch-and-bound max clique and the clique cover."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.clique import clique_cover, is_clique, max_clique
+from repro.graph.graph import Graph
+
+
+def graph_from_edges(edges, nodes=()):
+    g = Graph()
+    for node in nodes:
+        g.add_node(node)
+    for u, v, *w in edges:
+        g.add_edge(u, v, w[0] if w else 1.0)
+    return g
+
+
+def brute_force_max_clique_size(g):
+    nodes = g.nodes
+    for size in range(len(nodes), 0, -1):
+        for combo in itertools.combinations(nodes, size):
+            if is_clique(g, combo):
+                return size
+    return 0
+
+
+class TestIsClique:
+    def test_trivial_cases(self):
+        g = graph_from_edges([("a", "b")])
+        assert is_clique(g, [])
+        assert is_clique(g, ["a"])
+        assert is_clique(g, ["a", "b"])
+
+    def test_missing_edge(self):
+        g = graph_from_edges([("a", "b"), ("b", "c")])
+        assert not is_clique(g, ["a", "b", "c"])
+
+
+class TestMaxClique:
+    def test_empty_graph(self):
+        members, weight = max_clique(Graph())
+        assert members == []
+        assert weight == 0.0
+
+    def test_edgeless_graph_returns_single_vertex(self):
+        g = graph_from_edges([], nodes=["a", "b", "c"])
+        members, weight = max_clique(g)
+        assert len(members) == 1
+        assert weight == 0.0
+
+    def test_triangle_plus_pendant(self):
+        g = graph_from_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        members, _ = max_clique(g)
+        assert sorted(members) == ["a", "b", "c"]
+
+    def test_weight_tie_break_prefers_heavier_clique(self):
+        # Two disjoint triangles; the second has heavier edges.
+        g = graph_from_edges(
+            [
+                ("a", "b", 0.4), ("b", "c", 0.4), ("a", "c", 0.4),
+                ("x", "y", 0.9), ("y", "z", 0.9), ("x", "z", 0.9),
+            ]
+        )
+        members, weight = max_clique(g)
+        assert sorted(members) == ["x", "y", "z"]
+        assert weight == pytest.approx(2.7)
+
+    def test_complete_graph(self):
+        nodes = list(range(7))
+        g = graph_from_edges(
+            [(i, j) for i, j in itertools.combinations(nodes, 2)]
+        )
+        members, _ = max_clique(g)
+        assert sorted(members) == nodes
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=400))
+    def test_matches_brute_force_on_random_graphs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 11)
+        g = Graph()
+        for i in range(n):
+            g.add_node(i)
+        for i, j in itertools.combinations(range(n), 2):
+            if rng.random() < 0.45:
+                g.add_edge(i, j, rng.random() + 0.01)
+        members, weight = max_clique(g)
+        assert is_clique(g, members)
+        assert len(members) == brute_force_max_clique_size(g)
+        assert weight == pytest.approx(g.total_weight(members))
+
+
+class TestCliqueCover:
+    def test_cover_partitions_nodes(self):
+        g = graph_from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("d", "e")], nodes=["f"]
+        )
+        cover = clique_cover(g)
+        all_nodes = sorted(n for clique in cover for n in clique)
+        assert all_nodes == ["a", "b", "c", "d", "e", "f"]
+
+    def test_cover_cliques_are_cliques_and_disjoint(self):
+        g = graph_from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"), ("d", "e")]
+        )
+        cover = clique_cover(g)
+        seen = set()
+        for clique in cover:
+            assert is_clique(g, clique)
+            assert not (set(clique) & seen)
+            seen |= set(clique)
+
+    def test_largest_clique_extracted_first(self):
+        g = graph_from_edges(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("x", "y")]
+        )
+        cover = clique_cover(g)
+        sizes = [len(c) for c in cover.cliques]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] == 3
+
+    def test_original_graph_unmodified(self):
+        g = graph_from_edges([("a", "b")])
+        clique_cover(g)
+        assert g.n_edges() == 1
+
+    def test_max_clique_size_cap(self):
+        g = graph_from_edges(
+            [(i, j) for i, j in itertools.combinations(range(6), 2)]
+        )
+        cover = clique_cover(g, max_clique_size=2)
+        assert all(len(c) <= 2 for c in cover.cliques)
+        assert sorted(n for c in cover for n in c) == list(range(6))
+
+    def test_weights_match_graph(self):
+        g = graph_from_edges(
+            [("a", "b", 0.5), ("b", "c", 0.7), ("a", "c", 0.9)]
+        )
+        cover = clique_cover(g)
+        assert cover.weights[0] == pytest.approx(2.1)
+
+    def test_empty_graph_empty_cover(self):
+        cover = clique_cover(Graph())
+        assert len(cover) == 0
+        assert cover.nodes == set()

@@ -1,0 +1,99 @@
+"""Tests for greedy vertex coloring."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.coloring import (
+    chromatic_upper_bound,
+    color_classes,
+    greedy_coloring,
+    is_proper_coloring,
+)
+from repro.graph.graph import Graph
+
+
+def random_graph(edges, n):
+    g = Graph()
+    for i in range(n):
+        g.add_node(i)
+    for i, j in edges:
+        if i != j:
+            g.add_edge(min(i, j), max(i, j))
+    return g
+
+
+class TestGreedyColoring:
+    def test_triangle_needs_three_colors(self):
+        g = random_graph([(0, 1), (1, 2), (0, 2)], 3)
+        colors = greedy_coloring(g)
+        assert len(set(colors.values())) == 3
+        assert is_proper_coloring(g, colors)
+
+    def test_bipartite_path_two_colors(self):
+        g = random_graph([(0, 1), (1, 2), (2, 3)], 4)
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert max(colors.values()) <= 1
+
+    def test_isolated_nodes_all_color_zero(self):
+        g = random_graph([], 5)
+        colors = greedy_coloring(g)
+        assert set(colors.values()) == {0}
+
+    def test_explicit_order_respected(self):
+        g = random_graph([(0, 1)], 3)
+        colors = greedy_coloring(g, order=[2, 1, 0])
+        assert is_proper_coloring(g, colors)
+
+    def test_order_with_unknown_node_rejected(self):
+        g = random_graph([], 2)
+        with pytest.raises(KeyError):
+            greedy_coloring(g, order=[0, 1, 99])
+
+    def test_incomplete_order_rejected(self):
+        g = random_graph([], 3)
+        with pytest.raises(ValueError):
+            greedy_coloring(g, order=[0, 1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=25
+        ),
+    )
+    def test_always_proper(self, n, raw_edges):
+        edges = [(i % n, j % n) for i, j in raw_edges if i % n != j % n]
+        g = random_graph(edges, n)
+        colors = greedy_coloring(g)
+        assert is_proper_coloring(g, colors)
+
+    def test_color_count_bounds_clique_size(self):
+        # On a complete graph of 5, bound == 5.
+        g = random_graph(list(itertools.combinations(range(5), 2)), 5)
+        assert chromatic_upper_bound(g) == 5
+
+    def test_empty_graph_bound_zero(self):
+        assert chromatic_upper_bound(Graph()) == 0
+
+
+class TestColorClasses:
+    def test_partition(self):
+        classes = color_classes({"a": 0, "b": 1, "c": 0})
+        assert sorted(classes[0]) == ["a", "c"]
+        assert classes[1] == ["b"]
+
+    def test_empty(self):
+        assert color_classes({}) == []
+
+
+class TestIsProper:
+    def test_detects_violation(self):
+        g = random_graph([(0, 1)], 2)
+        assert not is_proper_coloring(g, {0: 0, 1: 0})
+
+    def test_requires_total_assignment(self):
+        g = random_graph([], 2)
+        assert not is_proper_coloring(g, {0: 0})

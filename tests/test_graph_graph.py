@@ -1,0 +1,114 @@
+"""Unit tests for the weighted undirected graph."""
+
+import pytest
+
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle():
+    g = Graph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("a", "c", 3.0)
+    return g
+
+
+class TestBuilding:
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("x")
+        g.add_node("x")
+        assert len(g) == 1
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.5)
+        assert "a" in g and "b" in g
+        assert g.weight("a", "b") == 0.5
+        assert g.weight("b", "a") == 0.5
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge("a", "a")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge("a", "b", 0.0)
+
+    def test_edge_overwrite(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 2.0)
+        assert g.weight("a", "b") == 2.0
+        assert g.n_edges() == 1
+
+
+class TestRemoval:
+    def test_remove_node_clears_incident_edges(self, triangle):
+        triangle.remove_node("a")
+        assert "a" not in triangle
+        assert triangle.n_edges() == 1
+        assert not triangle.has_edge("a", "b")
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_node("ghost")
+
+    def test_remove_nodes_bulk(self, triangle):
+        triangle.remove_nodes(["a", "b"])
+        assert triangle.nodes == ["c"]
+
+
+class TestQueries:
+    def test_neighbors_is_a_copy(self, triangle):
+        neighbors = triangle.neighbors("a")
+        neighbors["z"] = 9.0
+        assert "z" not in triangle.neighbors("a")
+
+    def test_degree(self, triangle):
+        assert triangle.degree("a") == 2
+
+    def test_edges_each_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        pairs = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(pairs) == 3
+
+    def test_weight_default(self, triangle):
+        assert triangle.weight("a", "zzz", default=-1.0) == -1.0
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight(["a", "b", "c"]) == pytest.approx(6.0)
+        assert triangle.total_weight(["a", "b"]) == pytest.approx(1.0)
+        assert triangle.total_weight(["a"]) == 0.0
+
+
+class TestTransforms:
+    def test_subgraph_induces_edges(self, triangle):
+        sub = triangle.subgraph(["a", "b"])
+        assert len(sub) == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("a", "c")
+
+    def test_subgraph_ignores_unknown_nodes(self, triangle):
+        sub = triangle.subgraph(["a", "nope"])
+        assert sub.nodes == ["a"]
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_node("a")
+        assert "a" in triangle
+        assert triangle.n_edges() == 3
+
+    def test_connected_components(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_node(5)
+        components = sorted(g.connected_components(), key=lambda c: min(c))
+        assert components == [{1, 2}, {3, 4}, {5}]
+
+    def test_repr(self, triangle):
+        assert "nodes=3" in repr(triangle)
+        assert "edges=3" in repr(triangle)

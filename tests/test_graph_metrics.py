@@ -1,0 +1,119 @@
+"""Tests for structural graph metrics."""
+
+import itertools
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.metrics import (
+    average_clustering,
+    average_degree,
+    component_sizes,
+    degree_histogram,
+    density,
+    local_clustering,
+    summarize,
+)
+
+
+def complete_graph(n):
+    g = Graph()
+    for i in range(n):
+        g.add_node(i)
+    for i, j in itertools.combinations(range(n), 2):
+        g.add_edge(i, j)
+    return g
+
+
+def path_graph(n):
+    g = Graph()
+    for i in range(n):
+        g.add_node(i)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestDensity:
+    def test_complete_graph_density_one(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_edgeless(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        assert density(g) == 0.0
+
+    def test_tiny_graphs(self):
+        assert density(Graph()) == 0.0
+        g = Graph()
+        g.add_node("only")
+        assert density(g) == 0.0
+
+
+class TestDegree:
+    def test_average_degree(self):
+        assert average_degree(path_graph(4)) == pytest.approx(1.5)
+        assert average_degree(Graph()) == 0.0
+
+    def test_histogram(self):
+        histogram = degree_histogram(path_graph(4))
+        assert histogram == {1: 2, 2: 2}
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        g = complete_graph(3)
+        assert local_clustering(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_path_has_no_triangles(self):
+        g = path_graph(5)
+        assert average_clustering(g) == 0.0
+
+    def test_low_degree_nodes_zero(self):
+        g = path_graph(2)
+        assert local_clustering(g, 0) == 0.0
+
+    def test_partial_clustering(self):
+        # A square with one diagonal: the off-diagonal corners (degree 2)
+        # see their single neighbor pair closed; the diagonal corners
+        # (degree 3) see 2 of their 3 neighbor pairs closed.
+        g = Graph()
+        for i, j in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]:
+            g.add_edge(i, j)
+        assert local_clustering(g, 1) == pytest.approx(1.0)
+        assert local_clustering(g, 0) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestComponents:
+    def test_component_sizes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        g.add_node(9)
+        assert component_sizes(g) == {2: 1, 3: 1, 1: 1}
+
+
+class TestSummarize:
+    def test_summary_mentions_all_stats(self):
+        text = summarize(complete_graph(4))
+        for token in ("nodes=4", "edges=6", "density=1.0000", "clustering=1.000"):
+            assert token in text
+
+
+class TestOnLearnedSocialGraph:
+    def test_social_graph_clusters_far_above_random(self, small_model):
+        """Group-driven social graphs are triangle-rich: the learned graph
+        must cluster far more strongly than an equally dense random graph
+        would (expected clustering ~= density)."""
+        users = sorted(small_model.types.assignments)
+        graph = small_model.social.build_graph(users, threshold=0.3)
+        if graph.n_edges() < 30:
+            pytest.skip("too few edges at SMALL scale to judge clustering")
+        clustering = average_clustering(graph)
+        assert clustering > 3 * density(graph)

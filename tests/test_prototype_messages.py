@@ -1,0 +1,67 @@
+"""Tests for the prototype frame types."""
+
+import dataclasses
+
+import pytest
+
+from repro.prototype.messages import (
+    AssocRequest,
+    AssocResponse,
+    Frame,
+    LoadReport,
+    ProbeRequest,
+    RedirectDirective,
+    SteeringQuery,
+)
+
+
+class TestFrameIdentity:
+    def test_frame_ids_unique_and_increasing(self):
+        a = ProbeRequest(src="s", dst="d", station_id="u")
+        b = ProbeRequest(src="s", dst="d", station_id="u")
+        assert a.frame_id != b.frame_id
+        assert b.frame_id > a.frame_id
+
+    def test_frames_are_immutable(self):
+        frame = ProbeRequest(src="s", dst="d", station_id="u")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            frame.src = "other"
+
+
+class TestFrameFields:
+    def test_assoc_request_carries_rssi_report(self):
+        frame = AssocRequest(
+            src="sta:u", dst="ap:a", station_id="u",
+            rssi_report=(("a", -40.0), ("b", -55.0)),
+        )
+        assert dict(frame.rssi_report)["b"] == -55.0
+
+    def test_assoc_response_redirect_semantics(self):
+        accept = AssocResponse(src="ap:a", dst="sta:u", ap_id="a", accepted=True)
+        assert accept.redirect_to is None
+        redirect = AssocResponse(
+            src="ap:a", dst="sta:u", ap_id="a", accepted=False, redirect_to="b"
+        )
+        assert not redirect.accepted
+        assert redirect.redirect_to == "b"
+
+    def test_steering_query_round_trip_fields(self):
+        query = SteeringQuery(
+            src="ap:a", dst="ctrl:c", station_id="u", via_ap="a",
+            rssi_report=(("a", -40.0),),
+        )
+        directive = RedirectDirective(
+            src="ctrl:c", dst=f"ap:{query.via_ap}",
+            station_id=query.station_id, target_ap="b",
+        )
+        assert directive.dst == "ap:a"
+        assert directive.station_id == "u"
+
+    def test_load_report_defaults(self):
+        report = LoadReport(src="ap:a", dst="ctrl:c", ap_id="a")
+        assert report.load == 0.0
+        assert report.user_count == 0
+
+    def test_all_frames_share_base(self):
+        for cls in (ProbeRequest, AssocRequest, AssocResponse, SteeringQuery):
+            assert issubclass(cls, Frame)

@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the replay engine.
+
+Random demand streams, arbitrary strategies from the built-in set —
+the engine's global invariants must hold for all of them:
+
+* every non-overlapping demand becomes exactly one session with the
+  demand's own timestamps and bytes;
+* no user ever holds two associations at once;
+* all chosen APs belong to the demand's building;
+* the run is deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.trace.records import DemandSession
+from repro.trace.social import CampusLayout
+from repro.wlan.baselines import BestHeadroom, CellBreathing
+from repro.wlan.replay import ReplayConfig, ReplayEngine
+from repro.wlan.strategies import LeastLoadedFirst, StrongestSignal
+
+LAYOUT = CampusLayout.grid(2, 3)
+BUILDINGS = sorted(LAYOUT.buildings)
+
+STRATEGIES = {
+    "llf": lambda: LeastLoadedFirst(),
+    "llf-users": lambda: LeastLoadedFirst(metric="users"),
+    "rssi": lambda: StrongestSignal(),
+    "cell-breathing": lambda: CellBreathing(),
+    "best-headroom": lambda: BestHeadroom(),
+}
+
+
+@st.composite
+def demand_streams(draw):
+    """A random list of valid, per-user non-overlapping demands."""
+    n_users = draw(st.integers(min_value=1, max_value=8))
+    demands = []
+    for u in range(n_users):
+        n_sessions = draw(st.integers(min_value=0, max_value=3))
+        cursor = 0.0
+        for _ in range(n_sessions):
+            gap = draw(st.floats(min_value=0.0, max_value=3600.0))
+            duration = draw(st.floats(min_value=60.0, max_value=7200.0))
+            arrival = cursor + gap
+            departure = arrival + duration
+            cursor = departure + 1.0
+            building = BUILDINGS[draw(st.integers(0, len(BUILDINGS) - 1))]
+            volume = draw(st.floats(min_value=0.0, max_value=1e8))
+            demands.append(
+                DemandSession(
+                    f"u{u}", building, arrival, departure, (volume / 6,) * 6
+                )
+            )
+    return demands
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(demand_streams(), st.sampled_from(sorted(STRATEGIES)))
+def test_replay_invariants(demands, strategy_name):
+    engine = ReplayEngine(LAYOUT, STRATEGIES[strategy_name]())
+    result = engine.run(demands)
+
+    # One session per demand (streams are per-user non-overlapping).
+    assert len(result.sessions) == len(demands)
+
+    by_demand = {(d.user_id, d.arrival): d for d in demands}
+    for session in result.sessions:
+        demand = by_demand[(session.user_id, session.connect)]
+        assert session.disconnect == demand.departure
+        assert session.bytes_total == pytest.approx(demand.bytes_total)
+        # AP belongs to the demand's building.
+        assert LAYOUT.aps[session.ap_id].building_id == demand.building_id
+
+    # No simultaneous associations per user.
+    per_user = {}
+    for session in result.sessions:
+        per_user.setdefault(session.user_id, []).append(session)
+    for sessions in per_user.values():
+        sessions.sort(key=lambda s: s.connect)
+        for a, b in zip(sessions, sessions[1:]):
+            assert a.disconnect <= b.connect + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(demand_streams())
+def test_replay_deterministic(demands):
+    first = ReplayEngine(LAYOUT, LeastLoadedFirst()).run(demands)
+    second = ReplayEngine(LAYOUT, LeastLoadedFirst()).run(demands)
+    assert [(s.user_id, s.ap_id, s.connect) for s in first.sessions] == [
+        (s.user_id, s.ap_id, s.connect) for s in second.sessions
+    ]
+
+
+@settings(max_examples=10, deadline=None)
+@given(demand_streams(), st.floats(min_value=0.0, max_value=600.0))
+def test_batch_window_never_loses_sessions(demands, batch_window):
+    config = ReplayConfig(batch_window=batch_window)
+    result = ReplayEngine(LAYOUT, LeastLoadedFirst(), config).run(demands)
+    assert len(result.sessions) == len(demands)

@@ -1,0 +1,166 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Event, EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        for _ in range(3):
+            queue.pop().action()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_time_orders_by_priority_then_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("late"), priority=5)
+        queue.push(1.0, lambda: order.append("first"), priority=0)
+        queue.push(1.0, lambda: order.append("second"), priority=0)
+        for _ in range(3):
+            queue.pop().action()
+        assert order == ["first", "second", "late"]
+
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_pop_skips_cancelled_events(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None, name="doomed")
+        queue.push(2.0, lambda: None, name="kept")
+        first.cancel()
+        assert queue.pop().name == "kept"
+
+    def test_pop_empty_raises(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.pop()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_double_cancel_raises(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        with pytest.raises(SimulationError):
+            event.cancel()
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.schedule(10.0, lambda: seen.append(sim.now))
+        sim.run_until_empty()
+        assert seen == [5.0, 10.0]
+        assert sim.now == 10.0
+
+    def test_run_until_advances_clock_to_horizon(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        final = sim.run(until=100.0)
+        assert final == 100.0
+        assert sim.now == 100.0
+
+    def test_run_until_leaves_future_events_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50.0, lambda: fired.append(1))
+        sim.run(until=10.0)
+        assert fired == []
+        assert sim.pending == 1
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator(start_time=100.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(50.0, lambda: None)
+
+    def test_schedule_after_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule_after(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_until_empty()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_every_fires_periodically_until_stopped(self):
+        sim = Simulator()
+        ticks = []
+        stop = sim.every(10.0, lambda: ticks.append(sim.now), start=10.0)
+        sim.run(until=35.0)
+        stop()
+        sim.schedule(50.0, lambda: None)
+        sim.run(until=60.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_every_rejects_non_positive_interval(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+    def test_stop_exits_run_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until_empty()
+        assert fired == [1]
+        assert sim.pending == 1
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run_until_empty()
+        assert len(errors) == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run_until_empty()
+        assert sim.events_processed == 3
+
+    def test_priority_orders_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("arrival"), priority=1)
+        sim.schedule(1.0, lambda: order.append("departure"), priority=0)
+        sim.run_until_empty()
+        assert order == ["departure", "arrival"]

@@ -1,0 +1,60 @@
+"""Unit tests for the named random-stream factory."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(seed=1)
+        assert streams.get("traffic") is streams.get("traffic")
+
+    def test_different_names_give_independent_draws(self):
+        streams = RandomStreams(seed=1)
+        a = streams.get("a").random(8)
+        b = streams.get("b").random(8)
+        assert not np.allclose(a, b)
+
+    def test_same_seed_reproduces_streams(self):
+        first = RandomStreams(seed=42).get("x").random(16)
+        second = RandomStreams(seed=42).get("x").random(16)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = RandomStreams(seed=1).get("x").random(16)
+        second = RandomStreams(seed=2).get("x").random(16)
+        assert not np.array_equal(first, second)
+
+    def test_adding_consumer_does_not_shift_existing_stream(self):
+        # The composition-insensitivity property: draws from "x" must be
+        # identical whether or not someone else consumed "y" first.
+        plain = RandomStreams(seed=9)
+        draws_without = plain.get("x").random(8)
+        mixed = RandomStreams(seed=9)
+        mixed.get("y").random(100)
+        draws_with = mixed.get("x").random(8)
+        assert np.array_equal(draws_without, draws_with)
+
+    def test_child_factories_are_deterministic(self):
+        a = RandomStreams(seed=5).child("building-1").get("s").random(4)
+        b = RandomStreams(seed=5).child("building-1").get("s").random(4)
+        assert np.array_equal(a, b)
+
+    def test_child_factories_differ_by_name(self):
+        root = RandomStreams(seed=5)
+        a = root.child("building-1").get("s").random(4)
+        b = root.child("building-2").get("s").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_reset_rederives_identical_streams(self):
+        streams = RandomStreams(seed=3)
+        first = streams.get("x").random(4)
+        streams.reset()
+        second = streams.get("x").random(4)
+        assert np.array_equal(first, second)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams(seed="abc")  # type: ignore[arg-type]

@@ -1,0 +1,144 @@
+"""Unit and property tests for calendar arithmetic and Timeline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.timeline import (
+    DAY,
+    HOUR,
+    MINUTE,
+    Timeline,
+    day_index,
+    format_clock,
+    hour_of_day,
+    in_departure_peak,
+    is_peak_hour,
+    is_workday,
+    minute_of_day,
+    seconds_of_day,
+    weekday,
+    workday_timelines,
+)
+
+
+class TestConversions:
+    def test_day_index(self):
+        assert day_index(0.0) == 0
+        assert day_index(DAY - 1) == 0
+        assert day_index(DAY) == 1
+
+    def test_hour_of_day(self):
+        assert hour_of_day(0.0) == 0
+        assert hour_of_day(13 * HOUR + 5) == 13
+        assert hour_of_day(DAY + 2 * HOUR) == 2
+
+    def test_minute_of_day(self):
+        assert minute_of_day(90 * MINUTE) == 90
+
+    def test_weekday_cycles_from_monday(self):
+        assert weekday(0.0) == 0  # Monday
+        assert weekday(5 * DAY) == 5  # Saturday
+        assert weekday(7 * DAY) == 0
+
+    def test_is_workday(self):
+        assert is_workday(0.0)
+        assert is_workday(4 * DAY)
+        assert not is_workday(5 * DAY)
+        assert not is_workday(6 * DAY)
+
+    def test_peak_hours_match_paper(self):
+        assert is_peak_hour(10 * HOUR + 30 * MINUTE)
+        assert is_peak_hour(15 * HOUR)
+        assert not is_peak_hour(12 * HOUR)
+
+    def test_departure_peaks_match_paper(self):
+        assert in_departure_peak(12 * HOUR + 30 * MINUTE)
+        assert in_departure_peak(17 * HOUR + 45 * MINUTE)
+        assert in_departure_peak(21 * HOUR + 1)
+        assert not in_departure_peak(18 * HOUR)
+        assert not in_departure_peak(9 * HOUR)
+
+    def test_format_clock(self):
+        assert format_clock(0.0) == "day0 00:00:00"
+        assert format_clock(DAY + 13 * HOUR + 5 * MINUTE + 7) == "day1 13:05:07"
+
+    @given(st.floats(min_value=0, max_value=1000 * DAY, allow_nan=False))
+    def test_seconds_of_day_in_range(self, t):
+        assert 0 <= seconds_of_day(t) < DAY
+
+
+class TestTimeline:
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(5.0, 5.0)
+
+    def test_windows_cover_span_exactly(self):
+        span = Timeline(0.0, 10.0)
+        windows = list(span.windows(3.0))
+        assert windows[0] == (0.0, 3.0)
+        assert windows[-1] == (9.0, 10.0)
+        assert sum(hi - lo for lo, hi in windows) == pytest.approx(10.0)
+
+    def test_windows_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            list(Timeline(0.0, 1.0).windows(0.0))
+
+    def test_subdivide(self):
+        parts = Timeline(0.0, 12.0).subdivide(4)
+        assert len(parts) == 4
+        assert parts[0].start == 0.0
+        assert parts[-1].end == pytest.approx(12.0)
+
+    def test_days_iterates_calendar_days(self):
+        span = Timeline(0.5 * DAY, 2.5 * DAY)
+        days = list(span.days())
+        assert len(days) == 3
+        assert days[0].start == 0.5 * DAY
+        assert days[0].end == DAY
+        assert days[-1].end == 2.5 * DAY
+
+    def test_hours_iterates_clock_hours(self):
+        span = Timeline(1.5 * HOUR, 3.25 * HOUR)
+        hours = list(span.hours())
+        assert len(hours) == 3
+        assert hours[0].start == 1.5 * HOUR
+        assert hours[1] == Timeline(2 * HOUR, 3 * HOUR)
+
+    def test_contains_and_clamp(self):
+        span = Timeline(10.0, 20.0)
+        assert span.contains(10.0)
+        assert not span.contains(20.0)
+        assert span.clamp(5.0) == 10.0
+        assert span.clamp(25.0) == 20.0
+
+    def test_overlap(self):
+        span = Timeline(10.0, 20.0)
+        assert span.overlap(0.0, 15.0) == 5.0
+        assert span.overlap(15.0, 30.0) == 5.0
+        assert span.overlap(30.0, 40.0) == 0.0
+
+    def test_for_day_and_for_days(self):
+        assert Timeline.for_day(2) == Timeline(2 * DAY, 3 * DAY)
+        assert Timeline.for_days(1, 3) == Timeline(DAY, 4 * DAY)
+        with pytest.raises(ValueError):
+            Timeline.for_days(0, 0)
+
+    def test_workday_timelines_skips_weekends(self):
+        span = Timeline.for_days(0, 7)
+        days = workday_timelines(span)
+        assert len(days) == 5
+        assert all(is_workday(d.start) for d in days)
+
+    @given(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0.1, max_value=50, allow_nan=False),
+        st.floats(min_value=0.1, max_value=7, allow_nan=False),
+    )
+    def test_windows_partition_property(self, start, length, width):
+        span = Timeline(start, start + length)
+        windows = list(span.windows(width))
+        # consecutive, gap-free, covering the span
+        assert windows[0][0] == span.start
+        assert windows[-1][1] == pytest.approx(span.end)
+        for (lo1, hi1), (lo2, hi2) in zip(windows, windows[1:]):
+            assert hi1 == pytest.approx(lo2)

@@ -1,0 +1,62 @@
+"""Tests for SHA pseudonymization."""
+
+import pytest
+
+from repro.trace.anonymize import (
+    anonymize_user_id,
+    build_pseudonym_table,
+    pseudonymize_bundle,
+)
+from repro.trace.records import DemandSession, FlowRecord, SessionRecord, TraceBundle
+
+
+class TestAnonymize:
+    def test_deterministic(self):
+        assert anonymize_user_id("u1") == anonymize_user_id("u1")
+
+    def test_salt_changes_pseudonym(self):
+        assert anonymize_user_id("u1", salt="a") != anonymize_user_id("u1", salt="b")
+
+    def test_pseudonym_is_16_hex_chars(self):
+        pseudonym = anonymize_user_id("someone")
+        assert len(pseudonym) == 16
+        int(pseudonym, 16)  # parses as hex
+
+    def test_distinct_users_get_distinct_pseudonyms(self):
+        ids = [f"u{i}" for i in range(500)]
+        table = build_pseudonym_table(ids)
+        assert len(set(table.values())) == len(ids)
+
+    def test_bundle_pseudonymization_is_consistent_across_families(self):
+        sessions = [SessionRecord("alice", "ap1", "c1", 0.0, 10.0, 5.0)]
+        flows = [
+            FlowRecord("alice", 0.0, 1.0, "10.0.0.1", "8.8.8.8", "tcp", 40000, 80, 1.0)
+        ]
+        demands = [DemandSession("alice", "B00", 0.0, 10.0, (1.0,) * 6)]
+        bundle = TraceBundle(sessions=sessions, flows=flows, demands=demands)
+        anonymous = pseudonymize_bundle(bundle)
+        pseudonyms = {
+            anonymous.sessions[0].user_id,
+            anonymous.flows[0].user_id,
+            anonymous.demands[0].user_id,
+        }
+        assert len(pseudonyms) == 1
+        assert "alice" not in pseudonyms
+
+    def test_bundle_structure_preserved(self):
+        sessions = [
+            SessionRecord("a", "ap1", "c1", 0.0, 10.0, 5.0),
+            SessionRecord("b", "ap1", "c1", 2.0, 12.0, 7.0),
+        ]
+        bundle = TraceBundle(sessions=sessions)
+        anonymous = pseudonymize_bundle(bundle)
+        assert len(anonymous.sessions) == 2
+        assert anonymous.sessions[0].connect == 0.0
+        assert anonymous.sessions[0].bytes_total == 5.0
+        # Distinct users stay distinct.
+        assert anonymous.sessions[0].user_id != anonymous.sessions[1].user_id
+
+    def test_original_bundle_untouched(self):
+        bundle = TraceBundle(sessions=[SessionRecord("a", "ap1", "c1", 0.0, 1.0, 0.0)])
+        pseudonymize_bundle(bundle)
+        assert bundle.sessions[0].user_id == "a"

@@ -1,0 +1,81 @@
+"""Unit tests for the port-heuristic application classifier."""
+
+import pytest
+
+from repro.trace.apps import APPLICATIONS, AppRealm
+from repro.trace.classifier import PortClassifier
+from repro.trace.records import FlowRecord
+
+
+def make_flow(proto="tcp", sport=45000, dport=80, size=100.0):
+    return FlowRecord("u1", 0.0, 1.0, "10.0.0.1", "9.9.9.9", proto, sport, dport, size)
+
+
+class TestPortClassifier:
+    def test_table_lookup_identifies_every_known_application(self):
+        classifier = PortClassifier()
+        for app in APPLICATIONS:
+            for port in app.ports:
+                flow = make_flow(proto=app.protocol, dport=port)
+                assert classifier.classify(flow) == app.realm, app.name
+
+    def test_high_port_pair_heuristic_maps_to_p2p(self):
+        classifier = PortClassifier()
+        flow = make_flow(sport=50123, dport=51234)
+        assert classifier.classify(flow) == AppRealm.P2P
+
+    def test_low_unknown_tcp_port_falls_back_to_web(self):
+        classifier = PortClassifier()
+        flow = make_flow(sport=44000, dport=563)  # not in table, < 1024
+        assert classifier.classify(flow) == AppRealm.WEB
+
+    def test_unknown_udp_mid_port_unclassified(self):
+        classifier = PortClassifier()
+        flow = make_flow(proto="udp", sport=44000, dport=5000)
+        assert classifier.classify(flow) is None
+
+    def test_table_takes_precedence_over_heuristics(self):
+        # xunlei is tcp/15000 — both ports ephemeral-range, but the table
+        # already knows it is P2P; the answer must come from the table.
+        classifier = PortClassifier()
+        flow = make_flow(sport=50000, dport=15000)
+        assert classifier.classify(flow) == AppRealm.P2P
+
+    def test_realm_volumes_accumulate_per_realm(self):
+        classifier = PortClassifier()
+        flows = [
+            make_flow(dport=80, size=100.0),
+            make_flow(dport=443, size=50.0),
+            make_flow(dport=1935, size=30.0),  # rtmp -> video
+        ]
+        volumes = classifier.realm_volumes(flows)
+        assert volumes[AppRealm.WEB] == pytest.approx(150.0)
+        assert volumes[AppRealm.VIDEO] == pytest.approx(30.0)
+        assert volumes.sum() == pytest.approx(180.0)
+
+    def test_realm_volumes_ignore_unclassified(self):
+        classifier = PortClassifier()
+        flows = [make_flow(proto="udp", dport=5000, size=999.0)]
+        assert classifier.realm_volumes(flows).sum() == 0.0
+
+    def test_coverage_metric(self):
+        classifier = PortClassifier()
+        classified = make_flow(dport=80, size=75.0)
+        unknown = make_flow(proto="udp", dport=5000, size=25.0)
+        assert classifier.coverage([classified, unknown]) == pytest.approx(0.75)
+
+    def test_coverage_of_empty_is_one(self):
+        assert PortClassifier().coverage([]) == 1.0
+
+    def test_classify_all_preserves_order(self):
+        classifier = PortClassifier()
+        flows = [make_flow(dport=80), make_flow(dport=1935)]
+        labels = [realm for _, realm in classifier.classify_all(flows)]
+        assert labels == [AppRealm.WEB, AppRealm.VIDEO]
+
+    def test_generated_trace_fully_classifiable(self, tiny_workload):
+        # The generator emits ports from the shared table, so the
+        # classifier must attribute essentially all bytes.
+        classifier = PortClassifier()
+        coverage = classifier.coverage(tiny_workload.bundle.flows)
+        assert coverage > 0.999

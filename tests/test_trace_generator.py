@@ -1,0 +1,173 @@
+"""Tests of the synthetic trace generator's statistical guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.sim.timeline import DAY, HOUR, MINUTE, weekday
+from repro.trace.generator import GeneratorConfig, TraceGenerator, generate_trace
+from repro.trace.social import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def gen_output():
+    config = GeneratorConfig(
+        world=WorldConfig(
+            n_buildings=2, aps_per_building=3, n_users=60, n_groups=10
+        ),
+        n_days=10,
+        seed=99,
+    )
+    world, bundle = generate_trace(config)
+    return config, world, bundle
+
+
+class TestGeneratorBasics:
+    def test_emits_demands_and_flows_only(self, gen_output):
+        _, _, bundle = gen_output
+        assert len(bundle.demands) > 0
+        assert len(bundle.flows) > 0
+        assert len(bundle.sessions) == 0  # sessions require a strategy replay
+
+    def test_demands_within_calendar(self, gen_output):
+        config, _, bundle = gen_output
+        horizon = config.n_days * DAY
+        for demand in bundle.demands:
+            assert 0 <= demand.arrival < horizon
+            assert demand.departure <= horizon
+
+    def test_no_overlapping_demands_per_user(self, gen_output):
+        _, _, bundle = gen_output
+        by_user = {}
+        for demand in bundle.demands:
+            by_user.setdefault(demand.user_id, []).append(demand)
+        for demands in by_user.values():
+            demands.sort(key=lambda d: d.arrival)
+            for a, b in zip(demands, demands[1:]):
+                assert a.departure <= b.arrival + 1e-9
+
+    def test_buildings_are_valid(self, gen_output):
+        _, world, bundle = gen_output
+        for demand in bundle.demands:
+            assert demand.building_id in world.layout.buildings
+
+    def test_determinism(self):
+        config = GeneratorConfig(
+            world=WorldConfig(n_buildings=1, aps_per_building=2, n_users=20, n_groups=4),
+            n_days=3,
+            seed=5,
+        )
+        _, bundle_a = generate_trace(config)
+        _, bundle_b = generate_trace(config)
+        assert len(bundle_a.demands) == len(bundle_b.demands)
+        for a, b in zip(bundle_a.demands, bundle_b.demands):
+            assert a.user_id == b.user_id
+            assert a.arrival == pytest.approx(b.arrival)
+            assert a.realm_bytes == pytest.approx(b.realm_bytes)
+
+    def test_flows_lie_within_their_demand(self, gen_output):
+        _, _, bundle = gen_output
+        demand_spans = {}
+        for demand in bundle.demands:
+            demand_spans.setdefault(demand.user_id, []).append(
+                (demand.arrival, demand.departure)
+            )
+        for flow in bundle.flows[:500]:
+            spans = demand_spans[flow.user_id]
+            assert any(
+                lo - 1e-6 <= flow.start and flow.end <= hi + 1e-6 for lo, hi in spans
+            )
+
+    def test_flow_bytes_match_demand_bytes(self, gen_output):
+        _, _, bundle = gen_output
+        demand_total = sum(d.bytes_total for d in bundle.demands)
+        flow_total = sum(f.bytes_total for f in bundle.flows)
+        assert flow_total == pytest.approx(demand_total, rel=1e-6)
+
+
+def slot_instances(bundle, min_size):
+    """Group demands into (group, slot-instance) clusters by splitting each
+    group's departure sequence at gaps larger than 30 minutes."""
+    by_group = {}
+    for demand in bundle.demands:
+        if demand.group_id is not None:
+            by_group.setdefault(demand.group_id, []).append(demand)
+    instances = []
+    for demands in by_group.values():
+        demands.sort(key=lambda d: d.departure)
+        cluster = [demands[0]]
+        for demand in demands[1:]:
+            if demand.departure - cluster[-1].departure > 30 * MINUTE:
+                if len(cluster) >= min_size:
+                    instances.append(cluster)
+                cluster = []
+            cluster.append(demand)
+        if len(cluster) >= min_size:
+            instances.append(cluster)
+    return instances
+
+
+class TestSocialStructure:
+    def test_group_attendances_share_building_and_times(self, gen_output):
+        _, world, bundle = gen_output
+        multi = slot_instances(bundle, min_size=3)
+        assert multi, "expected group attendances with several members"
+        for attendances in multi:
+            buildings = {d.building_id for d in attendances}
+            assert len(buildings) == 1
+            departures = np.array([d.departure for d in attendances])
+            # co-leaving: departures cluster within minutes
+            assert departures.std() < 5 * MINUTE
+
+    def test_group_departures_tighter_than_arrivals(self, gen_output):
+        _, world, bundle = gen_output
+        arrival_spreads, departure_spreads = [], []
+        for attendances in slot_instances(bundle, min_size=4):
+            arrival_spreads.append(np.std([d.arrival for d in attendances]))
+            departure_spreads.append(np.std([d.departure for d in attendances]))
+        assert np.mean(departure_spreads) < np.mean(arrival_spreads)
+
+    def test_weekends_quieter_than_workdays(self, gen_output):
+        config, _, bundle = gen_output
+        workday_counts, weekend_counts = [], []
+        for day in range(config.n_days):
+            count = sum(1 for d in bundle.demands if int(d.arrival // DAY) == day)
+            (workday_counts if weekday(day * DAY) < 5 else weekend_counts).append(count)
+        assert np.mean(weekend_counts) < np.mean(workday_counts)
+
+    def test_solo_sessions_exist(self, gen_output):
+        _, _, bundle = gen_output
+        solo = [d for d in bundle.demands if d.group_id is None]
+        assert len(solo) > 0
+
+    def test_type_interest_shows_in_traffic(self, gen_output):
+        _, world, bundle = gen_output
+        # Per planted type, aggregate realm volumes; dominant realms differ.
+        totals = np.zeros((len(world.type_profiles), 6))
+        for demand in bundle.demands:
+            type_index = world.users[demand.user_id].type_index
+            totals[type_index] += demand.realm_vector()
+        dominants = {int(np.argmax(row)) for row in totals}
+        assert len(dominants) >= 3
+
+
+class TestGeneratorConfig:
+    def test_rejects_bad_days(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_days=0)
+
+    def test_rejects_bad_absent_probability(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(absent_probability=1.0)
+
+    def test_generate_day_is_sorted(self):
+        config = GeneratorConfig(
+            world=WorldConfig(n_buildings=1, aps_per_building=2, n_users=20, n_groups=4),
+            n_days=2,
+        )
+        streams = RandomStreams(config.seed)
+        world = build_world(config.world, streams)
+        generator = TraceGenerator(world, config, streams=streams)
+        day = generator.generate_day(0)
+        arrivals = [d.arrival for d in day]
+        assert arrivals == sorted(arrivals)

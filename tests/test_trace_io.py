@@ -1,0 +1,82 @@
+"""Round-trip tests for trace CSV persistence."""
+
+import pytest
+
+from repro.trace.io import (
+    load_bundle,
+    read_demands,
+    read_flows,
+    read_sessions,
+    save_bundle,
+    write_demands,
+    write_flows,
+    write_sessions,
+)
+from repro.trace.records import DemandSession, FlowRecord, SessionRecord, TraceBundle
+
+
+@pytest.fixture
+def sample_bundle():
+    sessions = [
+        SessionRecord("u1", "ap1", "c1", 0.0, 100.5, 1234.5),
+        SessionRecord("u2", "ap2", "c1", 50.25, 200.0, 0.0),
+    ]
+    flows = [
+        FlowRecord("u1", 1.0, 2.0, "10.0.0.1", "8.8.8.8", "tcp", 40000, 443, 99.5),
+        FlowRecord("u2", 3.5, 9.0, "10.0.0.2", "1.1.1.1", "udp", 50000, 8000, 7.25),
+    ]
+    demands = [
+        DemandSession("u1", "B00", 0.0, 100.5, (1.0, 2.0, 3.0, 4.0, 5.0, 6.0), "g001"),
+        DemandSession("u2", "B01", 50.25, 200.0, (0.0,) * 6, None),
+    ]
+    return TraceBundle(sessions=sessions, flows=flows, demands=demands)
+
+
+class TestRoundTrips:
+    def test_sessions_round_trip_exactly(self, tmp_path, sample_bundle):
+        path = tmp_path / "sessions.csv"
+        count = write_sessions(path, sample_bundle.sessions)
+        assert count == 2
+        loaded = read_sessions(path)
+        assert loaded == sample_bundle.sessions
+
+    def test_flows_round_trip_exactly(self, tmp_path, sample_bundle):
+        path = tmp_path / "flows.csv"
+        write_flows(path, sample_bundle.flows)
+        assert read_flows(path) == sample_bundle.flows
+
+    def test_demands_round_trip_exactly(self, tmp_path, sample_bundle):
+        path = tmp_path / "demands.csv"
+        write_demands(path, sample_bundle.demands)
+        loaded = read_demands(path)
+        assert loaded == sample_bundle.demands
+        assert loaded[1].group_id is None  # empty cell -> None
+
+    def test_bundle_round_trip(self, tmp_path, sample_bundle):
+        save_bundle(tmp_path / "trace", sample_bundle)
+        loaded = load_bundle(tmp_path / "trace")
+        assert loaded.sessions == sample_bundle.sessions
+        assert loaded.flows == sample_bundle.flows
+        assert loaded.demands == sample_bundle.demands
+
+    def test_load_bundle_tolerates_missing_files(self, tmp_path, sample_bundle):
+        directory = tmp_path / "partial"
+        directory.mkdir()
+        write_demands(directory / "demands.csv", sample_bundle.demands)
+        loaded = load_bundle(directory)
+        assert loaded.sessions == []
+        assert len(loaded.demands) == 2
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,session,header\n1,2,3,4\n")
+        with pytest.raises(ValueError):
+            read_sessions(path)
+
+    def test_generated_trace_round_trips(self, tmp_path, tiny_workload):
+        directory = tmp_path / "tiny"
+        save_bundle(directory, tiny_workload.collected)
+        loaded = load_bundle(directory)
+        assert len(loaded.sessions) == len(tiny_workload.collected.sessions)
+        assert len(loaded.flows) == len(tiny_workload.collected.flows)
+        assert loaded.sessions[0] == tiny_workload.collected.sessions[0]

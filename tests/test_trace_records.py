@@ -1,0 +1,151 @@
+"""Unit and property tests for trace records and TraceBundle."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.records import (
+    DemandSession,
+    FlowRecord,
+    SessionRecord,
+    TraceBundle,
+)
+
+
+def make_session(user="u1", ap="ap1", ctrl="c1", t0=0.0, t1=100.0, size=1000.0):
+    return SessionRecord(user, ap, ctrl, t0, t1, size)
+
+
+def make_flow(user="u1", t0=0.0, t1=10.0, dport=80, proto="tcp", size=500.0):
+    return FlowRecord(user, t0, t1, "10.0.0.1", "1.2.3.4", proto, 40000, dport, size)
+
+
+def make_demand(user="u1", building="B00", t0=0.0, t1=100.0, volume=600.0):
+    return DemandSession(user, building, t0, t1, tuple([volume / 6] * 6))
+
+
+class TestSessionRecord:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            make_session(t0=10.0, t1=5.0)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(ValueError):
+            make_session(size=-1.0)
+
+    def test_mean_rate(self):
+        session = make_session(t0=0.0, t1=100.0, size=1000.0)
+        assert session.mean_rate == pytest.approx(10.0)
+
+    def test_mean_rate_of_zero_length_session(self):
+        assert make_session(t0=5.0, t1=5.0, size=0.0).mean_rate == 0.0
+
+    def test_overlap(self):
+        session = make_session(t0=10.0, t1=20.0)
+        assert session.overlap(0.0, 15.0) == 5.0
+        assert session.overlap(12.0, 18.0) == 6.0
+        assert session.overlap(25.0, 30.0) == 0.0
+
+    def test_bytes_in_is_proportional(self):
+        session = make_session(t0=0.0, t1=100.0, size=1000.0)
+        assert session.bytes_in(0.0, 50.0) == pytest.approx(500.0)
+        assert session.bytes_in(0.0, 100.0) == pytest.approx(1000.0)
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_bytes_in_never_exceeds_total(self, lo, hi):
+        session = make_session(t0=20.0, t1=80.0, size=600.0)
+        if hi <= lo:
+            return
+        assert 0.0 <= session.bytes_in(lo, hi) <= 600.0 + 1e-9
+
+
+class TestFlowRecord:
+    def test_rejects_bad_protocol(self):
+        with pytest.raises(ValueError):
+            make_flow(proto="icmp")
+
+    def test_rejects_port_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_flow(dport=0)
+        with pytest.raises(ValueError):
+            make_flow(dport=70000)
+
+    def test_rejects_backwards_time(self):
+        with pytest.raises(ValueError):
+            make_flow(t0=5.0, t1=1.0)
+
+
+class TestDemandSession:
+    def test_rejects_wrong_realm_count(self):
+        with pytest.raises(ValueError):
+            DemandSession("u", "B", 0.0, 1.0, (1.0, 2.0))
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ValueError):
+            DemandSession("u", "B", 0.0, 1.0, (1.0, -1.0, 0, 0, 0, 0))
+
+    def test_totals(self):
+        demand = make_demand(volume=600.0)
+        assert demand.bytes_total == pytest.approx(600.0)
+        assert demand.mean_rate == pytest.approx(6.0)
+        assert demand.realm_vector().sum() == pytest.approx(600.0)
+
+
+class TestTraceBundle:
+    def test_sessions_sorted_by_connect(self):
+        bundle = TraceBundle(
+            sessions=[make_session(t0=50.0, t1=60.0), make_session(t0=1.0, t1=2.0)]
+        )
+        assert bundle.sessions[0].connect == 1.0
+
+    def test_user_ids_unions_all_families(self):
+        bundle = TraceBundle(
+            sessions=[make_session(user="a")],
+            flows=[make_flow(user="b")],
+            demands=[make_demand(user="c")],
+        )
+        assert bundle.user_ids == ["a", "b", "c"]
+
+    def test_indices_group_correctly(self):
+        bundle = TraceBundle(
+            sessions=[make_session(user="a"), make_session(user="b"), make_session(user="a", t0=200.0, t1=300.0)]
+        )
+        by_user = bundle.sessions_by_user()
+        assert len(by_user["a"]) == 2
+        assert len(by_user["b"]) == 1
+        assert set(bundle.sessions_by_ap()) == {"ap1"}
+
+    def test_sessions_in_window(self):
+        bundle = TraceBundle(
+            sessions=[
+                make_session(t0=0.0, t1=10.0),
+                make_session(t0=20.0, t1=30.0),
+            ]
+        )
+        assert len(bundle.sessions_in(5.0, 15.0)) == 1
+        assert len(bundle.sessions_in(0.0, 100.0)) == 2
+        assert len(bundle.sessions_in(10.0, 20.0)) == 0  # half-open edges
+
+    def test_restrict_filters_all_families(self):
+        bundle = TraceBundle(
+            sessions=[make_session(t0=0.0, t1=10.0), make_session(t0=50.0, t1=70.0)],
+            flows=[make_flow(t0=1.0, t1=2.0), make_flow(t0=60.0, t1=61.0)],
+            demands=[make_demand(t0=0.0, t1=5.0), make_demand(t0=55.0, t1=65.0)],
+        )
+        early = bundle.restrict(0.0, 20.0)
+        assert len(early.sessions) == 1
+        assert len(early.flows) == 1
+        assert len(early.demands) == 1
+
+    def test_merged_with(self):
+        a = TraceBundle(sessions=[make_session(user="a")])
+        b = TraceBundle(sessions=[make_session(user="b")])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert len(a) == 1  # originals untouched
+
+    def test_repr_mentions_counts(self):
+        bundle = TraceBundle(sessions=[make_session()])
+        assert "sessions=1" in repr(bundle)

@@ -1,0 +1,84 @@
+"""Tests for the related-work baseline strategies."""
+
+import pytest
+
+from repro.core.selection import APState
+from repro.wlan.baselines import BestHeadroom, CellBreathing
+
+
+def aps(*specs):
+    return [
+        APState(ap_id=name, bandwidth=bw, load=load, users=tuple(users))
+        for name, bw, load, users in specs
+    ]
+
+
+class TestCellBreathing:
+    def test_zero_gain_is_strongest_signal(self):
+        strategy = CellBreathing(gain_db=0.0)
+        states = aps(("a", 1e6, 1000.0, []), ("b", 1e6, 0.0, []))
+        choice = strategy.select("u", states, rssi={"a": -40.0, "b": -60.0})
+        assert choice == "a"
+
+    def test_overloaded_cell_shrinks(self):
+        strategy = CellBreathing(gain_db=30.0)
+        # a is much stronger but heavily loaded; b idle.
+        states = aps(("a", 1e6, 2000.0, []), ("b", 1e6, 0.0, []))
+        choice = strategy.select("u", states, rssi={"a": -50.0, "b": -60.0})
+        assert choice == "b"
+
+    def test_bias_clamped(self):
+        strategy = CellBreathing(gain_db=100.0, max_bias_db=5.0)
+        states = aps(("a", 1e6, 2000.0, []), ("b", 1e6, 0.0, []))
+        # 5 dB max bias cannot overcome a 20 dB signal advantage.
+        choice = strategy.select("u", states, rssi={"a": -40.0, "b": -60.0})
+        assert choice == "a"
+
+    def test_idle_domain_falls_back_to_signal(self):
+        strategy = CellBreathing()
+        states = aps(("a", 1e6, 0.0, []), ("b", 1e6, 0.0, []))
+        assert strategy.select("u", states, rssi={"a": -40.0, "b": -70.0}) == "a"
+
+    def test_without_rssi_balances_by_load(self):
+        strategy = CellBreathing()
+        states = aps(("a", 1e6, 2000.0, []), ("b", 1e6, 0.0, []))
+        assert strategy.select("u", states) == "b"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellBreathing(gain_db=-1.0)
+        with pytest.raises(ValueError):
+            CellBreathing().select("u", [])
+
+
+class TestBestHeadroom:
+    def test_prefers_largest_per_user_share(self):
+        states = aps(
+            ("a", 100.0, 50.0, ["x"]),  # share (100-50)/2 = 25
+            ("b", 100.0, 10.0, ["x", "y"]),  # share 90/3 = 30
+        )
+        assert BestHeadroom().select("u", states) == "b"
+
+    def test_full_ap_scores_zero_share(self):
+        states = aps(("a", 100.0, 100.0, []), ("b", 100.0, 50.0, []))
+        assert BestHeadroom().select("u", states) == "b"
+
+    def test_rssi_breaks_share_ties(self):
+        states = aps(("a", 100.0, 0.0, []), ("b", 100.0, 0.0, []))
+        choice = BestHeadroom().select("u", states, rssi={"a": -40.0, "b": -50.0})
+        assert choice == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BestHeadroom().select("u", [])
+
+    def test_under_replay(self, tiny_workload):
+        from repro.wlan.replay import ReplayEngine
+
+        for strategy in (CellBreathing(), BestHeadroom()):
+            engine = ReplayEngine(
+                tiny_workload.world.layout, strategy, tiny_workload.config.replay
+            )
+            result = engine.run(tiny_workload.test_demands[:200])
+            assert len(result.sessions) > 0
+            assert 0.0 <= result.mean_balance() <= 1.0

@@ -1,0 +1,129 @@
+"""Tests for WLAN runtime entities."""
+
+import pytest
+
+from repro.trace.social import CampusLayout
+from repro.wlan.entities import APRuntime, CampusRuntime, ControllerRuntime
+
+
+@pytest.fixture
+def layout():
+    return CampusLayout.grid(2, 3)
+
+
+@pytest.fixture
+def campus(layout):
+    return CampusRuntime(layout)
+
+
+class TestAPRuntime:
+    def test_associate_tracks_load_and_count(self, campus):
+        ap = next(iter(campus.controllers.values())).aps[
+            sorted(next(iter(campus.controllers.values())).aps)[0]
+        ]
+        ap.associate("u1", 100.0)
+        ap.associate("u2", 50.0)
+        assert ap.load == 150.0
+        assert ap.user_count == 2
+        assert ap.users == ("u1", "u2")
+
+    def test_double_association_rejected(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        ap = controller.aps[controller.ap_ids[0]]
+        ap.associate("u1", 1.0)
+        with pytest.raises(ValueError):
+            ap.associate("u1", 2.0)
+
+    def test_disassociate_returns_rate(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        ap = controller.aps[controller.ap_ids[0]]
+        ap.associate("u1", 42.0)
+        assert ap.disassociate("u1") == 42.0
+        assert ap.user_count == 0
+
+    def test_disassociate_unknown_rejected(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        ap = controller.aps[controller.ap_ids[0]]
+        with pytest.raises(KeyError):
+            ap.disassociate("ghost")
+
+    def test_negative_rate_rejected(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        ap = controller.aps[controller.ap_ids[0]]
+        with pytest.raises(ValueError):
+            ap.associate("u1", -1.0)
+
+    def test_measured_load_lags_until_refresh(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        ap = controller.aps[controller.ap_ids[0]]
+        ap.associate("u1", 100.0)
+        assert ap.measured_load == 0.0
+        assert ap.snapshot().load == 0.0  # strategies see the stale view
+        ap.refresh_measurement()
+        assert ap.measured_load == 100.0
+        assert ap.snapshot().load == 100.0
+
+    def test_snapshot_oracle_mode(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        ap = controller.aps[controller.ap_ids[0]]
+        ap.associate("u1", 100.0)
+        assert ap.snapshot(measured=False).load == 100.0
+
+    def test_snapshot_users_always_fresh(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        ap = controller.aps[controller.ap_ids[0]]
+        ap.associate("u1", 100.0)
+        assert ap.snapshot().users == ("u1",)
+
+
+class TestControllerRuntime:
+    def test_snapshots_sorted_by_ap_id(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        snaps = controller.snapshots()
+        assert [s.ap_id for s in snaps] == controller.ap_ids
+
+    def test_loads_and_counts(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        controller.aps[controller.ap_ids[0]].associate("u1", 10.0)
+        assert sum(controller.loads()) == 10.0
+        assert sum(controller.user_counts()) == 1
+
+    def test_find_user(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        target = controller.ap_ids[1]
+        controller.aps[target].associate("u1", 1.0)
+        assert controller.find_user("u1") == target
+        assert controller.find_user("ghost") is None
+
+    def test_refresh_measurements_bulk(self, campus):
+        controller = next(iter(campus.controllers.values()))
+        controller.aps[controller.ap_ids[0]].associate("u1", 7.0)
+        controller.refresh_measurements()
+        assert controller.snapshots()[0].load == 7.0
+
+    def test_empty_controller_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerRuntime("c", [])
+
+
+class TestCampusRuntime:
+    def test_one_controller_per_building(self, campus, layout):
+        assert len(campus.controllers) == len(layout.buildings)
+
+    def test_controller_for_building(self, campus, layout):
+        building_id = sorted(layout.buildings)[0]
+        controller = campus.controller_for_building(building_id)
+        assert controller.controller_id == layout.buildings[building_id].controller_id
+
+    def test_unknown_building_rejected(self, campus):
+        with pytest.raises(KeyError):
+            campus.controller_for_building("nowhere")
+
+    def test_ap_lookup(self, campus, layout):
+        ap_id = sorted(layout.aps)[0]
+        assert campus.ap(ap_id).ap_id == ap_id
+
+    def test_totals(self, campus):
+        campus.ap(sorted(campus.layout.aps)[0]).associate("u1", 25.0)
+        assert campus.total_users() == 1
+        assert campus.total_load() == 25.0

@@ -1,0 +1,77 @@
+"""Tests for the metrics collector and controller series."""
+
+import numpy as np
+import pytest
+
+from repro.trace.social import CampusLayout
+from repro.wlan.entities import CampusRuntime
+from repro.wlan.metrics import ControllerSeries, MetricsCollector
+
+
+@pytest.fixture
+def campus():
+    return CampusRuntime(CampusLayout.grid(2, 2))
+
+
+class TestMetricsCollector:
+    def test_samples_accumulate(self, campus):
+        collector = MetricsCollector()
+        collector.sample(0.0, campus)
+        first_ap = sorted(campus.layout.aps)[0]
+        campus.ap(first_ap).associate("u1", 10.0)
+        collector.sample(60.0, campus)
+        assert collector.n_samples == 2
+        series = collector.series()
+        assert len(series) == 2  # two controllers
+        one = series[sorted(series)[0]]
+        assert one.times.tolist() == [0.0, 60.0]
+        assert one.loads[0].sum() == 0.0
+        assert one.loads[1].sum() == 10.0
+
+    def test_user_counts_recorded(self, campus):
+        collector = MetricsCollector()
+        first_ap = sorted(campus.layout.aps)[0]
+        campus.ap(first_ap).associate("u1", 10.0)
+        collector.sample(0.0, campus)
+        series = collector.series()
+        controller_id = campus.layout.controller_of_ap(first_ap)
+        assert series[controller_id].user_counts.sum() == 1
+
+
+class TestControllerSeries:
+    def _series(self):
+        return ControllerSeries(
+            controller_id="c",
+            ap_ids=["a", "b"],
+            times=np.array([0.0, 60.0, 120.0]),
+            loads=np.array([[0.0, 0.0], [10.0, 10.0], [20.0, 0.0]]),
+            user_counts=np.array([[0, 0], [1, 1], [2, 0]]),
+        )
+
+    def test_balance_series_values(self):
+        series = self._series()
+        betas = series.balance_series()
+        assert betas[0] == 1.0  # idle convention
+        assert betas[1] == pytest.approx(1.0)
+        assert betas[2] == pytest.approx(0.0)
+
+    def test_user_balance_series(self):
+        series = self._series()
+        user_betas = series.user_balance_series()
+        assert user_betas[1] == pytest.approx(1.0)
+        assert user_betas[2] == pytest.approx(0.0)
+
+    def test_active_mask(self):
+        series = self._series()
+        assert series.active_mask().tolist() == [False, True, True]
+
+    def test_mean_balance_over_all_samples(self):
+        series = self._series()
+        assert series.mean_balance() == pytest.approx((1.0 + 1.0 + 0.0) / 3)
+
+    def test_restrict(self):
+        series = self._series()
+        sub = series.restrict(30.0, 130.0)
+        assert sub.times.tolist() == [60.0, 120.0]
+        assert sub.loads.shape == (2, 2)
+        assert sub.controller_id == "c"

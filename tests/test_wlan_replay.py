@@ -1,0 +1,179 @@
+"""Tests for the trace-driven replay engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.balance import normalized_balance_index
+from repro.trace.records import DemandSession, TraceBundle
+from repro.trace.social import CampusLayout
+from repro.wlan.replay import ReplayConfig, ReplayEngine, collect_trace
+from repro.wlan.strategies import LeastLoadedFirst, StrongestSignal
+
+
+def demand(user, t0, t1, building="B00", volume=600.0, group=None):
+    return DemandSession(user, building, t0, t1, tuple([volume / 6] * 6), group)
+
+
+@pytest.fixture
+def layout():
+    return CampusLayout.grid(1, 3)
+
+
+class TestReplayBasics:
+    def test_every_demand_becomes_a_session(self, layout):
+        demands = [demand(f"u{i}", 10.0 * i, 1000.0 + i) for i in range(5)]
+        result = ReplayEngine(layout, LeastLoadedFirst()).run(demands)
+        assert len(result.sessions) == 5
+        assert result.strategy_name == "llf"
+
+    def test_session_times_and_bytes_match_demand(self, layout):
+        demands = [demand("u1", 100.0, 2000.0, volume=1200.0)]
+        result = ReplayEngine(layout, LeastLoadedFirst()).run(demands)
+        session = result.sessions[0]
+        assert session.connect == 100.0
+        assert session.disconnect == 2000.0
+        assert session.bytes_total == pytest.approx(1200.0)
+        assert session.controller_id == "ctrl-B00"
+
+    def test_empty_demands(self, layout):
+        result = ReplayEngine(layout, LeastLoadedFirst()).run([])
+        assert result.sessions == []
+        assert result.series == {}
+
+    def test_overlapping_demand_for_same_user_dropped(self, layout):
+        demands = [
+            demand("u1", 0.0, 1000.0),
+            demand("u1", 500.0, 800.0),  # second radio link impossible
+        ]
+        result = ReplayEngine(layout, LeastLoadedFirst()).run(demands)
+        assert len(result.sessions) == 1
+
+    def test_deterministic(self, layout):
+        demands = [demand(f"u{i}", 5.0 * i, 500.0 + i) for i in range(20)]
+        a = ReplayEngine(layout, LeastLoadedFirst()).run(demands)
+        b = ReplayEngine(layout, LeastLoadedFirst()).run(demands)
+        assert [(s.user_id, s.ap_id) for s in a.sessions] == [
+            (s.user_id, s.ap_id) for s in b.sessions
+        ]
+
+    def test_unknown_building_raises(self, layout):
+        with pytest.raises(KeyError):
+            ReplayEngine(layout, LeastLoadedFirst()).run(
+                [demand("u", 0.0, 10.0, building="nope")]
+            )
+
+
+class TestLoadDynamics:
+    def test_llf_spreads_simultaneous_heavy_users(self, layout):
+        # Users arriving in the same batch tie on (stale) load; the fresh
+        # association-count tie-break must spread them.
+        demands = [demand(f"u{i}", 0.0, 10000.0, volume=6e6) for i in range(6)]
+        result = ReplayEngine(layout, LeastLoadedFirst()).run(demands)
+        per_ap = {}
+        for session in result.sessions:
+            per_ap[session.ap_id] = per_ap.get(session.ap_id, 0) + 1
+        assert max(per_ap.values()) == 2
+
+    def test_stale_load_measurement_visible_to_strategy(self, layout):
+        # With a long measurement interval, sequential arrivals all see
+        # zero load; the count tie-break still spreads them, so we assert
+        # on the *measured* series instead: samples lag the truth.
+        config = ReplayConfig(
+            batch_window=0.0, sample_interval=10.0, load_measurement_interval=1e6
+        )
+        demands = [demand("u1", 0.0, 500.0)]
+        result = ReplayEngine(layout, LeastLoadedFirst(), config).run(demands)
+        series = result.series["ctrl-B00"]
+        # The metrics series records the true load.
+        assert series.loads.sum() > 0
+
+    def test_departures_release_load(self, layout):
+        config = ReplayConfig(sample_interval=100.0, batch_window=0.0)
+        demands = [demand("u1", 0.0, 150.0, volume=1500.0)]
+        result = ReplayEngine(layout, LeastLoadedFirst(), config).run(demands)
+        series = result.series["ctrl-B00"]
+        # First sample (t=0? no, first at arrival+interval) ... find one
+        # sample during and one after the session.
+        during = series.loads[series.times <= 150.0]
+        after = series.loads[series.times > 160.0]
+        assert during.sum() > 0
+        assert after.sum() == 0
+
+
+class TestBatching:
+    def test_batch_window_groups_coarrivals_for_s3(self, layout, tiny_model):
+        from repro.wlan.strategies import S3Strategy
+
+        users = sorted(tiny_model.types.assignments)[:4]
+        demands = [demand(u, 10.0 + i, 5000.0 + i) for i, u in enumerate(users)]
+        config = ReplayConfig(batch_window=60.0)
+        strategy = S3Strategy(tiny_model.selector())
+        result = ReplayEngine(layout, strategy, config).run(demands)
+        assert len(result.sessions) == 4
+
+    def test_zero_batch_window_still_works(self, layout):
+        config = ReplayConfig(batch_window=0.0)
+        demands = [demand(f"u{i}", 0.0, 100.0) for i in range(3)]
+        result = ReplayEngine(layout, LeastLoadedFirst(), config).run(demands)
+        assert len(result.sessions) == 3
+
+    def test_short_session_within_batch_window(self, layout):
+        # Session shorter than the batch window must still be recorded
+        # with its true (demand) times.
+        config = ReplayConfig(batch_window=60.0)
+        demands = [demand("u1", 0.0, 10.0)]
+        result = ReplayEngine(layout, LeastLoadedFirst(), config).run(demands)
+        assert len(result.sessions) == 1
+        assert result.sessions[0].disconnect == 10.0
+
+
+class TestMetricsSeries:
+    def test_series_shape(self, layout):
+        config = ReplayConfig(sample_interval=50.0)
+        demands = [demand("u1", 0.0, 400.0)]
+        result = ReplayEngine(layout, LeastLoadedFirst(), config).run(demands)
+        series = result.series["ctrl-B00"]
+        assert series.loads.shape[1] == 3  # three APs
+        assert series.times.shape[0] == series.loads.shape[0]
+        assert series.user_counts.max() == 1
+
+    def test_balance_series_matches_loads(self, layout):
+        config = ReplayConfig(sample_interval=50.0)
+        demands = [demand("u1", 0.0, 400.0), demand("u2", 0.0, 400.0)]
+        result = ReplayEngine(layout, LeastLoadedFirst(), config).run(demands)
+        series = result.series["ctrl-B00"]
+        betas = series.balance_series()
+        for row, beta in zip(series.loads, betas):
+            assert beta == pytest.approx(normalized_balance_index(row))
+
+    def test_mean_balance_bounds(self, layout):
+        demands = [demand(f"u{i}", 0.0, 1000.0) for i in range(6)]
+        result = ReplayEngine(layout, LeastLoadedFirst()).run(demands)
+        assert 0.0 <= result.mean_balance() <= 1.0
+
+
+class TestCollectTrace:
+    def test_collected_bundle_carries_flows_and_demands(self, layout):
+        demands = [demand("u1", 0.0, 100.0)]
+        source = TraceBundle(demands=demands)
+        collected = collect_trace(layout, source, LeastLoadedFirst())
+        assert len(collected.sessions) == 1
+        assert collected.demands == source.demands
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(batch_window=-1.0)
+        with pytest.raises(ValueError):
+            ReplayConfig(sample_interval=0.0)
+        with pytest.raises(ValueError):
+            ReplayConfig(load_measurement_interval=0.0)
+
+
+class TestStrategiesUnderReplay:
+    def test_rssi_strategy_prefers_nearby_ap(self, layout):
+        # Not a strict invariant per-user (positions random), but across
+        # many users RSSI must produce a valid assignment on every AP id.
+        demands = [demand(f"u{i}", 5.0 * i, 2000.0 + i) for i in range(30)]
+        result = ReplayEngine(layout, StrongestSignal()).run(demands)
+        assert len(result.sessions) == 30
+        assert {s.ap_id for s in result.sessions} <= set(layout.aps)

@@ -1,0 +1,93 @@
+"""Hypothesis property tests for world construction and trace generation.
+
+Random (small) configurations — the structural invariants of the social
+world and its generated trace must hold for every one of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.rng import RandomStreams
+from repro.sim.timeline import DAY
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.social import WorldConfig, build_world
+
+world_configs = st.builds(
+    WorldConfig,
+    n_buildings=st.integers(min_value=1, max_value=3),
+    aps_per_building=st.integers(min_value=1, max_value=4),
+    n_users=st.integers(min_value=10, max_value=40),
+    n_groups=st.integers(min_value=1, max_value=6),
+    group_size_mean=st.floats(min_value=3.0, max_value=10.0),
+    type_homogeneity=st.floats(min_value=0.0, max_value=1.0),
+    loose_group_fraction=st.floats(min_value=0.0, max_value=1.0),
+    solo_rate=st.floats(min_value=0.0, max_value=2.0),
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(world_configs, st.integers(min_value=0, max_value=10_000))
+def test_world_structural_invariants(config, seed):
+    world = build_world(config, RandomStreams(seed))
+
+    assert len(world.users) == config.n_users
+    assert len(world.groups) == config.n_groups
+    assert len(world.layout.buildings) == config.n_buildings
+    assert len(world.layout.aps) == config.n_buildings * config.aps_per_building
+
+    type_count = len(world.type_profiles)
+    for user in world.users.values():
+        assert 0 <= user.type_index < type_count
+        assert user.home_building in world.layout.buildings
+        vector = user.interest_vector()
+        assert vector.shape == (6,)
+        assert vector.sum() == pytest.approx(1.0)
+        assert np.all(vector > 0)
+
+    for group in world.groups.values():
+        assert len(group.member_ids) >= 2
+        assert len(set(group.member_ids)) == len(group.member_ids)
+        assert group.building_id in world.layout.buildings
+        assert group.slots
+        for slot in group.slots:
+            assert 0 <= slot.weekday <= 6
+            assert slot.duration > 0
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=1, max_value=4),
+)
+def test_generated_trace_invariants(seed, n_days):
+    config = GeneratorConfig(
+        world=WorldConfig(
+            n_buildings=1, aps_per_building=2, n_users=15, n_groups=3
+        ),
+        n_days=n_days,
+        seed=seed,
+    )
+    streams = RandomStreams(seed)
+    world = build_world(config.world, streams)
+    bundle = TraceGenerator(world, config, streams=streams).generate()
+
+    horizon = n_days * DAY
+    per_user = {}
+    for demand in bundle.demands:
+        assert 0.0 <= demand.arrival < horizon
+        assert demand.arrival < demand.departure <= horizon
+        assert demand.building_id in world.layout.buildings
+        assert all(b >= 0 for b in demand.realm_bytes)
+        per_user.setdefault(demand.user_id, []).append(demand)
+
+    # Per-user demands never overlap, by construction.
+    for demands in per_user.values():
+        demands.sort(key=lambda d: d.arrival)
+        for a, b in zip(demands, demands[1:]):
+            assert a.departure <= b.arrival + 1e-9
+
+    # Flow bytes conserve demand bytes.
+    assert sum(f.bytes_total for f in bundle.flows) == pytest.approx(
+        sum(d.bytes_total for d in bundle.demands), rel=1e-6
+    )
