@@ -66,15 +66,34 @@ def test_bench_kmeans_campus_scale(benchmark):
     assert result.k == 4
 
 
-def test_bench_churn_extraction_week(benchmark, paper_workload):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_bench_churn_extraction_week(benchmark, paper_workload, engine):
     sessions = [
         s for s in paper_workload.collected.sessions if s.connect < 7 * 86400
     ]
 
     churn = benchmark.pedantic(
-        lambda: extract_churn(sessions), rounds=1, iterations=1
+        lambda: extract_churn(sessions, engine=engine),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
     )
     assert len(churn.co_leavings) > 0
+
+
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_bench_social_graph_batch(benchmark, paper_model, engine):
+    # A 200-user controller batch: the graph Algorithm 1 thresholds on
+    # every flush.  The numpy path must amortize to >= 10x the loop.
+    social = paper_model.social
+    users = sorted(paper_model.types.assignments)[:200]
+    assert len(users) == 200
+
+    def build():
+        return social.build_graph(users, threshold=0.3, engine=engine)
+
+    graph = benchmark.pedantic(build, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(graph.nodes) == 200
 
 
 def test_bench_replay_one_day(benchmark, paper_workload):

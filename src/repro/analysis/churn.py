@@ -20,14 +20,26 @@ are *not* a co-leaving.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple, Union
 
+from repro import perf
 from repro.sim.timeline import MINUTE
 from repro.trace.records import SessionRecord
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fastchurn imports us)
+    from repro.trace.columnar import SessionArrays
+
 #: A canonical (smaller-id, larger-id) user pair.
 Pair = Tuple[str, str]
+
+#: Engines accepted by :func:`extract_churn` / ``coleaving_fraction_per_user``.
+ENGINES = ("auto", "python", "numpy")
+
+#: ``engine="auto"`` switches to the numpy fast path at this session count;
+#: below it, building columns costs more than the Python loops save.
+AUTO_NUMPY_MIN_SESSIONS = 256
 
 
 def make_pair(user_a: str, user_b: str) -> Pair:
@@ -95,18 +107,37 @@ class ChurnEvents:
 
     def encounter_pairs(self) -> Dict[Pair, int]:
         """Per-pair encounter counts."""
-        counts: Dict[Pair, int] = {}
-        for encounter in self.encounters:
-            counts[encounter.pair] = counts.get(encounter.pair, 0) + 1
-        return counts
+        return Counter(encounter.pair for encounter in self.encounters)
 
 
 def pair_event_counts(events: Iterable[CoEvent]) -> Dict[Pair, int]:
     """Count events per canonical pair."""
-    counts: Dict[Pair, int] = {}
-    for event in events:
-        counts[event.pair] = counts.get(event.pair, 0) + 1
-    return counts
+    return Counter(event.pair for event in events)
+
+
+def _resolve_engine(engine: str, sessions: object, n_records: int) -> str:
+    """Pick the concrete engine for a churn computation.
+
+    ``auto`` prefers numpy for anything already columnar or big enough to
+    amortize the transpose; a columnar input cannot be served by the
+    Python reference (it iterates record objects).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    from repro.trace.columnar import SessionArrays
+
+    columnar = isinstance(sessions, SessionArrays)
+    if engine == "python":
+        if columnar:
+            raise ValueError(
+                "engine='python' needs SessionRecord objects, got SessionArrays"
+            )
+        return "python"
+    if engine == "numpy":
+        return "numpy"
+    if columnar or n_records >= AUTO_NUMPY_MIN_SESSIONS:
+        return "numpy"
+    return "python"
 
 
 def _co_events_on_ap(
@@ -170,10 +201,11 @@ def _encounters_on_ap(
 
 
 def extract_churn(
-    sessions: Sequence[SessionRecord],
+    sessions: Union[Sequence[SessionRecord], "SessionArrays"],
     coleave_window: float = 5 * MINUTE,
     cocome_window: float = 5 * MINUTE,
     encounter_min_duration: float = 20 * MINUTE,
+    engine: str = "auto",
 ) -> ChurnEvents:
     """Extract every churn event family from a session log.
 
@@ -181,12 +213,39 @@ def extract_churn(
     sweep covers 1-30 minutes; five minutes is the optimum found in
     Fig. 10).  ``encounter_min_duration`` is the "certain period of time"
     of the encounter definition.
+
+    ``engine`` selects the implementation: ``"python"`` is the reference
+    nested-loop extraction, ``"numpy"`` the vectorized fast path of
+    :mod:`repro.analysis.fastchurn` (identical events, different speed),
+    ``"auto"`` picks by input size.  ``sessions`` may be a pre-built
+    :class:`~repro.trace.columnar.SessionArrays` (e.g. from
+    ``TraceBundle.columns()``) for the numpy engines.
     """
     if coleave_window <= 0 or cocome_window <= 0:
         raise ValueError("co-event windows must be positive")
     if encounter_min_duration < 0:
         raise ValueError("encounter duration must be non-negative")
+    resolved = _resolve_engine(engine, sessions, len(sessions))
+    if resolved == "numpy":
+        from repro.analysis.fastchurn import extract_churn_numpy
 
+        with perf.timer("churn.extract.numpy"):
+            return extract_churn_numpy(
+                sessions, coleave_window, cocome_window, encounter_min_duration
+            )
+    with perf.timer("churn.extract.python"):
+        return _extract_churn_python(
+            sessions, coleave_window, cocome_window, encounter_min_duration
+        )
+
+
+def _extract_churn_python(
+    sessions: Sequence[SessionRecord],
+    coleave_window: float,
+    cocome_window: float,
+    encounter_min_duration: float,
+) -> ChurnEvents:
+    """The reference pure-Python extraction (parameters pre-validated)."""
     by_ap: Dict[str, List[SessionRecord]] = {}
     for record in sessions:
         by_ap.setdefault(record.ap_id, []).append(record)
@@ -215,17 +274,35 @@ def extract_churn(
 
 
 def coleaving_fraction_per_user(
-    sessions: Sequence[SessionRecord],
+    sessions: Union[Sequence[SessionRecord], "SessionArrays"],
     window: float,
+    engine: str = "auto",
 ) -> Dict[str, float]:
     """Fraction of each user's departures that are co-leavings (Fig. 5).
 
     A departure counts as a co-leaving when at least one *other* user left
     the same AP within ``window`` seconds (before or after).  Users with no
-    departures are omitted.
+    departures are omitted.  ``engine`` works as in :func:`extract_churn`;
+    passing a shared :class:`~repro.trace.columnar.SessionArrays` lets the
+    Fig. 5 window sweep pay the transpose once.
     """
     if window <= 0:
         raise ValueError("window must be positive")
+    resolved = _resolve_engine(engine, sessions, len(sessions))
+    if resolved == "numpy":
+        from repro.analysis.fastchurn import coleaving_fraction_numpy
+
+        with perf.timer("churn.fraction.numpy"):
+            return coleaving_fraction_numpy(sessions, window)
+
+    with perf.timer("churn.fraction.python"):
+        return _coleaving_fraction_python(sessions, window)
+
+
+def _coleaving_fraction_python(
+    sessions: Sequence[SessionRecord], window: float
+) -> Dict[str, float]:
+    """The reference scan (parameters pre-validated)."""
     by_ap: Dict[str, List[Tuple[float, str]]] = {}
     for record in sessions:
         by_ap.setdefault(record.ap_id, []).append((record.disconnect, record.user_id))

@@ -88,14 +88,21 @@ class KMeans:
             distances = _sq_distances(points, centroids)
             labels = np.argmin(distances, axis=1)
             new_centroids = centroids.copy()
+            repair_pool: Optional[np.ndarray] = None
             for j in range(self.k):
                 members = points[labels == j]
                 if members.size:
                     new_centroids[j] = members.mean(axis=0)
                 else:
                     # Re-seed an empty cluster at the point farthest from
-                    # its centroid — standard k-means repair.
-                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    # its centroid — standard k-means repair.  Each used
+                    # repair point is retired from the pool, so two
+                    # clusters emptying in the same iteration land on
+                    # distinct points instead of duplicate centroids.
+                    if repair_pool is None:
+                        repair_pool = np.min(distances, axis=1).copy()
+                    farthest = int(np.argmax(repair_pool))
+                    repair_pool[farthest] = -np.inf
                     new_centroids[j] = points[farthest]
             shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
             centroids = new_centroids

@@ -18,12 +18,23 @@ common events between the same pair of users."
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
+from repro import perf
 from repro.analysis.churn import ChurnEvents, Pair, make_pair
 from repro.core.typing import TypeModel
 from repro.graph.graph import Graph
+
+#: Engines accepted by :meth:`SocialModel.build_graph`.
+GRAPH_ENGINES = ("auto", "python", "numpy")
+
+#: Delta matrices kept per model; one controller batch rarely revisits
+#: more than a handful of member sets before the model learns new events.
+_DELTA_CACHE_SIZE = 32
 
 
 @dataclass(frozen=True)
@@ -68,6 +79,15 @@ class SocialModel:
         self.alpha = alpha
         self.min_encounters = min_encounters
         self.shrinkage = shrinkage
+        # Indexed fast-path state: every structure below is a pure function
+        # of (_pairs, type_model, alpha, min_encounters, shrinkage) at one
+        # generation; record_events bumps the generation to invalidate.
+        self._generation = 0
+        self._partners_generation = -1
+        self._partners: Dict[str, List[Tuple[str, PairStats]]] = {}
+        self._delta_cache: "OrderedDict[Tuple[str, ...], Tuple[int, np.ndarray]]" = (
+            OrderedDict()
+        )
 
     # -------------------------------------------------------------- queries
 
@@ -101,23 +121,108 @@ class SocialModel:
 
     # --------------------------------------------------------------- graphs
 
-    def build_graph(self, users: Iterable[str], threshold: float = 0.3) -> Graph:
+    @property
+    def generation(self) -> int:
+        """Bumped by :meth:`record_events`; stamps the fast-path caches."""
+        return self._generation
+
+    def _partner_index(self) -> Dict[str, List[Tuple[str, PairStats]]]:
+        """user -> [(partner, stats)] for pairs above the encounter floor.
+
+        Pairs are canonical (smaller id first), so each appears under its
+        smaller member only.  Rebuilt lazily after ``record_events``.
+        """
+        if self._partners_generation != self._generation:
+            index: Dict[str, List[Tuple[str, PairStats]]] = {}
+            floor = self.min_encounters
+            for (user_a, user_b), stats in self._pairs.items():
+                if stats.encounters >= floor:
+                    index.setdefault(user_a, []).append((user_b, stats))
+            self._partners = index
+            self._partners_generation = self._generation
+        return self._partners
+
+    def _delta_matrix(self, members: Tuple[str, ...]) -> np.ndarray:
+        """Dense delta over a sorted member tuple (cached per generation).
+
+        The type term is a table lookup: an extended (k+1) x (k+1) affinity
+        whose last row/column hold the unknown-user mean reproduces
+        ``affinity_of`` exactly.  The sparse conditional terms are added
+        from the partner index — only observed pairs cost anything.
+        """
+        cached = self._delta_cache.get(members)
+        if cached is not None and cached[0] == self._generation:
+            self._delta_cache.move_to_end(members)
+            perf.count("social.delta.cache_hit")
+            return cached[1]
+        k = self.type_model.k
+        affinity = np.asarray(self.type_model.affinity, dtype=np.float64)
+        extended = np.empty((k + 1, k + 1), dtype=np.float64)
+        extended[:k, :k] = affinity
+        mean = float(affinity.mean())
+        extended[k, :] = mean
+        extended[:, k] = mean
+        assignments = self.type_model.assignments
+        codes = np.fromiter(
+            (assignments.get(user, k) for user in members),
+            dtype=np.intp,
+            count=len(members),
+        )
+        delta = self.alpha * extended[codes[:, None], codes[None, :]]
+        position = {user: i for i, user in enumerate(members)}
+        shrinkage = self.shrinkage
+        for i, user in enumerate(members):
+            for partner, stats in self._partner_index().get(user, ()):
+                j = position.get(partner)
+                if j is None:
+                    continue
+                conditional = min(
+                    1.0, stats.co_leavings / (stats.encounters + shrinkage)
+                )
+                delta[i, j] += conditional
+                delta[j, i] += conditional
+        self._delta_cache[members] = (self._generation, delta)
+        if len(self._delta_cache) > _DELTA_CACHE_SIZE:
+            self._delta_cache.popitem(last=False)
+        perf.count("social.delta.build")
+        return delta
+
+    def build_graph(
+        self, users: Iterable[str], threshold: float = 0.3, engine: str = "auto"
+    ) -> Graph:
         """The user graph of Section IV.A: edges where delta > threshold.
 
         Every user appears as a node; only pairs above the threshold get an
-        edge (weight = delta).  This is the input to the clique cover.
+        edge (weight = delta).  This is the input to the clique cover, which
+        mutates its input — a fresh ``Graph`` is returned on every call even
+        when the underlying delta matrix is served from cache.
+
+        ``engine="python"`` forces the reference pairwise loop (kept for
+        equivalence testing); ``"numpy"`` / ``"auto"`` use the indexed
+        fast path: one cached dense delta matrix per member set, one
+        vectorized thresholding per call.
         """
         if threshold < 0:
             raise ValueError(f"negative threshold {threshold!r}")
+        if engine not in GRAPH_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {GRAPH_ENGINES}"
+            )
         members = sorted(set(users))
         graph = Graph()
         for user in members:
             graph.add_node(user)
-        for i, user_a in enumerate(members):
-            for user_b in members[i + 1 :]:
-                delta = self.social_index(user_a, user_b)
-                if delta > threshold:
-                    graph.add_edge(user_a, user_b, delta)
+        if engine == "python" or len(members) < 2:
+            for i, user_a in enumerate(members):
+                for user_b in members[i + 1 :]:
+                    delta = self.social_index(user_a, user_b)
+                    if delta > threshold:
+                        graph.add_edge(user_a, user_b, delta)
+            return graph
+        delta = self._delta_matrix(tuple(members))
+        above = np.triu(delta > threshold, k=1)
+        for i, j in np.argwhere(above).tolist():
+            graph.add_edge(members[i], members[j], float(delta[i, j]))
         return graph
 
     def known_pairs(self) -> int:
@@ -144,6 +249,7 @@ class SocialModel:
             encounters=old.encounters + encounters,
             co_leavings=old.co_leavings + co_leavings,
         )
+        self._generation += 1
 
 
 def build_social_model(
@@ -151,6 +257,7 @@ def build_social_model(
     type_model: TypeModel,
     alpha: float = 0.3,
     min_encounters: int = 2,
+    shrinkage: float = 1.0,
 ) -> SocialModel:
     """Assemble the social model from extracted churn events."""
     encounters = churn.encounter_pairs()
@@ -166,4 +273,5 @@ def build_social_model(
         type_model=type_model,
         alpha=alpha,
         min_encounters=min_encounters,
+        shrinkage=shrinkage,
     )

@@ -1,10 +1,14 @@
 """Run every experiment and print its rendered report.
 
-    python -m repro.experiments [paper|small|tiny] [fig2 fig5 table1 ...]
+    python -m repro.experiments [paper|small|tiny] [--perf] [fig2 fig5 ...]
 
-Without experiment names, all twelve run in paper order.  This is the
-human-facing sibling of the benchmark harness (``pytest benchmarks/``),
-which runs the same code and asserts the qualitative shapes.
+Without experiment names, all twelve run in paper order.  ``--perf``
+appends a :mod:`repro.perf` timer/counter table after each experiment
+(reset in between, so each table covers exactly one experiment — note the
+in-process workload cache means only the first experiment pays generation
+and training).  This is the human-facing sibling of the benchmark harness
+(``pytest benchmarks/``), which runs the same code and asserts the
+qualitative shapes.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ from __future__ import annotations
 import sys
 import time
 
+from repro import perf
 from repro.experiments import config as config_module
 from repro.experiments import (
     fig2_balance,
@@ -55,6 +60,9 @@ PRESETS = {
 def main(argv) -> int:
     """Run the named experiments on the chosen preset; returns exit code."""
     args = list(argv)
+    show_perf = "--perf" in args
+    if show_perf:
+        args.remove("--perf")
     preset = config_module.PAPER
     if args and args[0] in PRESETS:
         preset = PRESETS[args.pop(0)]
@@ -64,11 +72,15 @@ def main(argv) -> int:
         print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
         return 2
     for name in names:
+        perf.reset()
         started = time.time()
         result = EXPERIMENTS[name].run(preset)
         elapsed = time.time() - started
         print(f"\n=== {name} (preset {preset.name}, {elapsed:.1f}s) " + "=" * 20)
         print(result.render())
+        if show_perf:
+            print()
+            print(perf.report(title=f"--- perf: {name} ---"))
     return 0
 
 

@@ -50,9 +50,11 @@ class Fig5Result:
 def run(config: ExperimentConfig = PAPER) -> Fig5Result:
     """Execute the Fig. 5 measurement on the given preset."""
     workload = build_workload(config)
-    sessions = workload.collected.sessions
+    # One shared columnar view: the three window sweeps pay the transpose
+    # (and the per-AP sort) once.
+    columns = workload.collected.columns()
     fractions: Dict[float, np.ndarray] = {}
     for window in WINDOWS:
-        per_user = coleaving_fraction_per_user(sessions, window)
+        per_user = coleaving_fraction_per_user(columns, window)
         fractions[window] = np.asarray(sorted(per_user.values()))
     return Fig5Result(fractions=fractions)

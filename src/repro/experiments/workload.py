@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import perf
 from repro.core.pipeline import S3Model, TrainingConfig, train_s3
 from repro.experiments.config import ExperimentConfig
 from repro.trace.generator import TraceGenerator
@@ -61,15 +62,17 @@ def build_workload(config: ExperimentConfig) -> Workload:
     streams = RandomStreams(config.seed)
     world = build_world(config.world, streams)
     generator = TraceGenerator(world, config.generator_config(), streams=streams)
-    bundle = generator.generate()
+    with perf.timer("workload.generate"):
+        bundle = generator.generate()
     split = config.split_time
     train_source = TraceBundle(
         demands=[d for d in bundle.demands if d.arrival < split],
         flows=[f for f in bundle.flows if f.start < split],
     )
-    collected = collect_trace(
-        world.layout, train_source, LeastLoadedFirst(), config=config.replay
-    )
+    with perf.timer("workload.collect"):
+        collected = collect_trace(
+            world.layout, train_source, LeastLoadedFirst(), config=config.replay
+        )
     test_demands = [d for d in bundle.demands if d.arrival >= split]
     workload = Workload(
         config=config,
@@ -97,7 +100,8 @@ def trained_model(
     if key in _MODELS:
         return _MODELS[key]
     workload = build_workload(config)
-    model = train_s3(workload.collected, training)
+    with perf.timer("workload.train"):
+        model = train_s3(workload.collected, training)
     _MODELS[key] = model
     return model
 

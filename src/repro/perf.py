@@ -1,0 +1,179 @@
+"""Lightweight wall-clock timers and counters for the hot paths.
+
+Every figure script (and the replay engine underneath it) spends its time
+in a handful of substrates: trace generation, LLF collection, churn
+extraction, model training, and replay.  This module gives each of those a
+named timer / counter so a run can report where its time went without
+dragging in a profiler:
+
+    from repro import perf
+
+    with perf.timer("train.churn"):
+        churn = extract_churn(sessions)
+    perf.count("replay.events", sim.events_processed)
+    print(perf.report())
+
+Timers nest freely (each ``with`` block records one sample) and the
+registry is process-global by default, matching the in-process caching of
+:mod:`repro.experiments.workload`.  ``perf.reset()`` clears everything —
+the experiment runner calls it between figures so each report is
+self-contained.  The overhead per timed block is two ``perf_counter``
+calls and a dict update, cheap enough to leave enabled everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class TimerStat:
+    """Accumulated samples of one named timer."""
+
+    calls: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        """Fold one sample (seconds) into the statistic."""
+        self.calls += 1
+        self.total += elapsed
+        if elapsed < self.minimum:
+            self.minimum = elapsed
+        if elapsed > self.maximum:
+            self.maximum = elapsed
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call (0 when never called)."""
+        return self.total / self.calls if self.calls else 0.0
+
+
+class PerfRegistry:
+    """A named collection of timers and counters.
+
+    One process-global instance (:data:`PERF`) serves the whole pipeline;
+    tests that need isolation construct their own.
+    """
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, TimerStat] = {}
+        self._counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------- recording
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (reentrant, nestable)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.add(elapsed)
+
+    def record(self, name: str, elapsed: float) -> None:
+        """Fold an externally measured duration (seconds) into ``name``."""
+        if elapsed < 0:
+            raise ValueError(f"negative duration {elapsed!r}")
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.add(elapsed)
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    # -------------------------------------------------------------- querying
+
+    def timers(self) -> Dict[str, TimerStat]:
+        """Snapshot of all timer statistics."""
+        return dict(self._timers)
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0 when never timed)."""
+        stat = self._timers.get(name)
+        return stat.total if stat is not None else 0.0
+
+    def __bool__(self) -> bool:
+        return bool(self._timers or self._counters)
+
+    # ------------------------------------------------------------- reporting
+
+    def report(self, title: Optional[str] = None) -> str:
+        """A fixed-width text table of timers (by total, descending) and
+        counters (alphabetical)."""
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        if self._timers:
+            rows = sorted(
+                self._timers.items(), key=lambda item: -item[1].total
+            )
+            width = max(len(name) for name, _ in rows)
+            lines.append(
+                f"{'timer'.ljust(width)}  {'calls':>7}  {'total':>10}  "
+                f"{'mean':>10}  {'max':>10}"
+            )
+            for name, stat in rows:
+                lines.append(
+                    f"{name.ljust(width)}  {stat.calls:>7d}  "
+                    f"{stat.total:>9.3f}s  {stat.mean:>9.4f}s  "
+                    f"{stat.maximum:>9.4f}s"
+                )
+        if self._counters:
+            rows = sorted(self._counters.items())
+            width = max(len(name) for name, _ in rows)
+            lines.append(f"{'counter'.ljust(width)}  {'value':>12}")
+            for name, value in rows:
+                rendered = f"{int(value)}" if value == int(value) else f"{value:.3f}"
+                lines.append(f"{name.ljust(width)}  {rendered:>12}")
+        if not lines:
+            lines.append("(no perf samples recorded)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every timer and counter."""
+        self._timers.clear()
+        self._counters.clear()
+
+
+#: The process-global registry the pipeline records into.
+PERF = PerfRegistry()
+
+
+def timer(name: str):
+    """``with perf.timer(name):`` against the global registry."""
+    return PERF.timer(name)
+
+
+def record(name: str, elapsed: float) -> None:
+    """Record a duration against the global registry."""
+    PERF.record(name, elapsed)
+
+
+def count(name: str, amount: float = 1) -> None:
+    """Increment a counter on the global registry."""
+    PERF.count(name, amount)
+
+
+def report(title: Optional[str] = None) -> str:
+    """Render the global registry."""
+    return PERF.report(title)
+
+
+def reset() -> None:
+    """Clear the global registry."""
+    PERF.reset()

@@ -14,6 +14,7 @@ Layering:
 
 ``apps``        the six application realms and their port tables
 ``records``     typed record dataclasses + the :class:`TraceBundle`
+``columnar``    :class:`SessionArrays`, the numpy fast paths' columnar store
 ``classifier``  the port-combination heuristic app classifier (paper ref [1])
 ``social``      the ground-truth social world (buildings, groups, schedules)
 ``generator``   social world -> demand trace -> logged records
@@ -28,6 +29,7 @@ from repro.trace.records import (
     SessionRecord,
     TraceBundle,
 )
+from repro.trace.columnar import SessionArrays, as_session_arrays
 from repro.trace.classifier import PortClassifier
 from repro.trace.social import (
     AccessPointInfo,
@@ -50,6 +52,8 @@ __all__ = [
     "FlowRecord",
     "SessionRecord",
     "TraceBundle",
+    "SessionArrays",
+    "as_session_arrays",
     "PortClassifier",
     "AccessPointInfo",
     "BuildingInfo",

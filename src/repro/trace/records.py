@@ -179,6 +179,7 @@ class TraceBundle:
         self._sessions_by_user: Optional[Dict[str, List[SessionRecord]]] = None
         self._sessions_by_ap: Optional[Dict[str, List[SessionRecord]]] = None
         self._flows_by_user: Optional[Dict[str, List[FlowRecord]]] = None
+        self._columns = None
 
     # ------------------------------------------------------------------ ids
 
@@ -219,6 +220,20 @@ class TraceBundle:
                 index.setdefault(record.ap_id, []).append(record)
             self._sessions_by_ap = index
         return self._sessions_by_ap
+
+    def columns(self):
+        """The session log as cached :class:`~repro.trace.columnar.SessionArrays`.
+
+        Built on first use and shared by every numpy consumer (churn
+        extraction, co-leaving sweeps), so one trace pays the transpose
+        once.  The bundle's session list never mutates, so the cache never
+        invalidates.
+        """
+        if self._columns is None:
+            from repro.trace.columnar import SessionArrays
+
+            self._columns = SessionArrays.from_sessions(self.sessions)
+        return self._columns
 
     def flows_by_user(self) -> Dict[str, List[FlowRecord]]:
         """user id -> that user's flows (built lazily)."""

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.timeline import MINUTE
@@ -129,6 +130,13 @@ class ReplayEngine:
 
     def run(self, demands: Sequence[DemandSession]) -> ReplayResult:
         """Replay all demands; returns sessions and sampled metrics."""
+        with perf.timer(f"replay.run.{self.strategy.name}"):
+            result = self._run(demands)
+        perf.count("replay.events", result.events_processed)
+        perf.count("replay.sessions", len(result.sessions))
+        return result
+
+    def _run(self, demands: Sequence[DemandSession]) -> ReplayResult:
         demands = sorted(demands, key=lambda d: (d.arrival, d.user_id))
         if not demands:
             return ReplayResult(self.strategy.name, [], {}, 0)
@@ -308,9 +316,11 @@ class ReplayEngine:
         }
         user_ids = [d.user_id for d in batch]
         snapshots = controller.snapshots()
-        placement = self.strategy.assign_batch(
-            user_ids, snapshots, rssi_by_user=rssi_by_user
-        )
+        perf.count("replay.batches")
+        with perf.timer("replay.assign_batch"):
+            placement = self.strategy.assign_batch(
+                user_ids, snapshots, rssi_by_user=rssi_by_user
+            )
         if placement is None:
             # Sequential fallback: live snapshots between picks, which is
             # what an arrival-at-a-time controller does.

@@ -1,0 +1,256 @@
+"""Equivalence of the numpy fast paths with the Python references.
+
+The numpy engines promise *identical* results — same event lists (values
+and order), same per-pair counts, same graph edges — so these tests run
+both implementations on randomized workloads and compare exactly, plus a
+few adversarial timestamp layouts (grid times landing exactly on window
+boundaries, duplicate timestamps, reconnect churn).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.churn import (
+    AUTO_NUMPY_MIN_SESSIONS,
+    _extract_churn_python,
+    coleaving_fraction_per_user,
+    extract_churn,
+)
+from repro.analysis.fastchurn import (
+    ColumnarChurnEvents,
+    LazyEvents,
+    coleaving_fraction_numpy,
+    extract_churn_numpy,
+)
+from repro.core.social import PairStats, SocialModel, build_social_model
+from repro.core.typing import TypeModel
+from repro.trace.columnar import SessionArrays
+from repro.trace.records import SessionRecord, TraceBundle
+
+
+def _random_sessions(seed, n=400, users=40, aps=8, span=2 * 86400):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        connect = rng.uniform(0, span)
+        out.append(
+            SessionRecord(
+                user_id=f"u{rng.randrange(users):03d}",
+                ap_id=f"ap{rng.randrange(aps):02d}",
+                controller_id="c0",
+                connect=connect,
+                disconnect=connect + rng.uniform(10, 4 * 3600),
+                bytes_total=float(rng.randrange(10_000)),
+            )
+        )
+    return out
+
+
+def _grid_sessions():
+    """Timestamps on a 300 s grid: every comparison hits a boundary."""
+    out = []
+    for i in range(180):
+        connect = float((i % 30) * 300)
+        out.append(
+            SessionRecord(
+                user_id=f"u{i % 12:02d}",
+                ap_id=f"ap{i % 3}",
+                controller_id="c0",
+                connect=connect,
+                disconnect=connect + float(((i * 7) % 5) * 300),
+                bytes_total=0.0,
+            )
+        )
+    return out
+
+
+def _assert_equivalent(sessions, coleave=300.0, cocome=300.0, min_dur=1200.0):
+    reference = _extract_churn_python(sessions, coleave, cocome, min_dur)
+    fast = extract_churn_numpy(sessions, coleave, cocome, min_dur)
+    assert reference.leavings == list(fast.leavings)
+    assert reference.arrivals == list(fast.arrivals)
+    assert reference.co_leavings == list(fast.co_leavings)
+    assert reference.co_comings == list(fast.co_comings)
+    assert reference.encounters == list(fast.encounters)
+    assert reference.co_leaving_pairs() == fast.co_leaving_pairs()
+    assert reference.encounter_pairs() == fast.encounter_pairs()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_extract_churn_engines_identical_random(seed):
+    _assert_equivalent(_random_sessions(seed))
+
+
+def test_extract_churn_engines_identical_grid_boundaries():
+    _assert_equivalent(_grid_sessions(), min_dur=0.0)
+
+
+def test_extract_churn_engines_identical_duplicate_times():
+    sessions = []
+    for i in range(60):
+        sessions.append(
+            SessionRecord(
+                user_id=f"u{i % 5}",
+                ap_id="ap0",
+                controller_id="c0",
+                connect=100.0,
+                disconnect=200.0,
+                bytes_total=0.0,
+            )
+        )
+    _assert_equivalent(sessions, min_dur=50.0)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_coleaving_fraction_engines_identical(seed):
+    sessions = _random_sessions(seed)
+    for window in (60.0, 300.0, 1800.0):
+        reference = coleaving_fraction_per_user(sessions, window, engine="python")
+        fast = coleaving_fraction_numpy(sessions, window)
+        assert reference == fast
+
+
+def test_engine_forced_below_auto_threshold():
+    sessions = _random_sessions(0, n=AUTO_NUMPY_MIN_SESSIONS // 4)
+    python = extract_churn(sessions, engine="python")
+    numpy_ = extract_churn(sessions, engine="numpy")
+    assert isinstance(numpy_, ColumnarChurnEvents)
+    assert not isinstance(python, ColumnarChurnEvents)
+    assert python.co_leavings == list(numpy_.co_leavings)
+
+
+def test_engine_auto_dispatch():
+    small = _random_sessions(1, n=16)
+    large = _random_sessions(1, n=AUTO_NUMPY_MIN_SESSIONS + 16)
+    assert not isinstance(extract_churn(small), ColumnarChurnEvents)
+    assert isinstance(extract_churn(large), ColumnarChurnEvents)
+    # A columnar input always takes the numpy path.
+    arrays = SessionArrays.from_sessions(small)
+    assert isinstance(extract_churn(arrays), ColumnarChurnEvents)
+
+
+def test_engine_validation():
+    sessions = _random_sessions(2, n=20)
+    with pytest.raises(ValueError, match="unknown engine"):
+        extract_churn(sessions, engine="cython")
+    arrays = SessionArrays.from_sessions(sessions)
+    with pytest.raises(ValueError, match="SessionArrays"):
+        extract_churn(arrays, engine="python")
+
+
+def test_lazy_events_list_contract():
+    events = extract_churn_numpy(_random_sessions(3), 300.0, 300.0, 1200.0)
+    lazy = events.co_leavings
+    assert isinstance(lazy, LazyEvents)
+    n = len(lazy)
+    assert bool(lazy) == (n > 0)
+    materialized = list(lazy)
+    assert len(materialized) == n
+    assert lazy == materialized
+    assert materialized == lazy  # reflected comparison against plain list
+    assert lazy[0] == materialized[0]
+    extra = materialized[0]
+    lazy.append(extra)
+    assert len(lazy) == n + 1
+
+
+def test_trace_bundle_columns_shared():
+    sessions = _random_sessions(4, n=100)
+    bundle = TraceBundle(sessions=sessions)
+    columns = bundle.columns()
+    assert columns is bundle.columns()
+    assert columns.n_sessions == len(bundle.sessions)
+    # Sorted-id code tables: comparing codes == comparing ids.
+    assert columns.user_ids == sorted(columns.user_ids)
+    assert columns.ap_ids == sorted(columns.ap_ids)
+    assert [columns.user_ids[c] for c in columns.user[:5]] == [
+        s.user_id for s in bundle.sessions[:5]
+    ]
+
+
+def _type_model(users, k=3, seed=0):
+    rng = random.Random(seed)
+    assignments = {u: rng.randrange(k) for u in users if rng.random() < 0.85}
+    affinity = np.random.default_rng(seed).uniform(0.05, 0.6, size=(k, k))
+    affinity = (affinity + affinity.T) / 2
+    return TypeModel(
+        centroids=np.zeros((k, 6)), assignments=assignments, affinity=affinity
+    )
+
+
+def _social_model(users, seed=0):
+    rng = random.Random(seed)
+    pairs = {}
+    for _ in range(len(users) * 6):
+        a, b = rng.sample(users, 2)
+        encounters = rng.randrange(0, 7)
+        pairs[tuple(sorted((a, b)))] = PairStats(
+            encounters=encounters, co_leavings=rng.randrange(0, encounters + 2)
+        )
+    return SocialModel(pairs, _type_model(users, seed=seed), shrinkage=1.0)
+
+
+def _graph_signature(graph):
+    return (
+        graph.nodes,
+        sorted((min(u, v), max(u, v), w) for u, v, w in graph.edges()),
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_build_graph_engines_identical(seed):
+    users = [f"u{i:03d}" for i in range(80)]
+    model = _social_model(users, seed=seed)
+    batch = random.Random(seed).sample(users, 50)
+    for threshold in (0.0, 0.1, 0.3):
+        python = model.build_graph(batch, threshold=threshold, engine="python")
+        fast = model.build_graph(batch, threshold=threshold, engine="numpy")
+        assert _graph_signature(python) == _graph_signature(fast)
+        # Insertion order matches the reference loop exactly.
+        assert list(python.edges()) == list(fast.edges())
+
+
+def test_build_graph_cache_invalidated_by_record_events():
+    users = [f"u{i:02d}" for i in range(30)]
+    model = _social_model(users, seed=5)
+    before = model.build_graph(users, engine="numpy")
+    pair = next(
+        (a, b)
+        for i, a in enumerate(users)
+        for b in users[i + 1 :]
+        if not before.has_edge(a, b)
+    )
+    generation = model.generation
+    model.record_events(pair[0], pair[1], encounters=10, co_leavings=10)
+    assert model.generation == generation + 1
+    after = model.build_graph(users, engine="numpy")
+    reference = model.build_graph(users, engine="python")
+    assert _graph_signature(after) == _graph_signature(reference)
+    assert after.has_edge(*pair)
+    assert not before.has_edge(*pair)
+
+
+def test_build_graph_returns_fresh_graph_on_cache_hit():
+    users = [f"u{i:02d}" for i in range(20)]
+    model = _social_model(users, seed=6)
+    first = model.build_graph(users, engine="numpy")
+    first.remove_nodes(list(first.nodes)[:5])  # clique cover mutates its input
+    second = model.build_graph(users, engine="numpy")
+    assert len(second.nodes) == 20
+
+
+def test_build_graph_engine_validation():
+    model = _social_model([f"u{i}" for i in range(4)])
+    with pytest.raises(ValueError, match="unknown engine"):
+        model.build_graph(["u0", "u1"], engine="fortran")
+
+
+def test_build_social_model_forwards_shrinkage():
+    churn = _extract_churn_python(_random_sessions(7, n=120), 300.0, 300.0, 600.0)
+    types = _type_model([f"u{i:03d}" for i in range(40)])
+    model = build_social_model(churn, types, shrinkage=3.5)
+    assert model.shrinkage == 3.5
+    default = build_social_model(churn, types)
+    assert default.shrinkage == 1.0

@@ -43,6 +43,20 @@ class TestKMeans:
             distances = np.linalg.norm(result.centroids - point, axis=1)
             assert distances[label] == pytest.approx(distances.min())
 
+    def test_empty_cluster_repair_uses_distinct_points(self, monkeypatch):
+        # Seed every centroid on the same point: the first assignment
+        # leaves k-1 clusters empty in one iteration, and the repair must
+        # re-seed them at *distinct* farthest points, not one shared point.
+        rng = np.random.default_rng(3)
+        data = blob_data(rng, [(0, 0), (20, 0), (0, 20), (20, 20)], n_per=10)
+        kmeans = KMeans(k=3, n_init=1, rng=rng)
+        monkeypatch.setattr(
+            kmeans, "_seed", lambda points: np.tile(points[0], (3, 1))
+        )
+        result = kmeans._fit_once(data)
+        assert len(np.unique(result.centroids, axis=0)) == 3
+        assert (result.cluster_sizes() > 0).all()
+
     def test_k_larger_than_n_rejected(self):
         with pytest.raises(ValueError):
             KMeans(k=10).fit(np.zeros((3, 2)))
