@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# The one-command local gate: everything CI's lint/typecheck/tests jobs run.
+#
+#   scripts/check.sh          # lint + typecheck + tier-1 tests
+#   scripts/check.sh fast     # skip the test suite
+#
+# The custom determinism/parity lint is stdlib-only and always runs; mypy
+# and ruff are optional dev dependencies (pip install -e ".[dev]") and are
+# skipped with a notice when absent, so the script works in minimal
+# containers too.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+failed=0
+
+echo "== repro.devtools.lint =="
+python -m repro.devtools.lint src || failed=1
+
+if python -c "import mypy" 2>/dev/null; then
+    echo "== mypy --strict =="
+    python -m mypy --strict src || failed=1
+else
+    echo "== mypy not installed; skipping (pip install -e \".[dev]\") =="
+fi
+
+if python -c "import ruff" 2>/dev/null; then
+    echo "== ruff check =="
+    python -m ruff check src tests || failed=1
+else
+    echo "== ruff not installed; skipping (pip install -e \".[dev]\") =="
+fi
+
+if [ "${1:-}" != "fast" ]; then
+    echo "== tier-1 tests =="
+    python -m pytest -x -q || failed=1
+fi
+
+if [ "$failed" -ne 0 ]; then
+    echo "CHECK FAILED" >&2
+    exit 1
+fi
+echo "CHECK OK"

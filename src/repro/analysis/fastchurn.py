@@ -34,7 +34,18 @@ pays for millions of per-event Python objects.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -84,10 +95,10 @@ class LazyEvents(Sequence):
     def __bool__(self) -> bool:
         return len(self) > 0
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Any]:
         return iter(self._list())
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Union[int, slice]) -> Any:
         return self._list()[index]
 
     def __eq__(self, other: object) -> bool:
@@ -102,7 +113,7 @@ class LazyEvents(Sequence):
             return f"LazyEvents(n={self._length}, unmaterialized)"
         return repr(self._items)
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # Build closures don't pickle; a pickled lazy list round-trips as
         # the plain list it stands for.
         return (list, (self._list(),))
@@ -110,11 +121,11 @@ class LazyEvents(Sequence):
     # Event lists are mutable in the reference implementation; keep that
     # contract by materializing before any mutation.
 
-    def append(self, item) -> None:
+    def append(self, item: Any) -> None:
         """Materialize, then append."""
         self._list().append(item)
 
-    def extend(self, items) -> None:
+    def extend(self, items: Iterable[Any]) -> None:
         """Materialize, then extend."""
         self._list().extend(items)
 

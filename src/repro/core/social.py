@@ -263,7 +263,7 @@ def build_social_model(
     encounters = churn.encounter_pairs()
     co_leavings = churn.co_leaving_pairs()
     pairs: Dict[Pair, PairStats] = {}
-    for pair in set(encounters) | set(co_leavings):
+    for pair in sorted(set(encounters) | set(co_leavings)):
         pairs[pair] = PairStats(
             encounters=encounters.get(pair, 0),
             co_leavings=co_leavings.get(pair, 0),

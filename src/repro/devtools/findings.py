@@ -1,0 +1,36 @@
+"""The lint finding record and its rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is kept as given by the driver (repo-relative when linting
+    from the repo root), ``line``/``column`` are 1- and 0-indexed as in
+    :mod:`ast`.  ``hint`` is a short autofix suggestion shown after the
+    message; empty when the fix is not mechanical.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    hint: str = field(default="", compare=False)
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable report order: by file, then location, then rule id."""
+        return (self.path, self.line, self.column, self.rule)
+
+    def render(self) -> str:
+        """``path:line:col: rule-id message (fix: hint)``."""
+        text = f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text

@@ -1,0 +1,134 @@
+"""The lint driver: ``python -m repro.devtools.lint [paths]``.
+
+Walks the given files/directories (default ``src``), parses each
+``*.py`` once, runs every registered rule's module check plus one round
+of project checks, filters ``# repro: noqa[...]`` suppressions, and
+prints findings as ``path:line:col: rule-id message``.  Exit status is
+the CI contract: 0 when clean, 1 on findings, 2 on usage errors.
+
+The framework pieces live beside this module — rules in
+:mod:`repro.devtools.rules`, contexts in :mod:`repro.devtools.project`,
+the parity table in :mod:`repro.devtools.parity_registry`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.project import (
+    LintModule,
+    Project,
+    default_repo_root,
+    parse_module,
+)
+from repro.devtools.registry import Rule, all_rules
+from repro.devtools.suppress import apply_suppressions
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under ``paths``, depth-first, sorted."""
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.iterdir()):
+                if child.is_dir() and child.name in SKIP_DIRS:
+                    continue
+                yield from iter_python_files([child])
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_module(
+    module: LintModule, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Run module-level checks (suppression-filtered) on one parsed file."""
+    rules = rules if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check_module(module))
+    filtered = apply_suppressions(findings, module.suppressions)
+    return sorted(filtered, key=lambda f: f.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    project: Optional[Project] = None,
+    with_project_checks: bool = True,
+) -> List[Finding]:
+    """Lint every python file under ``paths``; returns sorted findings.
+
+    Project-level checks (parity-registry staleness) run once per call —
+    they assert repo-wide invariants, so they fire regardless of which
+    subset of files was passed.
+    """
+    rules = rules if rules is not None else all_rules()
+    if project is None:
+        root = default_repo_root()
+        project = Project(
+            repo_root=root, src_root=root / "src", tests_root=root / "tests"
+        )
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        module = parse_module(path)
+        project.modules.append(module)
+        findings.extend(lint_module(module, rules))
+    if with_project_checks:
+        for rule in rules:
+            findings.extend(rule.check_project(project))
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="repo-specific determinism / engine-parity lint",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule suite and exit"
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip cross-file checks (parity-registry staleness)",
+    )
+    options = parser.parse_args(argv)
+
+    rules = all_rules()
+    if options.list_rules:
+        width = max(len(rule.id) for rule in rules)
+        for rule in rules:
+            print(f"{rule.id.ljust(width)}  {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in options.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    findings = lint_paths(
+        paths, rules=rules, with_project_checks=not options.no_project
+    )
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The engine-parity registry: dispatching functions and their proofs.
+
+Every public function that takes an ``engine=`` kwarg dispatches between
+a pure-Python reference implementation and a vectorized fast path that
+must stay **byte-identical** to it.  That equivalence is the contract
+the paper reproduction leans on — Figs. 2-5 are computed by whichever
+engine ``auto`` picks — so each dispatcher is registered here with:
+
+* ``reference`` — the dotted name of the pure-Python implementation
+  (the dispatcher itself when the reference branch lives inline, as in
+  ``SocialModel.build_graph``'s ``engine="python"`` arm);
+* ``fast`` — the vectorized implementation, when it is a separate
+  function;
+* ``tests`` — the pytest node ids of the equivalence tests that assert
+  byte-identical results across engines.
+
+The **engine-parity** lint rule fails when a public ``engine=`` function
+is missing from this table, and when a registered dotted name or test
+node no longer exists (verified against the test files' collected ids),
+so a refactor cannot silently drop an equivalence proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ParityEntry:
+    """Reference implementation and equivalence tests for one dispatcher."""
+
+    reference: str
+    tests: Tuple[str, ...]
+    fast: Optional[str] = None
+
+
+#: Public ``engine=`` dispatchers, by fully-qualified dotted name.
+PARITY_REGISTRY: Dict[str, ParityEntry] = {
+    "repro.analysis.churn.extract_churn": ParityEntry(
+        reference="repro.analysis.churn._extract_churn_python",
+        fast="repro.analysis.fastchurn.extract_churn_numpy",
+        tests=(
+            "tests/test_analysis_fastchurn.py::test_extract_churn_engines_identical_random",
+            "tests/test_analysis_fastchurn.py::test_extract_churn_engines_identical_grid_boundaries",
+            "tests/test_analysis_fastchurn.py::test_extract_churn_engines_identical_duplicate_times",
+        ),
+    ),
+    "repro.analysis.churn.coleaving_fraction_per_user": ParityEntry(
+        reference="repro.analysis.churn._coleaving_fraction_python",
+        fast="repro.analysis.fastchurn.coleaving_fraction_numpy",
+        tests=(
+            "tests/test_analysis_fastchurn.py::test_coleaving_fraction_engines_identical",
+        ),
+    ),
+    "repro.core.social.SocialModel.build_graph": ParityEntry(
+        reference="repro.core.social.SocialModel.build_graph",
+        tests=(
+            "tests/test_analysis_fastchurn.py::test_build_graph_engines_identical",
+            "tests/test_analysis_fastchurn.py::test_build_graph_cache_invalidated_by_record_events",
+        ),
+    ),
+}

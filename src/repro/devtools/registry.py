@@ -1,0 +1,69 @@
+"""Rule base class and registry.
+
+Rules register themselves at import time via the :func:`register`
+decorator; :mod:`repro.devtools.rules` imports every rule module, so
+``all_rules()`` after that import returns the full suite.  Tests build
+reduced suites by instantiating rule classes directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Type, TypeVar
+
+from repro.devtools.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lint imports us)
+    from repro.devtools.project import LintModule, Project
+
+
+class Rule:
+    """One lint rule: a stable id plus module- and project-level checks.
+
+    ``check_module`` runs once per linted file with its parsed AST;
+    ``check_project`` runs once per lint invocation for cross-file
+    invariants (e.g. parity-registry staleness).  Either may be a no-op.
+    """
+
+    #: Stable kebab-case identifier used in reports and suppressions.
+    id: str = ""
+    #: One-line description shown by ``lint --list-rules``.
+    description: str = ""
+
+    def check_module(self, module: "LintModule") -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield findings for cross-file invariants."""
+        return iter(())
+
+
+R = TypeVar("R", bound=Type[Rule])
+
+#: Registered rule classes by id.
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: R) -> R:
+    """Class decorator adding ``rule_class`` to the global registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} must define a rule id")
+    existing = _RULES.get(rule_class.id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _RULES[rule_class.id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    import repro.devtools.rules  # noqa: F401  (registration side effect)
+
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def rule_ids() -> List[str]:
+    """The registered rule ids, sorted."""
+    import repro.devtools.rules  # noqa: F401  (registration side effect)
+
+    return sorted(_RULES)

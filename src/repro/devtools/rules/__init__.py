@@ -1,0 +1,39 @@
+"""The repo-specific rule suite.
+
+Importing this package registers every rule (each module applies the
+:func:`repro.devtools.registry.register` decorator at import time):
+
+================== ====================================================
+rule id            invariant
+================== ====================================================
+no-wallclock       no wall-clock reads outside ``repro.perf`` /
+                   ``repro.prototype`` — replay must not observe real
+                   time
+no-unseeded-rng    no ``random`` module, no legacy ``np.random.*``
+                   global state, no unseeded ``default_rng()`` — all
+                   randomness flows through seeded ``Generator``
+                   objects (:mod:`repro.sim.rng`)
+engine-parity      every public ``engine=`` dispatcher is registered in
+                   :mod:`repro.devtools.parity_registry` with live
+                   reference/fast impls and equivalence tests
+ordered-iteration  no iteration over set-valued expressions or
+                   ``.keys()`` in ``analysis``/``core``/``wlan`` —
+                   event lists, pair counts and RNG draws must not
+                   depend on hash order
+cache-invalidation memoizing classes that also mutate state must carry
+                   a generation counter (``core/social.py`` pattern)
+mutable-default    no mutable argument defaults
+bare-except        no ``except:`` clauses
+================== ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.devtools.rules import (  # noqa: F401  (registration side effects)
+    basics,
+    cache_invalidation,
+    engine_parity,
+    ordered_iteration,
+    rng,
+    wallclock,
+)

@@ -1,0 +1,65 @@
+"""``# repro: noqa[rule-id]`` suppression comments.
+
+A finding is suppressed when the physical line it points at carries a
+suppression comment naming its rule (or naming no rule, which suppresses
+every rule on that line):
+
+    t = time.time()          # repro: noqa[no-wallclock]
+    for u in set(users):     # repro: noqa[ordered-iteration,no-wallclock]
+    x = legacy_call()        # repro: noqa
+
+Suppressions are deliberately per-line (no file- or block-scoped form):
+every exemption stays visible next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.devtools.findings import Finding
+
+#: ``# repro: noqa`` with an optional ``[id, id, ...]`` rule list.
+_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\- ]+)\])?")
+
+#: Suppression table: line number -> rule ids (empty set = all rules).
+SuppressionMap = Dict[int, FrozenSet[str]]
+
+
+def suppression_map(source: str) -> SuppressionMap:
+    """Scan ``source`` for per-line suppression comments.
+
+    A plain string scan (rather than :mod:`tokenize`) is enough here: a
+    false positive requires the literal marker inside a string on a line
+    that also triggers a rule, which the fixture suite would catch.
+    """
+    table: SuppressionMap = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            table[lineno] = frozenset()
+        else:
+            table[lineno] = frozenset(
+                name.strip() for name in rules.split(",") if name.strip()
+            )
+    return table
+
+
+def is_suppressed(finding: Finding, table: SuppressionMap) -> bool:
+    """Whether ``finding`` is silenced by a suppression on its line."""
+    rules = table.get(finding.line)
+    if rules is None:
+        return False
+    return not rules or finding.rule in rules
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], table: Optional[SuppressionMap]
+) -> Iterable[Finding]:
+    """Drop findings whose line carries a matching suppression."""
+    if not table:
+        return list(findings)
+    return [f for f in findings if not is_suppressed(f, table)]

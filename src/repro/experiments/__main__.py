@@ -14,7 +14,7 @@ qualitative shapes.
 from __future__ import annotations
 
 import sys
-import time
+from typing import Sequence
 
 from repro import perf
 from repro.experiments import config as config_module
@@ -57,7 +57,7 @@ PRESETS = {
 }
 
 
-def main(argv) -> int:
+def main(argv: Sequence[str]) -> int:
     """Run the named experiments on the chosen preset; returns exit code."""
     args = list(argv)
     show_perf = "--perf" in args
@@ -73,9 +73,9 @@ def main(argv) -> int:
         return 2
     for name in names:
         perf.reset()
-        started = time.time()
-        result = EXPERIMENTS[name].run(preset)
-        elapsed = time.time() - started
+        with perf.timer("experiment.total"):
+            result = EXPERIMENTS[name].run(preset)
+        elapsed = perf.PERF.total("experiment.total")
         print(f"\n=== {name} (preset {preset.name}, {elapsed:.1f}s) " + "=" * 20)
         print(result.render())
         if show_perf:

@@ -18,9 +18,10 @@ These back both the benchmark harness (``benchmarks/test_bench_ablation_
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.selection import SelectionConfig
+from repro.core.pipeline import TrainingConfig
+from repro.core.selection import APState, S3Selector, SelectionConfig
 from repro.experiments.config import PAPER, ExperimentConfig
 from repro.experiments.evaluation import mean_daytime_balance
 from repro.experiments.reporting import format_table
@@ -56,10 +57,15 @@ class OnlineOnlyS3(SelectionStrategy):
 
     name = "s3-online-only"
 
-    def __init__(self, selector) -> None:
+    def __init__(self, selector: S3Selector) -> None:
         self.selector = selector
 
-    def select(self, user_id, aps, rssi=None):
+    def select(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> str:
         """One-at-a-time S3 selection (no batch hook)."""
         return self.selector.select(user_id, aps)
 
@@ -68,7 +74,7 @@ def run_terms(config: ExperimentConfig = PAPER) -> AblationResult:
     """Social-index term knockout: full vs alpha=0 vs conditional-off."""
     workload = build_workload(config)
 
-    def balance_for(training) -> float:
+    def balance_for(training: TrainingConfig) -> float:
         model = trained_model(config, training)
         return mean_daytime_balance(
             workload.replay_test(S3Strategy(model.selector()))

@@ -14,8 +14,10 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.pipeline import S3Model
 from repro.experiments.reporting import confidence_interval_95
 from repro.sim.timeline import DAY, HOUR, in_departure_peak
+from repro.trace.social import SocialWorld
 from repro.wlan.replay import ReplayResult
 
 DAY_START_HOUR = 8
@@ -93,7 +95,9 @@ def per_controller_stats(result: ReplayResult) -> Dict[str, Tuple[float, float]]
     return out
 
 
-def social_graph_quality(model, world, threshold: float = 0.3) -> Dict[str, float]:
+def social_graph_quality(
+    model: S3Model, world: SocialWorld, threshold: float = 0.3
+) -> Dict[str, float]:
     """Precision/recall/F1 of the trained social graph against ground truth.
 
     The synthetic campus knows which user pairs actually share a group;

@@ -21,7 +21,7 @@ from repro.trace.generator import TraceGenerator
 from repro.trace.records import DemandSession, TraceBundle
 from repro.trace.social import SocialWorld, build_world
 from repro.sim.rng import RandomStreams
-from repro.wlan.replay import ReplayEngine, ReplayResult, collect_trace
+from repro.wlan.replay import ReplayConfig, ReplayEngine, ReplayResult, collect_trace
 from repro.wlan.strategies import LeastLoadedFirst, SelectionStrategy
 
 
@@ -40,7 +40,9 @@ class Workload:
     test_demands: List[DemandSession]
 
     def replay_test(
-        self, strategy: SelectionStrategy, config_override=None
+        self,
+        strategy: SelectionStrategy,
+        config_override: Optional[ReplayConfig] = None,
     ) -> ReplayResult:
         """Replay the evaluation period under ``strategy``."""
         replay_config = (

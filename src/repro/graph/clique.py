@@ -19,7 +19,7 @@ comfortably fast at controller-domain scale (tens of waiting users).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.graph import Graph, Node
 
@@ -146,7 +146,7 @@ class CliqueCover:
     def __len__(self) -> int:
         return len(self.cliques)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[List[Node]]:
         return iter(self.cliques)
 
     @property

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import ContextManager, Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -154,7 +154,7 @@ class PerfRegistry:
 PERF = PerfRegistry()
 
 
-def timer(name: str):
+def timer(name: str) -> ContextManager[None]:
     """``with perf.timer(name):`` against the global registry."""
     return PERF.timer(name)
 

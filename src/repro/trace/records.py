@@ -19,7 +19,10 @@ Three record families mirror the paper's data sources (Section III.A):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (columnar imports us)
+    from repro.trace.columnar import SessionArrays
 
 import numpy as np
 
@@ -179,7 +182,7 @@ class TraceBundle:
         self._sessions_by_user: Optional[Dict[str, List[SessionRecord]]] = None
         self._sessions_by_ap: Optional[Dict[str, List[SessionRecord]]] = None
         self._flows_by_user: Optional[Dict[str, List[FlowRecord]]] = None
-        self._columns = None
+        self._columns: Optional["SessionArrays"] = None
 
     # ------------------------------------------------------------------ ids
 
@@ -221,7 +224,7 @@ class TraceBundle:
             self._sessions_by_ap = index
         return self._sessions_by_ap
 
-    def columns(self):
+    def columns(self) -> "SessionArrays":
         """The session log as cached :class:`~repro.trace.columnar.SessionArrays`.
 
         Built on first use and shared by every numpy consumer (churn

@@ -27,7 +27,7 @@ arrivals (priority 1) before batch flushes (priority 2) before samples
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -307,7 +307,7 @@ class ReplayEngine:
         campus: CampusRuntime,
         controller_id: str,
         batch: List[DemandSession],
-        place,
+        place: Callable[[DemandSession, str, str], None],
         sim: Simulator,
     ) -> None:
         controller = campus.controllers[controller_id]

@@ -1,0 +1,15 @@
+"""Fixture: bare except clauses."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:  # line 7: bare
+        return None
+
+
+def fine(fn):
+    try:
+        return fn()
+    except ValueError:  # not flagged: typed
+        return None

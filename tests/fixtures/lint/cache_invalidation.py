@@ -1,0 +1,34 @@
+"""Fixture: a memoizing class that mutates state with no generation."""
+
+
+class StaleModel:  # line 4: cache + mutation, no generation counter
+    def __init__(self):
+        self._index_cache = {}
+        self.total = 0
+
+    def lookup(self, key):
+        if key not in self._index_cache:
+            self._index_cache[key] = len(self._index_cache)
+        return self._index_cache[key]
+
+    def observe(self, amount):
+        self.total = self.total + amount  # mutates without invalidating
+
+
+class StampedModel:  # not flagged: generation stamp invalidates the memo
+    def __init__(self):
+        self._index_cache = {}
+        self._generation = 0
+        self.total = 0
+
+    def observe(self, amount):
+        self.total = self.total + amount
+        self._generation += 1
+
+
+class PlainModel:  # not flagged: mutation but nothing memoized
+    def __init__(self):
+        self.total = 0
+
+    def observe(self, amount):
+        self.total += amount

@@ -1,0 +1,25 @@
+"""Fixture: idiomatic code no rule should flag."""
+
+import numpy as np
+
+
+def simulate(events, rng=None, seed=0):
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    order = sorted(set(e.user for e in events))
+    return [rng.random() for _ in order]
+
+
+class Model:
+    def __init__(self):
+        self._delta_cache = {}
+        self._generation = 0
+
+    def record(self, amount):
+        self._generation += 1
+
+    def cached(self, key, build):
+        entry = self._delta_cache.get(key)
+        if entry is None or entry[0] != self._generation:
+            entry = (self._generation, build())
+            self._delta_cache[key] = entry
+        return entry[1]

@@ -1,0 +1,21 @@
+"""Fixture: an unregistered public ``engine=`` dispatcher."""
+
+
+def resample(values, engine="auto"):  # line 4: public, not in the registry
+    return list(values) if engine == "python" else values
+
+
+class Pipeline:
+    def transform(self, values, engine="auto"):  # line 9: method form
+        return values
+
+    def _inner(self, values, engine="auto"):  # not flagged: private
+        return values
+
+
+def _private(values, engine="auto"):  # not flagged: private
+    return values
+
+
+def no_dispatch(values, mode="auto"):  # not flagged: no engine kwarg
+    return values

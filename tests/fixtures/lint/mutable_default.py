@@ -1,0 +1,14 @@
+"""Fixture: mutable argument defaults."""
+
+
+def extend(values, seen=[]):  # line 4: list literal default
+    seen.extend(values)
+    return seen
+
+
+def tally(counts={}, *, labels=set()):  # line 9: dict literal + kw-only set()
+    return counts, labels
+
+
+def fine(values, seen=None, limit=10, name=""):  # not flagged
+    return values, seen, limit, name

@@ -1,0 +1,24 @@
+"""Fixture: hash-order iteration inside a determinism-critical package.
+
+The package path under the fixture root makes ``module_name_for`` infer
+``repro.analysis.ordered``, which is inside the rule's scope.
+"""
+
+
+def collect(events, by_user):
+    out = []
+    for user in set(e.user for e in events):  # line 10: set(...) call
+        out.append(user)
+    for user in by_user.keys():  # line 12: .keys() view
+        out.append(user)
+    for pair in set(events) | set(out):  # line 14: set expression
+        out.append(pair)
+    names = [u for u in {e.user for e in events}]  # line 16: set comp
+    return out, names
+
+
+def not_flagged(events, by_user):
+    ordered = [e for e in sorted(set(events))]  # sorted() fixes the order
+    for user in by_user:  # dict iteration is insertion-ordered
+        ordered.append(user)
+    return ordered, "x" in set(events)  # membership is order-free

@@ -1,0 +1,19 @@
+"""Fixture: hidden-global RNG state the rule must catch."""
+
+import random  # line 3: stdlib random import
+import numpy as np
+from random import shuffle  # line 5: from-import of stdlib random
+
+
+def draw():
+    a = np.random.rand(3)  # line 9: legacy global-state call
+    np.random.seed(0)  # line 10: reseeding the hidden global
+    g = np.random.default_rng()  # line 11: unseeded generator
+    return a, g, random.random(), shuffle
+
+
+def not_flagged(seed):
+    # seeded constructors are the sanctioned fallback idiom
+    g = np.random.default_rng(seed)
+    bits = np.random.PCG64(seed)
+    return g, bits

@@ -1,0 +1,15 @@
+"""Fixture: every violation here carries a matching suppression."""
+
+import time
+import random  # repro: noqa[no-unseeded-rng]
+
+
+def stamp():
+    started = time.time()  # repro: noqa[no-wallclock]
+    jitter = random.random()  # repro: noqa
+    return started, jitter
+
+
+def wrong_rule():
+    # the suppression names a different rule, so this one still fires
+    return time.time()  # repro: noqa[bare-except]  (line 15: not suppressed)

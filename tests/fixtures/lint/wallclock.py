@@ -1,0 +1,18 @@
+"""Fixture: every flavor of wall-clock read the rule must catch."""
+
+import time
+from datetime import datetime
+from time import monotonic as mono
+
+
+def stamp():
+    started = time.time()  # line 9: module attribute
+    tick = mono()  # line 10: from-import under an alias
+    now = datetime.now()  # line 11: classmethod on the datetime class
+    fine = time.perf_counter()  # line 12: perf_counter is perf-only too
+    return started, tick, now, fine
+
+
+def not_flagged(timeline):
+    # simulated time, not wall-clock: attribute on an arbitrary object
+    return timeline.time()
