@@ -9,11 +9,19 @@ asserts the paper's qualitative shape.
 The expensive artifacts (campus, collected trace, trained model) are
 session-cached by :mod:`repro.experiments.workload`, so the whole harness
 pays generation and training once.
+
+Besides the human-readable ``out/<name>.txt`` report, every bench writes a
+machine-readable ``out/<name>.json`` companion — benchmark name, seed,
+pytest-benchmark timings (``null`` under ``--benchmark-disable``) and the
+bench's key metrics — so CI can archive and diff reproduction results
+across commits.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any, Dict, Optional
 
 import pytest
 
@@ -33,12 +41,46 @@ def paper_model(paper_workload):
     return trained_model(PAPER)
 
 
+def _timings(benchmark) -> Optional[Dict[str, float]]:
+    """Timing stats off a pytest-benchmark fixture.
+
+    Returns ``None`` when no stats exist — notably under
+    ``--benchmark-disable``, where the fixture runs the callable but
+    records nothing.
+    """
+    metadata = getattr(benchmark, "stats", None)
+    stats = getattr(metadata, "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return None
+    return {
+        "rounds": float(len(stats.data)),
+        "mean_s": float(stats.mean),
+        "min_s": float(stats.min),
+        "max_s": float(stats.max),
+    }
+
+
 @pytest.fixture(scope="session")
 def report_writer():
     OUT_DIR.mkdir(exist_ok=True)
 
-    def write(name: str, text: str) -> None:
+    def write(
+        name: str,
+        text: str,
+        benchmark=None,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> None:
         (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        payload = {
+            "name": name,
+            "seed": PAPER.seed,
+            "timings": _timings(benchmark) if benchmark is not None else None,
+            "metrics": dict(metrics or {}),
+        }
+        (OUT_DIR / f"{name}.json").write_text(
+            # default=float renders numpy scalars transparently
+            json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n"
+        )
 
     return write
 

@@ -18,9 +18,13 @@ from repro.experiments.config import PAPER
 
 def test_ablation_social_index_terms(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: run_terms(PAPER))
-    report_writer("ablation_alpha", result.render())
-
     rows = {name: values[0] for name, values in result.as_dict().items()}
+    report_writer(
+        "ablation_alpha",
+        result.render(),
+        benchmark=benchmark,
+        metrics={f"balance_{name}": value for name, value in sorted(rows.items())},
+    )
     # Every S3 variant beats the LLF baseline: even partial social signal helps.
     assert rows["full"] > rows["llf-baseline"]
     assert rows["no-type-prior"] > rows["llf-baseline"]

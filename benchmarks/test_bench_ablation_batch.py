@@ -15,9 +15,13 @@ from repro.experiments.config import PAPER
 
 def test_ablation_clique_batching(benchmark, paper_workload, paper_model, report_writer):
     result = run_once(benchmark, lambda: run_batching(PAPER))
-    report_writer("ablation_batch", result.render())
-
     rows = {name: values[0] for name, values in result.as_dict().items()}
+    report_writer(
+        "ablation_batch",
+        result.render(),
+        benchmark=benchmark,
+        metrics={f"balance_{name}": value for name, value in sorted(rows.items())},
+    )
     # Both run the same scoring; the batch path must not be worse beyond
     # noise, and both must stay in valid range.
     assert 0.0 <= rows["online-only"] <= 1.0

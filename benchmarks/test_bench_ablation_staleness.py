@@ -20,9 +20,17 @@ def test_ablation_measurement_staleness(
     benchmark, paper_workload, paper_model, report_writer
 ):
     result = run_once(benchmark, lambda: run_staleness(PAPER))
-    report_writer("ablation_staleness", result.render())
-
     by_interval = {row[0]: (row[1], row[2]) for row in result.rows}
+    report_writer(
+        "ablation_staleness",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            f"{name}_at_{int(interval)}s": value
+            for interval, pair in sorted(by_interval.items())
+            for name, value in zip(("llf", "s3"), pair)
+        },
+    )
     fresh_llf, fresh_s3 = by_interval[1.0]
     stale_llf, stale_s3 = by_interval[15 * MINUTE]
     # LLF loses more from staleness than S3 does.

@@ -14,9 +14,16 @@ from repro.experiments.config import PAPER
 
 def test_ablation_edge_threshold(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: run_threshold(PAPER))
-    report_writer("ablation_threshold", result.render())
-
     rows = {threshold: values[0] for threshold, values in result.as_dict().items()}
+    report_writer(
+        "ablation_threshold",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            f"balance_at_{threshold}": value
+            for threshold, value in sorted(rows.items())
+        },
+    )
     # All variants produce valid balance levels.
     assert all(0.0 <= v <= 1.0 for v in rows.values())
     # The paper's 0.3 operating point is within noise of the sweep's best —

@@ -64,6 +64,8 @@ def test_extension_online_learning(
             list(rows.items()),
             title="Extension — online-learning S3 (cold start vs pretrained)",
         ),
+        benchmark=benchmark,
+        metrics=rows,
     )
 
     # Cold-start never falls below the production baseline.

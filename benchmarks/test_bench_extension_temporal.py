@@ -55,6 +55,8 @@ def test_extension_temporal_profiles(
             list(rows.items()),
             title="Extension — temporal usage profiles",
         ),
+        benchmark=benchmark,
+        metrics={name.replace(" ", "_"): value for name, value in rows.items()},
     )
 
     # Both priors are diagonal-dominant; the schedule-aware one must not

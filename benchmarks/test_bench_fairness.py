@@ -53,6 +53,11 @@ def test_fairness_cross_check(benchmark, paper_workload, paper_model, report_wri
             rows,
             title="Fig. 12 comparison under alternative fairness metrics",
         ),
+        benchmark=benchmark,
+        metrics={
+            **{f"llf_{name}": llf[name] for name in sorted(FAIRNESS_METRICS)},
+            **{f"s3_{name}": s3[name] for name in sorted(FAIRNESS_METRICS)},
+        },
     )
 
     # The headline ordering survives every fairness notion.

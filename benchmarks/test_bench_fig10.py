@@ -24,7 +24,17 @@ from repro.experiments.config import PAPER
 
 def test_fig10_window_sweep(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig10_window.run(PAPER))
-    report_writer("fig10_window_sweep", result.render())
+    report_writer(
+        "fig10_window_sweep",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "best_f1_window_min": result.best_f1_window(),
+            "balance_min": float(result.balance.min()),
+            "balance_max": float(result.balance.max()),
+            "f1_curve": [q["f1"] for q in result.graph_quality],
+        },
+    )
 
     assert result.balance.shape == (5, 3)
     # Balance stays in the S3 operating band for every setting (fail-safe).

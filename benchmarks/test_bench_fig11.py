@@ -20,7 +20,17 @@ from repro.experiments.config import PAPER
 
 def test_fig11_history_sweep(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig11_history.run(PAPER))
-    report_writer("fig11_history_sweep", result.render())
+    recall_curve = result.recall_curve()
+    report_writer(
+        "fig11_history_sweep",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "history_days": list(result.history_days),
+            "recall_curve": [float(r) for r in recall_curve],
+            "balance_best": float(result.balance.max()),
+        },
+    )
 
     assert result.balance.shape[0] == len(result.history_days)
     # Deep history never hurts the balance (the paper's "does not hurt

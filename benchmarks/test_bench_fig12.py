@@ -16,7 +16,20 @@ from repro.experiments.config import PAPER
 
 def test_fig12_s3_vs_llf(benchmark, paper_workload, paper_model, report_writer):
     result = run_once(benchmark, lambda: fig12_compare.run(PAPER))
-    report_writer("fig12_s3_vs_llf", result.render())
+    report_writer(
+        "fig12_s3_vs_llf",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "gain_percent": result.gain_percent,
+            "peak_gain_percent": result.peak_gain_percent,
+            "errorbar_reduction_percent": result.errorbar_reduction_percent,
+            **{
+                f"mean_balance_{name}": outcome.mean_balance
+                for name, outcome in sorted(result.outcomes.items())
+            },
+        },
+    )
 
     llf = result.outcomes["llf"]
     s3 = result.outcomes["s3"]

@@ -13,7 +13,17 @@ from repro.experiments.config import PAPER
 
 def test_fig2_balance_cdf(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig2_balance.run(PAPER))
-    report_writer("fig2_balance_cdf", result.render())
+    report_writer(
+        "fig2_balance_cdf",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "n_all_hours": int(result.all_hours.size),
+            "n_peak_hours": int(result.peak_hours.size),
+            "frac_below_half_all": result.frac_below_half_all,
+            "frac_below_half_peak": result.frac_below_half_peak,
+        },
+    )
 
     assert result.all_hours.size > 500
     assert result.peak_hours.size > 50

@@ -15,7 +15,16 @@ from repro.sim.timeline import MINUTE
 
 def test_fig3_app_dynamics(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig3_appdyn.run(PAPER))
-    report_writer("fig3_app_dynamics", result.render())
+    report_writer(
+        "fig3_app_dynamics",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "frac_below_0.05_at_10min": result.frac_below(10 * MINUTE, 0.05),
+            "frac_below_0.02_at_5min": result.frac_below(5 * MINUTE, 0.02),
+            "frac_below_0.02_at_20min": result.frac_below(20 * MINUTE, 0.02),
+        },
+    )
 
     for width in (5 * MINUTE, 10 * MINUTE, 20 * MINUTE):
         assert result.variations[width].size > 100

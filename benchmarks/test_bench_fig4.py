@@ -13,7 +13,15 @@ from repro.experiments.config import PAPER
 
 def test_fig4_user_vs_traffic(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig4_userload.run(PAPER))
-    report_writer("fig4_user_vs_traffic", result.render())
+    report_writer(
+        "fig4_user_vs_traffic",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "windows": int(result.times.size),
+            "correlation": result.correlation,
+        },
+    )
 
     assert result.times.size >= 30  # half-hour windows over 16 hours
     assert result.correlation > 0.5

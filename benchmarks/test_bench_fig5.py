@@ -17,7 +17,15 @@ from repro.sim.timeline import MINUTE
 
 def test_fig5_coleaving_cdf(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig5_coleave.run(PAPER))
-    report_writer("fig5_coleaving_cdf", result.render())
+    report_writer(
+        "fig5_coleaving_cdf",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            f"median_fraction_{int(w // MINUTE)}min": result.median(w)
+            for w in sorted(result.fractions)
+        },
+    )
 
     medians = [result.median(w) for w in sorted(result.fractions)]
     # Monotone in the window: a longer window can only find more co-leavings.

@@ -13,7 +13,19 @@ from repro.experiments.config import PAPER
 
 def test_fig6_nmi_history(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig6_nmi.run(PAPER))
-    report_writer("fig6_nmi_history", result.render())
+    report_writer(
+        "fig6_nmi_history",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            f"day{day}_nmi_{label}": value
+            for day, (lookbacks, nmi) in result.curves.items()
+            for label, value in (
+                ("first", float(nmi[0])),
+                ("last", float(nmi[-1])),
+            )
+        },
+    )
 
     assert len(result.curves) == 2  # the paper's two target days
     for day, (lookbacks, nmi) in result.curves.items():

@@ -14,7 +14,15 @@ from repro.experiments.config import PAPER
 
 def test_fig7_gap_statistic(benchmark, paper_workload, report_writer):
     result = run_once(benchmark, lambda: fig7_gap.run(PAPER))
-    report_writer("fig7_gap_statistic", result.render())
+    report_writer(
+        "fig7_gap_statistic",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "selected_k": int(result.selected_k),
+            "n_users": int(result.n_users),
+        },
+    )
 
     assert result.selected_k == 4
     assert result.n_users > 500

@@ -16,7 +16,16 @@ from repro.experiments.config import PAPER
 
 def test_fig8_centroids(benchmark, paper_workload, paper_model, report_writer):
     result = run_once(benchmark, lambda: fig8_centroids.run(PAPER))
-    report_writer("fig8_centroids", result.render())
+    report_writer(
+        "fig8_centroids",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "purity": result.purity,
+            "distinct_dominant_realms": len(set(result.dominant_realms)),
+            "smallest_cluster": int(result.type_sizes.min()),
+        },
+    )
 
     assert result.centroids.shape == (4, 6)
     assert np.allclose(result.centroids.sum(axis=1), 1.0, atol=1e-6)

@@ -16,7 +16,18 @@ from repro.experiments.config import PAPER
 
 def test_forecast_coleavings(benchmark, paper_workload, paper_model, report_writer):
     result = run_once(benchmark, lambda: forecast.run(PAPER))
-    report_writer("forecast_coleavings", result.render())
+    report_writer(
+        "forecast_coleavings",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "auc_full": result.auc_full,
+            "auc_type_only": result.auc_type_only,
+            "precision_at_k": result.precision_at_k,
+            "n_positive_pairs": int(result.n_positive_pairs),
+            "n_scored_pairs": int(result.n_scored_pairs),
+        },
+    )
 
     assert result.n_positive_pairs > 200
     # Clearly better than chance.

@@ -22,7 +22,7 @@ from repro.wlan.replay import ReplayEngine
 from repro.wlan.strategies import LeastLoadedFirst
 
 
-def test_bench_kernel_event_throughput(benchmark):
+def test_bench_kernel_event_throughput(benchmark, report_writer):
     def run_events():
         sim = Simulator()
         count = [0]
@@ -36,6 +36,12 @@ def test_bench_kernel_event_throughput(benchmark):
         return count[0]
 
     processed = benchmark(run_events)
+    report_writer(
+        "micro_kernel_events",
+        f"event kernel: {processed} events processed",
+        benchmark=benchmark,
+        metrics={"events": int(processed)},
+    )
     assert processed == 10_000
 
 
@@ -96,7 +102,7 @@ def test_bench_social_graph_batch(benchmark, paper_model, engine):
     assert len(graph.nodes) == 200
 
 
-def test_bench_replay_one_day(benchmark, paper_workload):
+def test_bench_replay_one_day(benchmark, paper_workload, report_writer):
     day_demands = [
         d
         for d in paper_workload.test_demands
@@ -108,5 +114,15 @@ def test_bench_replay_one_day(benchmark, paper_workload):
 
     result = benchmark.pedantic(
         lambda: engine.run(day_demands), rounds=1, iterations=1
+    )
+    report_writer(
+        "micro_replay_one_day",
+        f"one-day LLF replay: {len(result.sessions)} sessions, "
+        f"{len(day_demands)} demands",
+        benchmark=benchmark,
+        metrics={
+            "sessions": len(result.sessions),
+            "demands": len(day_demands),
+        },
     )
     assert len(result.sessions) > 0

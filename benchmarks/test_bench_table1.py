@@ -15,7 +15,15 @@ from repro.experiments.config import PAPER
 
 def test_table1_type_affinity(benchmark, paper_workload, paper_model, report_writer):
     result = run_once(benchmark, lambda: table1.run(PAPER))
-    report_writer("table1_type_affinity", result.render())
+    report_writer(
+        "table1_type_affinity",
+        result.render(),
+        benchmark=benchmark,
+        metrics={
+            "dominance_ratio": result.dominance_ratio,
+            "diagonal_mean": float(result.affinity.diagonal().mean()),
+        },
+    )
 
     affinity = result.affinity
     assert affinity.shape == (4, 4)

@@ -3,9 +3,12 @@
 Replay is event-driven from the simulated timeline; a wall-clock read in
 any model, analysis or replay path makes runs non-reproducible and the
 paper's trace statistics uncheckable.  The only sanctioned consumers are
-:mod:`repro.perf` (the timer facade everything else must go through) and
+:mod:`repro.perf` (the timer facade everything else must go through),
 :mod:`repro.prototype` (the live-testbed daemons, which run against real
-hardware and real time by design).
+hardware and real time by design), and the single registered read in
+:mod:`repro.obs._clock` — the observability layer timestamps spans
+through that one funnel, and every *other* ``repro.obs`` submodule is
+still checked.
 """
 
 from __future__ import annotations
@@ -20,6 +23,11 @@ from repro.devtools.rules.imports import ImportMap, canonical_call
 
 #: Modules whose prefix exempts them from this rule.
 ALLOWED_MODULE_PREFIXES: Tuple[str, ...] = ("repro.perf", "repro.prototype")
+
+#: Exact module names additionally exempted: the observability layer's
+#: single sanctioned wall-clock funnel.  Deliberately *not* a prefix —
+#: a stray read elsewhere in ``repro.obs`` must keep failing.
+ALLOWED_MODULES: Tuple[str, ...] = ("repro.obs._clock",)
 
 #: Canonical dotted names of wall-clock reads.
 BANNED_CALLS: Tuple[str, ...] = (
@@ -39,6 +47,8 @@ BANNED_CALLS: Tuple[str, ...] = (
 
 def module_is_exempt(module: str) -> bool:
     """Whether the dotted module name is a sanctioned time consumer."""
+    if module in ALLOWED_MODULES:
+        return True
     return any(
         module == prefix or module.startswith(prefix + ".")
         for prefix in ALLOWED_MODULE_PREFIXES

@@ -1,22 +1,30 @@
 """Run every experiment and print its rendered report.
 
-    python -m repro.experiments [paper|small|tiny] [--perf] [fig2 fig5 ...]
+    python -m repro.experiments [paper|small|tiny] [--perf] [--trace]
+                                [--journal PATH] [fig2 fig5 ...]
 
 Without experiment names, all twelve run in paper order.  ``--perf``
 appends a :mod:`repro.perf` timer/counter table after each experiment
 (reset in between, so each table covers exactly one experiment — note the
 in-process workload cache means only the first experiment pays generation
-and training).  This is the human-facing sibling of the benchmark harness
-(``pytest benchmarks/``), which runs the same code and asserts the
-qualitative shapes.
+and training).  ``--journal PATH`` enables the :mod:`repro.obs` tracer
+and writes the whole run's structured journal — spans, association
+decisions, balance samples, perf footer — to ``PATH`` (render it with
+``python -m repro.obs.report PATH``).  ``--trace`` enables the tracer
+and prints the aggregated span table instead of persisting it.  With
+either flag the perf registry is reset once up front rather than between
+experiments, so the journal footer covers the full run.  This is the
+human-facing sibling of the benchmark harness (``pytest benchmarks/``),
+which runs the same code and asserts the qualitative shapes.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro import perf
+from repro import obs, perf
+from repro.obs import report as obs_report
 from repro.experiments import config as config_module
 from repro.experiments import (
     fig2_balance,
@@ -63,6 +71,17 @@ def main(argv: Sequence[str]) -> int:
     show_perf = "--perf" in args
     if show_perf:
         args.remove("--perf")
+    show_trace = "--trace" in args
+    if show_trace:
+        args.remove("--trace")
+    journal_path: Optional[str] = None
+    if "--journal" in args:
+        index = args.index("--journal")
+        if index + 1 >= len(args):
+            print("--journal requires a path argument")
+            return 2
+        journal_path = args[index + 1]
+        del args[index : index + 2]
     preset = config_module.PAPER
     if args and args[0] in PRESETS:
         preset = PRESETS[args.pop(0)]
@@ -71,16 +90,48 @@ def main(argv: Sequence[str]) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
         return 2
-    for name in names:
+
+    observing = show_trace or journal_path is not None
+    if observing:
+        obs.enable(reset=True)
         perf.reset()
-        with perf.timer("experiment.total"):
-            result = EXPERIMENTS[name].run(preset)
-        elapsed = perf.PERF.total("experiment.total")
-        print(f"\n=== {name} (preset {preset.name}, {elapsed:.1f}s) " + "=" * 20)
-        print(result.render())
-        if show_perf:
+    try:
+        for name in names:
+            if not observing:
+                perf.reset()
+            before = perf.PERF.total("experiment.total")
+            with perf.timer("experiment.total"):
+                with obs.span(f"experiment.{name}", preset=preset.name):
+                    result = EXPERIMENTS[name].run(preset)
+            elapsed = perf.PERF.total("experiment.total") - before
+            print(f"\n=== {name} (preset {preset.name}, {elapsed:.1f}s) " + "=" * 20)
+            print(result.render())
+            if show_perf:
+                print()
+                print(perf.report(title=f"--- perf: {name} ---"))
+        if journal_path is not None:
+            tracer = obs.get_tracer()
+            obs.write_journal(
+                journal_path,
+                tracer=tracer,
+                meta={
+                    "preset": preset.name,
+                    "seed": preset.seed,
+                    "experiments": list(names),
+                },
+            )
+            print(
+                f"\njournal: {journal_path} ({len(tracer.spans())} spans, "
+                f"{len(tracer.decisions())} decisions, "
+                f"{len(tracer.samples())} samples)"
+            )
+        if show_trace:
             print()
-            print(perf.report(title=f"--- perf: {name} ---"))
+            print("--- spans ---")
+            print(obs_report.format_top_spans(obs.get_tracer().spans()))
+    finally:
+        if observing:
+            obs.disable()
     return 0
 
 

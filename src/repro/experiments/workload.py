@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro import perf
+from repro import obs, perf
 from repro.core.pipeline import S3Model, TrainingConfig, train_s3
 from repro.experiments.config import ExperimentConfig
 from repro.trace.generator import TraceGenerator
@@ -64,14 +64,18 @@ def build_workload(config: ExperimentConfig) -> Workload:
     streams = RandomStreams(config.seed)
     world = build_world(config.world, streams)
     generator = TraceGenerator(world, config.generator_config(), streams=streams)
-    with perf.timer("workload.generate"):
+    with perf.timer("workload.generate"), obs.span(
+        "workload.generate", preset=config.name, seed=config.seed
+    ):
         bundle = generator.generate()
     split = config.split_time
     train_source = TraceBundle(
         demands=[d for d in bundle.demands if d.arrival < split],
         flows=[f for f in bundle.flows if f.start < split],
     )
-    with perf.timer("workload.collect"):
+    with perf.timer("workload.collect"), obs.span(
+        "workload.collect", preset=config.name
+    ):
         collected = collect_trace(
             world.layout, train_source, LeastLoadedFirst(), config=config.replay
         )
@@ -102,7 +106,9 @@ def trained_model(
     if key in _MODELS:
         return _MODELS[key]
     workload = build_workload(config)
-    with perf.timer("workload.train"):
+    with perf.timer("workload.train"), obs.span(
+        "workload.train", preset=config.name
+    ):
         model = train_s3(workload.collected, training)
     _MODELS[key] = model
     return model

@@ -1,0 +1,87 @@
+"""``repro.obs`` — structured run journal, span tracing and decision
+provenance.
+
+The observability layer over :mod:`repro.perf`: where perf answers "where
+did the time go", obs answers "what happened, and why".  Three pieces:
+
+* **span tracing** (:mod:`repro.obs.tracer`) — nestable spans carrying
+  both sim-time and wall-time through an explicit-clock API, collected by
+  a process-global :class:`Tracer` that is a no-op until enabled;
+* **decision provenance** (:mod:`repro.obs.records`) — every association
+  decision of the replay engine and the prototype controller emits a
+  :class:`DecisionRecord` naming the user, the batch, every candidate AP
+  with its load and per-strategy score, and the chosen AP;
+* **JSONL journal** (:mod:`repro.obs.journal`) — deterministic
+  serialization of the whole run (wall-clock values isolated under a
+  strippable ``"wall"`` key) plus a reader and the
+  ``python -m repro.obs.report`` renderer (:mod:`repro.obs.report`).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...                 # any instrumented pipeline: replay, experiments
+    obs.journal.write_journal("run.jsonl", meta={"preset": "tiny"})
+
+or, end to end, ``python -m repro.experiments tiny fig2 --journal
+run.jsonl`` followed by ``python -m repro.obs.report run.jsonl``.
+"""
+
+from repro.obs import journal
+from repro.obs.journal import (
+    Journal,
+    parse_journal,
+    perf_snapshot,
+    read_journal,
+    render_journal,
+    strip_wall,
+    write_journal,
+)
+from repro.obs.records import (
+    Candidate,
+    DecisionRecord,
+    MetaRecord,
+    PerfRecord,
+    SampleRecord,
+    SpanRecord,
+    candidates_from_states,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    decision,
+    disable,
+    enable,
+    get_tracer,
+    sample,
+    span,
+)
+
+__all__ = [
+    "Candidate",
+    "DecisionRecord",
+    "Journal",
+    "MetaRecord",
+    "NULL_SPAN",
+    "PerfRecord",
+    "SampleRecord",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "candidates_from_states",
+    "decision",
+    "disable",
+    "enable",
+    "get_tracer",
+    "journal",
+    "parse_journal",
+    "perf_snapshot",
+    "read_journal",
+    "render_journal",
+    "sample",
+    "span",
+    "strip_wall",
+    "write_journal",
+]

@@ -1,0 +1,19 @@
+"""The single sanctioned wall-clock read of the observability layer.
+
+Every wall timestamp in :mod:`repro.obs` flows through :func:`wall_time`.
+The ``no-wallclock`` lint rule allowlists exactly this module (see
+``ALLOWED_MODULES`` in :mod:`repro.devtools.rules.wallclock`), so any
+other wall-clock read added to the package still fails the lint.  Journal
+consumers must treat these values as diagnostics only: they live under
+the ``"wall"`` key of every record precisely so they can be stripped
+before byte-comparing seeded runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_time() -> float:
+    """Seconds since the epoch, read once per call."""
+    return time.time()

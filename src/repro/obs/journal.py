@@ -1,0 +1,146 @@
+"""JSONL run-journal writer, reader and wall-time stripper.
+
+A journal is one JSON object per line, in this order: a ``meta`` header,
+the tracer's records (spans, decisions, samples) in completion order,
+and a ``perf`` footer.  Serialization is deterministic — fixed key order,
+compact separators — so two same-seed runs produce byte-identical
+journals once :func:`strip_wall` has removed the ``"wall"`` key (the only
+place wall-clock values are allowed to appear).
+
+    from repro import obs, perf
+    from repro.obs.journal import write_journal, read_journal
+
+    obs.enable()
+    ...                                  # instrumented run
+    write_journal("run.jsonl", meta={"preset": "tiny"})
+    journal = read_journal("run.jsonl")
+    print(len(journal.spans), len(journal.decisions))
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro import perf as perf_module
+from repro.obs.records import (
+    DecisionRecord,
+    JournalRecord,
+    MetaRecord,
+    PerfRecord,
+    SampleRecord,
+    SpanRecord,
+    record_from_payload,
+)
+from repro.obs.tracer import TRACER, Tracer
+
+#: Compact, stable separators — part of the byte-format contract.
+_SEPARATORS = (",", ":")
+
+
+def dumps_record(record: JournalRecord) -> str:
+    """One journal line (no newline) for ``record``."""
+    kind, data, wall = record.payload()
+    obj: Dict[str, Any] = {"type": kind, "data": data}
+    if wall:
+        obj["wall"] = wall
+    return json.dumps(obj, separators=_SEPARATORS)
+
+
+def perf_snapshot(registry: Optional[perf_module.PerfRegistry] = None) -> PerfRecord:
+    """A :class:`PerfRecord` footer from ``registry`` (global by default)."""
+    registry = registry if registry is not None else perf_module.PERF
+    timers: Dict[str, Dict[str, float]] = {}
+    for name, stat in registry.timers().items():
+        timers[name] = {
+            "calls": float(stat.calls),
+            "total": stat.total,
+            "mean": stat.mean,
+            "min": stat.minimum if stat.calls else 0.0,
+            "max": stat.maximum,
+        }
+    return PerfRecord(counters=registry.counters(), timers=timers)
+
+
+def render_journal(records: List[JournalRecord]) -> str:
+    """The full journal text (trailing newline included) for ``records``."""
+    return "".join(dumps_record(record) + "\n" for record in records)
+
+
+def write_journal(
+    path: Union[str, Path],
+    tracer: Optional[Tracer] = None,
+    perf_registry: Optional[perf_module.PerfRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write header + tracer records + perf footer to ``path``.
+
+    Defaults to the global tracer and the global perf registry; returns
+    the path written.
+    """
+    tracer = tracer if tracer is not None else TRACER
+    records: List[JournalRecord] = [MetaRecord(fields=dict(meta or {}))]
+    records.extend(tracer.records)
+    records.append(perf_snapshot(perf_registry))
+    path = Path(path)
+    path.write_text(render_journal(records), encoding="utf-8")
+    return path
+
+
+@dataclass
+class Journal:
+    """A parsed journal, with records split by kind."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    records: List[JournalRecord] = field(default_factory=list)
+    spans: List[SpanRecord] = field(default_factory=list)
+    decisions: List[DecisionRecord] = field(default_factory=list)
+    samples: List[SampleRecord] = field(default_factory=list)
+    perf: Optional[PerfRecord] = None
+
+
+def parse_journal(text: str) -> Journal:
+    """Parse journal text into typed records."""
+    journal = Journal()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        record = record_from_payload(
+            obj["type"], obj.get("data", {}), obj.get("wall", {})
+        )
+        journal.records.append(record)
+        if isinstance(record, MetaRecord):
+            journal.meta.update(record.fields)
+        elif isinstance(record, SpanRecord):
+            journal.spans.append(record)
+        elif isinstance(record, DecisionRecord):
+            journal.decisions.append(record)
+        elif isinstance(record, SampleRecord):
+            journal.samples.append(record)
+        elif isinstance(record, PerfRecord):
+            journal.perf = record
+    return journal
+
+
+def read_journal(path: Union[str, Path]) -> Journal:
+    """Load and parse the journal at ``path``."""
+    return parse_journal(Path(path).read_text(encoding="utf-8"))
+
+
+def strip_wall(text: str) -> str:
+    """Journal text with every record's ``"wall"`` key removed.
+
+    The result of two same-seed runs is byte-identical; diff these, not
+    the raw files.
+    """
+    lines: List[str] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        obj.pop("wall", None)
+        lines.append(json.dumps(obj, separators=_SEPARATORS))
+    return "".join(line + "\n" for line in lines)

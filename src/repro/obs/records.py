@@ -1,0 +1,282 @@
+"""Journal record types and their deterministic JSON shapes.
+
+Every record renders to one JSONL object of the form::
+
+    {"type": "<kind>", "data": {...}, "wall": {...}}
+
+with a fixed, hand-ordered key layout inside ``data`` so that two seeded
+runs produce byte-identical lines.  Everything derived from wall time —
+and *only* that — lives under the top-level ``"wall"`` key, which
+:func:`repro.obs.journal.strip_wall` removes before diffing.  The record
+kinds:
+
+``meta``
+    One header line per journal: schema version plus free-form run
+    metadata (preset, experiment names, seed).
+``span``
+    One closed :class:`~repro.obs.tracer.Span`: name, nesting, explicit
+    sim-clock bounds, attributes; wall start/elapsed under ``"wall"``.
+``decision``
+    One association decision with full provenance: the user, the batch it
+    arrived in, every candidate AP with its load/user-count and the
+    strategy's own score, and the chosen AP.
+``sample``
+    One balance-index observation of a controller domain at a sampler
+    tick.
+``perf``
+    The journal footer: :mod:`repro.perf` counters (deterministic, under
+    ``data``) and timers (wall durations, under ``"wall"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Sequence, Tuple, Union
+
+#: Journal schema version, bumped on any breaking layout change.
+SCHEMA_VERSION = 1
+
+Payload = Tuple[str, Dict[str, Any], Dict[str, Any]]
+
+
+class APStateLike(Protocol):
+    """The slice of an AP snapshot that decision provenance records."""
+
+    @property
+    def ap_id(self) -> str: ...
+
+    @property
+    def load(self) -> float: ...
+
+    @property
+    def users(self) -> Tuple[str, ...]: ...
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate AP as the deciding strategy saw it."""
+
+    ap_id: str
+    load: float
+    users: int
+    #: The strategy's own preference score (lower preferred); ``None``
+    #: when the strategy exposes no score for this AP.
+    score: Optional[float] = None
+
+
+def candidates_from_states(
+    aps: Sequence[APStateLike], scores: Dict[str, float]
+) -> Tuple[Candidate, ...]:
+    """Build the candidate tuple for a decision, ordered by AP id.
+
+    Scores are coerced to ``float`` so journal lines round-trip exactly
+    (``0`` and ``0.0`` serialize differently).
+    """
+    return tuple(
+        Candidate(
+            ap_id=ap.ap_id,
+            load=float(ap.load),
+            users=len(ap.users),
+            score=None if ap.ap_id not in scores else float(scores[ap.ap_id]),
+        )
+        for ap in sorted(aps, key=lambda ap: ap.ap_id)
+    )
+
+
+@dataclass
+class MetaRecord:
+    """The journal header: schema version plus run metadata."""
+
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> Payload:
+        data: Dict[str, Any] = {"format": SCHEMA_VERSION}
+        for key in sorted(self.fields):
+            data[key] = self.fields[key]
+        return "meta", data, {}
+
+
+@dataclass
+class SpanRecord:
+    """One closed span (see :class:`repro.obs.tracer.Span`)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    depth: int
+    sim_start: Optional[float] = None
+    sim_end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    wall_start: float = 0.0
+    wall_elapsed: float = 0.0
+
+    @property
+    def sim_elapsed(self) -> Optional[float]:
+        """Sim-time duration, when both bounds were recorded."""
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    def payload(self) -> Payload:
+        data: Dict[str, Any] = {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "attrs": {key: self.attrs[key] for key in sorted(self.attrs)},
+        }
+        wall = {"start": self.wall_start, "elapsed": self.wall_elapsed}
+        return "span", data, wall
+
+
+@dataclass
+class DecisionRecord:
+    """Full provenance of one association decision."""
+
+    user_id: str
+    strategy: str
+    controller_id: str
+    #: Which flush produced this decision (``"<controller>#<n>"`` in the
+    #: replay engine, ``"query#<n>"`` in the prototype controller).
+    batch_id: str
+    #: Simulation time of the decision; ``None`` in the wall-time-driven
+    #: prototype daemons.
+    sim_time: Optional[float]
+    chosen: str
+    candidates: Tuple[Candidate, ...] = ()
+    #: ``"batch"`` (Algorithm 1 flush), ``"single"`` (sequential arrival
+    #: fallback) or ``"query"`` (prototype steering query).
+    mode: str = "single"
+
+    def payload(self) -> Payload:
+        data: Dict[str, Any] = {
+            "user": self.user_id,
+            "strategy": self.strategy,
+            "controller": self.controller_id,
+            "batch": self.batch_id,
+            "sim_time": self.sim_time,
+            "chosen": self.chosen,
+            "mode": self.mode,
+            "candidates": [
+                {
+                    "ap": c.ap_id,
+                    "load": c.load,
+                    "users": c.users,
+                    "score": c.score,
+                }
+                for c in self.candidates
+            ],
+        }
+        return "decision", data, {}
+
+
+@dataclass
+class SampleRecord:
+    """One balance-index observation of a controller domain."""
+
+    sim_time: float
+    controller_id: str
+    balance: float
+    total_load: float
+    users: int
+
+    def payload(self) -> Payload:
+        data: Dict[str, Any] = {
+            "sim_time": self.sim_time,
+            "controller": self.controller_id,
+            "balance": self.balance,
+            "total_load": self.total_load,
+            "users": self.users,
+        }
+        return "sample", data, {}
+
+
+@dataclass
+class PerfRecord:
+    """The journal footer: a :mod:`repro.perf` registry snapshot.
+
+    Counters are event counts and therefore deterministic for seeded
+    runs; timer statistics are wall durations and live under ``"wall"``.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    timers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def payload(self) -> Payload:
+        data: Dict[str, Any] = {
+            "counters": {key: self.counters[key] for key in sorted(self.counters)}
+        }
+        wall: Dict[str, Any] = {
+            "timers": {
+                name: {
+                    key: self.timers[name][key]
+                    for key in ("calls", "total", "mean", "min", "max")
+                    if key in self.timers[name]
+                }
+                for name in sorted(self.timers)
+            }
+        }
+        return "perf", data, wall
+
+
+JournalRecord = Union[MetaRecord, SpanRecord, DecisionRecord, SampleRecord, PerfRecord]
+
+
+def record_from_payload(
+    kind: str, data: Dict[str, Any], wall: Dict[str, Any]
+) -> JournalRecord:
+    """Reconstruct the typed record for one parsed journal line."""
+    if kind == "meta":
+        fields = {key: value for key, value in data.items() if key != "format"}
+        return MetaRecord(fields=fields)
+    if kind == "span":
+        return SpanRecord(
+            span_id=int(data["id"]),
+            parent_id=None if data["parent"] is None else int(data["parent"]),
+            name=str(data["name"]),
+            depth=int(data["depth"]),
+            sim_start=data["sim_start"],
+            sim_end=data["sim_end"],
+            attrs=dict(data["attrs"]),
+            wall_start=float(wall.get("start", 0.0)),
+            wall_elapsed=float(wall.get("elapsed", 0.0)),
+        )
+    if kind == "decision":
+        candidates = tuple(
+            Candidate(
+                ap_id=str(c["ap"]),
+                load=float(c["load"]),
+                users=int(c["users"]),
+                score=None if c["score"] is None else float(c["score"]),
+            )
+            for c in data["candidates"]
+        )
+        return DecisionRecord(
+            user_id=str(data["user"]),
+            strategy=str(data["strategy"]),
+            controller_id=str(data["controller"]),
+            batch_id=str(data["batch"]),
+            sim_time=data["sim_time"],
+            chosen=str(data["chosen"]),
+            candidates=candidates,
+            mode=str(data["mode"]),
+        )
+    if kind == "sample":
+        return SampleRecord(
+            sim_time=float(data["sim_time"]),
+            controller_id=str(data["controller"]),
+            balance=float(data["balance"]),
+            total_load=float(data["total_load"]),
+            users=int(data["users"]),
+        )
+    if kind == "perf":
+        return PerfRecord(
+            counters=dict(data.get("counters", {})),
+            timers={
+                name: dict(stats)
+                for name, stats in wall.get("timers", {}).items()
+            },
+        )
+    raise ValueError(f"unknown journal record type {kind!r}")

@@ -1,0 +1,224 @@
+"""``python -m repro.obs.report`` — render a run journal for humans.
+
+Loads a JSONL journal (see :mod:`repro.obs.journal`) and prints four
+sections: the run metadata, the top spans aggregated by name, a
+per-controller balance-index timeline from the sampler records, and a
+decision audit table with every candidate AP's load and score.  The
+``--strip`` flag instead emits the wall-stripped journal (the byte-stable
+form) for diffing seeded runs.
+
+    python -m repro.obs.report out.jsonl
+    python -m repro.obs.report out.jsonl --decisions 25
+    python -m repro.obs.report a.jsonl --strip > a.stable
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.journal import Journal, read_journal, strip_wall
+from repro.obs.records import DecisionRecord, SampleRecord, SpanRecord
+
+
+def format_top_spans(spans: Sequence[SpanRecord], limit: int = 12) -> str:
+    """Spans aggregated by name, widest wall footprint first."""
+    if not spans:
+        return "(no spans recorded)"
+    totals: Dict[str, Tuple[int, float, float]] = {}
+    for span in spans:
+        calls, wall, sim = totals.get(span.name, (0, 0.0, 0.0))
+        totals[span.name] = (
+            calls + 1,
+            wall + span.wall_elapsed,
+            sim + (span.sim_elapsed or 0.0),
+        )
+    rows = sorted(totals.items(), key=lambda item: (-item[1][1], item[0]))[:limit]
+    width = max(len(name) for name, _ in rows)
+    lines = [
+        f"{'span'.ljust(width)}  {'calls':>7}  {'wall_total':>11}  {'sim_total':>12}"
+    ]
+    for name, (calls, wall, sim) in rows:
+        lines.append(
+            f"{name.ljust(width)}  {calls:>7d}  {wall:>10.3f}s  {sim:>11.0f}s"
+        )
+    return "\n".join(lines)
+
+
+def format_balance_timelines(
+    samples: Sequence[SampleRecord], buckets: int = 12
+) -> str:
+    """Per-controller mean balance index over equal time buckets."""
+    if not samples:
+        return "(no balance samples recorded)"
+    by_controller: Dict[str, List[SampleRecord]] = {}
+    for sample in samples:
+        by_controller.setdefault(sample.controller_id, []).append(sample)
+    t_lo = min(s.sim_time for s in samples)
+    t_hi = max(s.sim_time for s in samples)
+    span = max(t_hi - t_lo, 1.0)
+    lines = [
+        f"balance index, {buckets} buckets over "
+        f"t=[{t_lo:.0f}s, {t_hi:.0f}s] (mean per bucket, '----' = idle)"
+    ]
+    width = max(len(cid) for cid in by_controller)
+    for controller_id in sorted(by_controller):
+        series = by_controller[controller_id]
+        sums = [0.0] * buckets
+        counts = [0] * buckets
+        for sample in series:
+            index = min(int((sample.sim_time - t_lo) / span * buckets), buckets - 1)
+            sums[index] += sample.balance
+            counts[index] += 1
+        cells = [
+            f"{sums[i] / counts[i]:.2f}" if counts[i] else "----"
+            for i in range(buckets)
+        ]
+        mean = sum(s.balance for s in series) / len(series)
+        lines.append(
+            f"{controller_id.ljust(width)}  {' '.join(cells)}  "
+            f"(n={len(series)}, mean={mean:.3f})"
+        )
+    return "\n".join(lines)
+
+
+def format_decision(decision: DecisionRecord) -> str:
+    """One audit line: who went where, and what the alternatives scored."""
+    when = "t=?" if decision.sim_time is None else f"t={decision.sim_time:.0f}s"
+    candidates = "  ".join(
+        "{}{}(load={:.0f}, users={}{})".format(
+            "*" if c.ap_id == decision.chosen else " ",
+            c.ap_id,
+            c.load,
+            c.users,
+            "" if c.score is None else f", score={c.score:.3f}",
+        )
+        for c in decision.candidates
+    )
+    return (
+        f"{when}  user={decision.user_id}  ctrl={decision.controller_id}  "
+        f"batch={decision.batch_id}  {decision.strategy}/{decision.mode} -> "
+        f"{decision.chosen}\n    {candidates}"
+    )
+
+
+def format_decisions(
+    decisions: Sequence[DecisionRecord], limit: int = 10
+) -> str:
+    """The first ``limit`` decisions as an audit table."""
+    if not decisions:
+        return "(no decisions recorded)"
+    lines = [format_decision(d) for d in decisions[:limit]]
+    if len(decisions) > limit:
+        lines.append(f"... {len(decisions) - limit} more decision(s)")
+    return "\n".join(lines)
+
+
+def format_perf_footer(journal: Journal) -> str:
+    """The perf footer: counters, then wall timers."""
+    perf = journal.perf
+    if perf is None or not (perf.counters or perf.timers):
+        return "(no perf footer)"
+    lines: List[str] = []
+    if perf.counters:
+        width = max(len(name) for name in perf.counters)
+        for name in sorted(perf.counters):
+            value = perf.counters[name]
+            rendered = f"{int(value)}" if value == int(value) else f"{value:.3f}"
+            lines.append(f"{name.ljust(width)}  {rendered:>12}")
+    if perf.timers:
+        width = max(len(name) for name in perf.timers)
+        lines.append(
+            f"{'timer'.ljust(width)}  {'calls':>7}  {'total':>10}  "
+            f"{'mean':>10}  {'min':>10}  {'max':>10}"
+        )
+        ordered = sorted(
+            perf.timers.items(), key=lambda item: -item[1].get("total", 0.0)
+        )
+        for name, stats in ordered:
+            lines.append(
+                f"{name.ljust(width)}  {int(stats.get('calls', 0)):>7d}  "
+                f"{stats.get('total', 0.0):>9.3f}s  {stats.get('mean', 0.0):>9.4f}s  "
+                f"{stats.get('min', 0.0):>9.4f}s  {stats.get('max', 0.0):>9.4f}s"
+            )
+    return "\n".join(lines)
+
+
+def render_report(
+    journal: Journal,
+    spans: int = 12,
+    decisions: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """The full human-readable report for a parsed journal."""
+    meta = " ".join(f"{k}={journal.meta[k]}" for k in sorted(journal.meta))
+    lines = [
+        f"=== run journal{f': {title}' if title else ''} ===",
+        f"meta: {meta or '(none)'}",
+        f"records: {len(journal.spans)} spans, {len(journal.decisions)} "
+        f"decisions, {len(journal.samples)} samples",
+        "",
+        "-- top spans --",
+        format_top_spans(journal.spans, limit=spans),
+        "",
+        "-- balance timelines --",
+        format_balance_timelines(journal.samples),
+        "",
+        f"-- decision audit (first {decisions}) --",
+        format_decisions(journal.decisions, limit=decisions),
+        "",
+        "-- perf footer --",
+        format_perf_footer(journal),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="render a repro.obs run journal",
+    )
+    parser.add_argument("journal", help="path to a .jsonl run journal")
+    parser.add_argument(
+        "--spans", type=int, default=12, help="span rows to show (default 12)"
+    )
+    parser.add_argument(
+        "--decisions",
+        type=int,
+        default=10,
+        help="decision rows to show (default 10)",
+    )
+    parser.add_argument(
+        "--strip",
+        action="store_true",
+        help="emit the wall-stripped journal instead of the report",
+    )
+    options = parser.parse_args(argv)
+    path = Path(options.journal)
+    if not path.exists():
+        print(f"no such journal: {path}", file=sys.stderr)
+        return 2
+    try:
+        if options.strip:
+            sys.stdout.write(strip_wall(path.read_text(encoding="utf-8")))
+            return 0
+        journal = read_journal(path)
+        print(
+            render_report(
+                journal,
+                spans=options.spans,
+                decisions=options.decisions,
+                title=path.name,
+            )
+        )
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

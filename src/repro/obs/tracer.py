@@ -1,0 +1,277 @@
+"""Span tracing with an explicit simulation clock.
+
+The tracer is the collection point of :mod:`repro.obs`: spans, decision
+records and balance samples are appended to one process-global
+:class:`Tracer` in completion order, and the journal writer serializes
+that list verbatim — which is what makes seeded runs byte-reproducible.
+
+Two clocks, two rules:
+
+* **sim time** is always *explicit*.  A span never reads a clock of its
+  own; the caller either passes ``sim_time=`` (the start instant) and/or
+  ``clock=`` (a zero-arg callable, typically ``lambda: sim.now``, polled
+  once more when the span closes), or assigns ``span.sim_start`` /
+  ``span.sim_end`` directly.  This keeps the kernel, the replay engine
+  and the trace generator free of any wall-clock dependency.
+* **wall time** is read exclusively through :mod:`repro.obs._clock`, the
+  one module the ``no-wallclock`` lint rule allowlists, and is stored
+  separately so journals can be diffed without it.
+
+The tracer is *disabled* by default: ``span()`` then returns a shared
+no-op span and ``decision()``/``sample()`` return immediately, so the
+instrumentation in the hot paths costs one attribute check per call
+site.  Enable it (``obs.enable()``) before a run you want journaled.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Type, Union
+
+from repro.obs._clock import wall_time
+from repro.obs.records import (
+    DecisionRecord,
+    PerfRecord,
+    SampleRecord,
+    SpanRecord,
+)
+
+TracedRecord = Union[SpanRecord, DecisionRecord, SampleRecord, PerfRecord]
+
+
+class Span:
+    """One live span; close it by leaving its ``with`` block.
+
+    ``sim_start`` / ``sim_end`` may be assigned at any point before the
+    span closes; ``set()`` attaches attributes.  The span records itself
+    with its tracer when it closes.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "sim_start",
+        "sim_end",
+        "attrs",
+        "_tracer",
+        "_clock",
+        "_wall_start",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        sim_time: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.sim_start: Optional[float] = sim_time
+        self.sim_end: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+        self._tracer = tracer
+        self._clock = clock
+        self._wall_start = 0.0
+        if clock is not None and self.sim_start is None:
+            self.sim_start = clock()
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach journal attributes to this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._wall_start = wall_time()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if self.sim_end is None and self._clock is not None:
+            self.sim_end = self._clock()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self, wall_time() - self._wall_start)
+
+
+class _NullSpan:
+    """The shared no-op span handed out by a disabled tracer."""
+
+    __slots__ = ("sim_start", "sim_end")
+
+    def __init__(self) -> None:
+        self.sim_start: Optional[float] = None
+        self.sim_end: Optional[float] = None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+#: The singleton returned by every ``span()`` call on a disabled tracer.
+NULL_SPAN = _NullSpan()
+
+AnySpan = Union[Span, _NullSpan]
+
+
+class Tracer:
+    """Process-wide collector of spans, decisions and samples."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        #: Completed records in completion order — the journal body.
+        self.records: List[TracedRecord] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------- recording
+
+    def span(
+        self,
+        name: str,
+        sim_time: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        **attrs: Any,
+    ) -> AnySpan:
+        """Open a span (use as a context manager).
+
+        ``sim_time`` fixes the span's sim start; ``clock`` is polled for
+        the missing bound(s) — once immediately for ``sim_start`` when
+        ``sim_time`` is not given, once at close for ``sim_end`` unless
+        the caller assigned it.  Keyword attributes are journaled as-is.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            tracer=self,
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            sim_time=sim_time,
+            clock=clock,
+        )
+        self._next_id += 1
+        if attrs:
+            span.attrs.update(attrs)
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span, wall_elapsed: float) -> None:
+        """Close ``span`` (spans close strictly LIFO) and record it."""
+        while self._stack and self._stack[-1] is not span:
+            # A span leaked out of its nesting (caller never closed an
+            # inner span); drop the strays rather than corrupt the stack.
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.records.append(
+            SpanRecord(
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                name=span.name,
+                depth=span.depth,
+                sim_start=span.sim_start,
+                sim_end=span.sim_end,
+                attrs=dict(span.attrs),
+                wall_start=span._wall_start,
+                wall_elapsed=wall_elapsed,
+            )
+        )
+
+    def decision(self, record: DecisionRecord) -> None:
+        """Journal one association decision (no-op when disabled)."""
+        if self.enabled:
+            self.records.append(record)
+
+    def sample(self, record: SampleRecord) -> None:
+        """Journal one balance-index sample (no-op when disabled)."""
+        if self.enabled:
+            self.records.append(record)
+
+    # ------------------------------------------------------------- querying
+
+    def spans(self) -> List[SpanRecord]:
+        """All closed spans, in completion order."""
+        return [r for r in self.records if isinstance(r, SpanRecord)]
+
+    def decisions(self) -> List[DecisionRecord]:
+        """All decision records, in emission order."""
+        return [r for r in self.records if isinstance(r, DecisionRecord)]
+
+    def samples(self) -> List[SampleRecord]:
+        """All balance samples, in emission order."""
+        return [r for r in self.records if isinstance(r, SampleRecord)]
+
+    # ------------------------------------------------------------ lifecycle
+
+    def reset(self) -> None:
+        """Drop every record and any half-open span state."""
+        self.records.clear()
+        self._stack.clear()
+        self._next_id = 0
+
+
+#: The process-global tracer every instrumented layer records into.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return TRACER
+
+
+def span(
+    name: str,
+    sim_time: Optional[float] = None,
+    clock: Optional[Callable[[], float]] = None,
+    **attrs: Any,
+) -> AnySpan:
+    """Open a span on the global tracer."""
+    return TRACER.span(name, sim_time=sim_time, clock=clock, **attrs)
+
+
+def decision(record: DecisionRecord) -> None:
+    """Record a decision on the global tracer."""
+    TRACER.decision(record)
+
+
+def sample(record: SampleRecord) -> None:
+    """Record a balance sample on the global tracer."""
+    TRACER.sample(record)
+
+
+def enable(reset: bool = True) -> Tracer:
+    """Turn the global tracer on (fresh by default); returns it."""
+    if reset:
+        TRACER.reset()
+    TRACER.enabled = True
+    return TRACER
+
+
+def disable() -> Tracer:
+    """Turn the global tracer off (records are kept); returns it."""
+    TRACER.enabled = False
+    return TRACER

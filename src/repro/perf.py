@@ -125,13 +125,16 @@ class PerfRegistry:
             width = max(len(name) for name, _ in rows)
             lines.append(
                 f"{'timer'.ljust(width)}  {'calls':>7}  {'total':>10}  "
-                f"{'mean':>10}  {'max':>10}"
+                f"{'mean':>10}  {'min':>10}  {'max':>10}"
             )
             for name, stat in rows:
+                # A zero-call stat still carries the inf sentinel in
+                # ``minimum``; render 0 so the table stays finite.
+                minimum = stat.minimum if stat.calls else 0.0
                 lines.append(
                     f"{name.ljust(width)}  {stat.calls:>7d}  "
                     f"{stat.total:>9.3f}s  {stat.mean:>9.4f}s  "
-                    f"{stat.maximum:>9.4f}s"
+                    f"{minimum:>9.4f}s  {stat.maximum:>9.4f}s"
                 )
         if self._counters:
             rows = sorted(self._counters.items())

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.selection import APState
+from repro.obs.records import DecisionRecord, candidates_from_states
+from repro.obs.tracer import get_tracer
 from repro.prototype.ap_daemon import APDaemon
 from repro.prototype.messages import (
     Frame,
@@ -70,6 +72,26 @@ class ControllerDaemon:
                 f"strategy {self.strategy.name} chose unknown AP {target!r}"
             )
         self.decisions += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Same provenance as the replay engine, but the prototype runs
+            # in wall time: sim_time is null and the batch id counts
+            # steering queries.
+            scores = self.strategy.score_candidates(
+                frame.station_id, states, rssi=rssi
+            )
+            tracer.decision(
+                DecisionRecord(
+                    user_id=frame.station_id,
+                    strategy=self.strategy.name,
+                    controller_id=self.controller_id,
+                    batch_id=f"query#{self.decisions}",
+                    sim_time=None,
+                    chosen=target,
+                    candidates=candidates_from_states(states, scores),
+                    mode="query",
+                )
+            )
         self.bus.send(
             RedirectDirective(
                 src=self.endpoint,

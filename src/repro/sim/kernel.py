@@ -22,6 +22,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional
 
+from repro.obs.tracer import get_tracer
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation kernel."""
@@ -219,21 +221,28 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         self._stopped = False
-        try:
-            while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
-                self._now = event.time
-                self.events_processed += 1
-                event.action()
-            if until is not None and until > self._now and not self._stopped:
-                self._now = until
-        finally:
-            self._running = False
+        first_event = self.events_processed
+        # Explicit-clock span: the kernel hands the tracer its own sim
+        # clock, keeping this module free of any wall-time dependency.
+        with get_tracer().span(
+            "sim.run", sim_time=self._now, clock=lambda: self._now
+        ) as span:
+            try:
+                while not self._stopped:
+                    next_time = self._queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        break
+                    event = self._queue.pop()
+                    self._now = event.time
+                    self.events_processed += 1
+                    event.action()
+                if until is not None and until > self._now and not self._stopped:
+                    self._now = until
+            finally:
+                self._running = False
+                span.set(events=self.events_processed - first_event)
         return self._now
 
     def run_until_empty(self) -> float:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.tracer import get_tracer
 from repro.sim.rng import RandomStreams
 from repro.sim.timeline import DAY, HOUR, MINUTE, weekday
 from repro.trace.apps import (
@@ -100,11 +101,19 @@ class TraceGenerator:
         """Generate the full trace for ``config.n_days`` days."""
         demands: List[DemandSession] = []
         flows: List[FlowRecord] = []
-        for day in range(self.config.n_days):
-            day_demands = self.generate_day(day)
-            demands.extend(day_demands)
-            for demand in day_demands:
-                flows.extend(self._flows_for(demand))
+        with get_tracer().span(
+            "trace.generate",
+            sim_time=0.0,
+            days=self.config.n_days,
+            users=self.config.world.n_users,
+        ) as span:
+            for day in range(self.config.n_days):
+                day_demands = self.generate_day(day)
+                demands.extend(day_demands)
+                for demand in day_demands:
+                    flows.extend(self._flows_for(demand))
+            span.sim_end = self.config.n_days * DAY
+            span.set(demands=len(demands), flows=len(flows))
         return TraceBundle(demands=demands, flows=flows)
 
     def generate_day(self, day: int) -> List[DemandSession]:

@@ -32,6 +32,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import perf
+from repro.analysis.balance import normalized_balance_index
+from repro.core.selection import APState
+from repro.obs.records import (
+    DecisionRecord,
+    SampleRecord,
+    candidates_from_states,
+)
+from repro.obs.tracer import NULL_SPAN, AnySpan, get_tracer
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.timeline import MINUTE
@@ -131,12 +139,23 @@ class ReplayEngine:
     def run(self, demands: Sequence[DemandSession]) -> ReplayResult:
         """Replay all demands; returns sessions and sampled metrics."""
         with perf.timer(f"replay.run.{self.strategy.name}"):
-            result = self._run(demands)
+            with get_tracer().span(
+                "replay.run",
+                strategy=self.strategy.name,
+                demands=len(demands),
+            ) as span:
+                result = self._run(demands, span)
+                span.set(
+                    sessions=len(result.sessions),
+                    events=result.events_processed,
+                )
         perf.count("replay.events", result.events_processed)
         perf.count("replay.sessions", len(result.sessions))
         return result
 
-    def _run(self, demands: Sequence[DemandSession]) -> ReplayResult:
+    def _run(
+        self, demands: Sequence[DemandSession], span: Optional[AnySpan] = None
+    ) -> ReplayResult:
         demands = sorted(demands, key=lambda d: (d.arrival, d.user_id))
         if not demands:
             return ReplayResult(self.strategy.name, [], {}, 0)
@@ -144,6 +163,11 @@ class ReplayEngine:
         campus = CampusRuntime(self.layout)
         collector = MetricsCollector()
         sim = Simulator(start_time=demands[0].arrival)
+        tracer = get_tracer()
+        if span is not None:
+            span.sim_start = demands[0].arrival
+        # Per-controller flush sequence numbers for decision provenance.
+        batch_seq: Dict[str, int] = {}
         sessions: List[SessionRecord] = []
         # Per-controller arrival buffers and their pending flush flags.
         buffers: Dict[str, List[DemandSession]] = {}
@@ -223,7 +247,12 @@ class ReplayEngine:
                     waiting.remove(demand)
                 if not waiting:
                     buffered.pop(demand.user_id, None)
-            self._assign_batch(campus, controller_id, batch, place, sim)
+            seq = batch_seq.get(controller_id, 0)
+            batch_seq[controller_id] = seq + 1
+            self._assign_batch(
+                campus, controller_id, batch, place, sim,
+                batch_id=f"{controller_id}#{seq}",
+            )
 
         def handle_arrival(demand: DemandSession) -> None:
             # One radio per station: a demand that temporally overlaps the
@@ -270,9 +299,26 @@ class ReplayEngine:
             )
 
         horizon = max(d.departure for d in demands) + self.config.batch_window
+
+        def take_sample() -> None:
+            collector.sample(sim.now, campus)
+            if tracer.enabled:
+                for controller_id in sorted(campus.controllers):
+                    controller = campus.controllers[controller_id]
+                    loads = controller.loads()
+                    tracer.sample(
+                        SampleRecord(
+                            sim_time=sim.now,
+                            controller_id=controller_id,
+                            balance=normalized_balance_index(loads),
+                            total_load=float(sum(loads)),
+                            users=int(sum(controller.user_counts())),
+                        )
+                    )
+
         stop_sampler = sim.every(
             self.config.sample_interval,
-            lambda: collector.sample(sim.now, campus),
+            take_sample,
             start=demands[0].arrival,
             priority=_PRIORITY_SAMPLE,
             name="sample",
@@ -292,6 +338,8 @@ class ReplayEngine:
         sim.run(until=horizon)
         stop_sampler()
         stop_poller()
+        if span is not None:
+            span.sim_end = sim.now
 
         return ReplayResult(
             strategy_name=self.strategy.name,
@@ -309,38 +357,99 @@ class ReplayEngine:
         batch: List[DemandSession],
         place: Callable[[DemandSession, str, str], None],
         sim: Simulator,
+        batch_id: str = "",
     ) -> None:
         controller = campus.controllers[controller_id]
+        tracer = get_tracer()
         rssi_by_user = {
             d.user_id: self._station_rssi(d) for d in batch
         }
         user_ids = [d.user_id for d in batch]
         snapshots = controller.snapshots()
         perf.count("replay.batches")
-        with perf.timer("replay.assign_batch"):
-            placement = self.strategy.assign_batch(
-                user_ids, snapshots, rssi_by_user=rssi_by_user
+        # Build the span args only when tracing: this runs once per flush,
+        # and the disabled path must stay near-free.
+        span = (
+            tracer.span(
+                "replay.flush",
+                sim_time=sim.now,
+                clock=lambda: sim.now,
+                controller=controller_id,
+                users=len(batch),
             )
-        if placement is None:
-            # Sequential fallback: live snapshots between picks, which is
-            # what an arrival-at-a-time controller does.
-            for demand in batch:
-                choice = self.strategy.select(
-                    demand.user_id,
-                    controller.snapshots(),
-                    rssi=rssi_by_user[demand.user_id],
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            with perf.timer("replay.assign_batch"):
+                placement = self.strategy.assign_batch(
+                    user_ids, snapshots, rssi_by_user=rssi_by_user
                 )
-                place(demand, choice, controller_id)
-            return
+            if placement is None:
+                # Sequential fallback: live snapshots between picks, which
+                # is what an arrival-at-a-time controller does.
+                for demand in batch:
+                    states = controller.snapshots()
+                    choice = self.strategy.select(
+                        demand.user_id,
+                        states,
+                        rssi=rssi_by_user[demand.user_id],
+                    )
+                    if tracer.enabled:
+                        tracer.decision(
+                            self._decision(
+                                demand, states, choice, controller_id,
+                                batch_id, sim.now, mode="single",
+                                rssi=rssi_by_user[demand.user_id],
+                            )
+                        )
+                    place(demand, choice, controller_id)
+                return
 
-        for demand in batch:
-            ap_id = placement.get(demand.user_id)
-            if ap_id is None:
-                raise RuntimeError(
-                    f"strategy {self.strategy.name} returned no AP "
-                    f"for user {demand.user_id}"
-                )
-            place(demand, ap_id, controller_id)
+            for demand in batch:
+                ap_id = placement.get(demand.user_id)
+                if ap_id is None:
+                    raise RuntimeError(
+                        f"strategy {self.strategy.name} returned no AP "
+                        f"for user {demand.user_id}"
+                    )
+                if tracer.enabled:
+                    # Candidates are the pre-batch snapshots: the state the
+                    # batch strategy actually scored against.
+                    tracer.decision(
+                        self._decision(
+                            demand, snapshots, ap_id, controller_id,
+                            batch_id, sim.now, mode="batch",
+                            rssi=rssi_by_user[demand.user_id],
+                        )
+                    )
+                place(demand, ap_id, controller_id)
+
+    def _decision(
+        self,
+        demand: DemandSession,
+        states: Sequence[APState],
+        chosen: str,
+        controller_id: str,
+        batch_id: str,
+        sim_time: float,
+        mode: str,
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> DecisionRecord:
+        """Provenance for one placement (only built when tracing is on)."""
+        scores = self.strategy.score_candidates(
+            demand.user_id, states, rssi=rssi
+        )
+        return DecisionRecord(
+            user_id=demand.user_id,
+            strategy=self.strategy.name,
+            controller_id=controller_id,
+            batch_id=batch_id,
+            sim_time=sim_time,
+            chosen=chosen,
+            candidates=candidates_from_states(states, scores),
+            mode=mode,
+        )
 
     def _station_rssi(self, demand: DemandSession) -> Dict[str, float]:
         """Deterministic per-session RSSI map for the arriving station."""

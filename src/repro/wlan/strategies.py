@@ -59,6 +59,22 @@ class SelectionStrategy(abc.ABC):
         """
         return None
 
+    def score_candidates(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Per-candidate preference scores for decision provenance.
+
+        Lower means preferred; APs the strategy has no opinion on may be
+        omitted (they journal with a null score).  This powers
+        :class:`repro.obs.DecisionRecord` audit trails and is only called
+        when the tracer is enabled, so it may recompute what ``select``
+        computes.  The default exposes no scores.
+        """
+        return {}
+
     def observe_arrival(self, user_id: str, ap_id: str, time: float) -> None:
         """Called by the engine after a user associates.  Default: no-op.
 
@@ -97,6 +113,20 @@ class StrongestSignal(SelectionStrategy):
             return min(candidates)
         return strongest_ap(visible)
 
+    def score_candidates(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Negated RSSI (strongest signal scores lowest); unseen APs omitted."""
+        if not rssi:
+            return {}
+        candidates = {ap.ap_id for ap in aps}
+        return {
+            ap_id: -value for ap_id, value in rssi.items() if ap_id in candidates
+        }
+
 
 class LeastLoadedFirst(SelectionStrategy):
     """LLF: the AP with the least workload gets the new user.
@@ -124,6 +154,17 @@ class LeastLoadedFirst(SelectionStrategy):
         if self.metric == "load":
             return least_loaded(aps).ap_id
         return min(aps, key=lambda ap: (ap.user_count, ap.load, ap.ap_id)).ap_id
+
+    def score_candidates(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, float]:
+        """The ranked quantity itself: measured load or association count."""
+        if self.metric == "load":
+            return {ap.ap_id: ap.load for ap in aps}
+        return {ap.ap_id: float(ap.user_count) for ap in aps}
 
 
 class RandomSelection(SelectionStrategy):
@@ -172,3 +213,14 @@ class S3Strategy(SelectionStrategy):
     ) -> Optional[Dict[str, str]]:
         """Algorithm 1 batch distribution via the wrapped selector."""
         return self.selector.assign_batch(user_ids, aps)
+
+    def score_candidates(
+        self,
+        user_id: str,
+        aps: Sequence[APState],
+        rssi: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Algorithm 1's primary objective: the added social cost C(AP)."""
+        return {
+            ap.ap_id: self.selector.added_social_cost(user_id, ap) for ap in aps
+        }

@@ -1,0 +1,8 @@
+"""Fixture: a wall-clock read in a repro.obs submodule that is *not* the
+registered ``repro.obs._clock`` funnel must still fail no-wallclock."""
+
+import time
+
+
+def sneaky_wall_read() -> float:
+    return time.time()  # line 8: repro.obs is not blanket-exempt

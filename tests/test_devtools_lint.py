@@ -71,6 +71,24 @@ def test_wallclock_fixture():
     assert {f.rule for f in findings} == {"no-wallclock"}
 
 
+def test_wallclock_obs_allowlist_is_exact():
+    # An unregistered wall-clock read inside repro.obs still fails ...
+    path = FIXTURES / "repro" / "obs" / "unregistered.py"
+    assert module_name_for(path) == "repro.obs.unregistered"
+    findings = lint_module(parse_module(path))
+    assert lines_by_rule(findings, "no-wallclock") == [8]
+    # ... the registered funnel module is exempt ...
+    exempt = lint_module(parse_module(path, module="repro.obs._clock"))
+    assert lines_by_rule(exempt, "no-wallclock") == []
+    # ... and the allowlist is exact, not a package prefix.
+    from repro.devtools.rules.wallclock import module_is_exempt
+
+    assert module_is_exempt("repro.obs._clock")
+    assert not module_is_exempt("repro.obs")
+    assert not module_is_exempt("repro.obs.tracer")
+    assert not module_is_exempt("repro.obs._clock.sub")
+
+
 def test_rng_fixture():
     findings = findings_for("rng.py")
     assert lines_by_rule(findings, "no-unseeded-rng") == [3, 5, 9, 10, 11]

@@ -7,7 +7,10 @@ code paths (including sweeps and the forecast) in one go.
 
 import pytest
 
+from repro import obs, perf
+from repro.experiments import workload as workload_module
 from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.obs.journal import read_journal
 
 
 class TestRunnerRegistry:
@@ -42,3 +45,37 @@ class TestTinyRuns:
         assert main(["tiny", "fig11"]) == 0
         output = capsys.readouterr().out
         assert "history" in output
+
+
+class TestJournalFlag:
+    @pytest.fixture(autouse=True)
+    def _isolate_globals(self):
+        yield
+        obs.disable()
+        obs.get_tracer().reset()
+        perf.reset()
+
+    def test_journal_flag_writes_full_journal(self, tmp_path, capsys):
+        # drop the in-process workload cache so the collection replay (the
+        # source of association decisions) runs under the tracer
+        workload_module.clear_caches()
+        path = tmp_path / "run.jsonl"
+        assert main(["tiny", "fig2", "--journal", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "journal:" in output
+        journal = read_journal(path)
+        assert journal.meta["preset"] == "tiny"
+        assert journal.meta["experiments"] == ["fig2"]
+        assert any(s.name == "experiment.fig2" for s in journal.spans)
+        assert len(journal.decisions) > 0
+        assert journal.perf is not None and journal.perf.counters
+        # the runner turns the tracer back off on exit
+        assert not obs.get_tracer().enabled
+
+    def test_journal_flag_requires_a_path(self, capsys):
+        assert main(["tiny", "fig2", "--journal"]) == 2
+
+    def test_trace_flag_prints_top_spans(self, capsys, tiny_workload):
+        assert main(["tiny", "fig2", "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "wall_total" in output

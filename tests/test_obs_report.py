@@ -1,0 +1,174 @@
+"""The journal report renderer and its CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs, perf
+from repro.obs.journal import parse_journal, read_journal, strip_wall, write_journal
+from repro.obs.records import Candidate, DecisionRecord, SampleRecord, SpanRecord
+from repro.obs.report import (
+    format_balance_timelines,
+    format_decisions,
+    format_perf_footer,
+    format_top_spans,
+    main,
+    render_report,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_globals():
+    yield
+    obs.disable()
+    obs.get_tracer().reset()
+    perf.reset()
+
+
+def make_span(span_id, name, wall, sim=None):
+    return SpanRecord(
+        span_id=span_id,
+        parent_id=None,
+        name=name,
+        depth=0,
+        sim_start=0.0 if sim is not None else None,
+        sim_end=sim,
+        wall_elapsed=wall,
+    )
+
+
+def make_decision(user="u1", chosen="ap0", score=1.5):
+    return DecisionRecord(
+        user_id=user,
+        strategy="llf",
+        controller_id="c0",
+        batch_id="c0#0",
+        sim_time=30.0,
+        chosen=chosen,
+        candidates=(
+            Candidate(ap_id="ap0", load=1.0, users=1, score=score),
+            Candidate(ap_id="ap1", load=2.0, users=2, score=None),
+        ),
+    )
+
+
+class TestFormatters:
+    def test_top_spans_aggregates_and_sorts_by_wall(self):
+        spans = [
+            make_span(0, "fast", wall=0.1, sim=10.0),
+            make_span(1, "slow", wall=2.0, sim=50.0),
+            make_span(2, "fast", wall=0.2, sim=10.0),
+        ]
+        text = format_top_spans(spans)
+        lines = text.splitlines()
+        assert lines[0].split() == ["span", "calls", "wall_total", "sim_total"]
+        # slow first (largest wall), fast aggregated into one 2-call row
+        assert lines[1].startswith("slow")
+        assert lines[2].split()[:2] == ["fast", "2"]
+
+    def test_top_spans_respects_limit_and_empty(self):
+        spans = [make_span(i, f"s{i}", wall=float(i)) for i in range(5)]
+        assert len(format_top_spans(spans, limit=2).splitlines()) == 3
+        assert "no spans" in format_top_spans([])
+
+    def test_balance_timeline_buckets_per_controller(self):
+        samples = [
+            SampleRecord(
+                sim_time=t, controller_id=cid, balance=b, total_load=1.0, users=1
+            )
+            for cid, t, b in [
+                ("c0", 0.0, 1.0),
+                ("c0", 100.0, 0.5),
+                ("c1", 50.0, 0.8),
+            ]
+        ]
+        text = format_balance_timelines(samples, buckets=4)
+        lines = text.splitlines()
+        assert "4 buckets" in lines[0]
+        c0, c1 = lines[1], lines[2]  # sorted controller order
+        assert c0.startswith("c0") and "mean=0.750" in c0
+        assert c1.startswith("c1") and "----" in c1  # idle buckets render dashes
+        assert "no balance samples" in format_balance_timelines([])
+
+    def test_decision_audit_marks_chosen_and_truncates(self):
+        decisions = [make_decision(user=f"u{i}") for i in range(12)]
+        text = format_decisions(decisions, limit=10)
+        assert "*ap0(load=1, users=1, score=1.500)" in text
+        assert " ap1(load=2, users=2)" in text  # None score omitted
+        assert "llf/single -> ap0" in text
+        assert "... 2 more decision(s)" in text
+        assert "no decisions" in format_decisions([])
+
+    def test_perf_footer_renders_counters_and_timers(self, tmp_path):
+        obs.enable(reset=True)
+        perf.reset()
+        perf.count("replay.events", 7)
+        with perf.timer("step"):
+            pass
+        path = write_journal(tmp_path / "p.jsonl")
+        obs.disable()
+        text = format_perf_footer(read_journal(path))
+        assert "replay.events" in text and "7" in text
+        header = next(line for line in text.splitlines() if "timer" in line)
+        assert header.split() == ["timer", "calls", "total", "mean", "min", "max"]
+        assert "step" in text
+
+    def test_perf_footer_placeholder_without_footer(self):
+        journal = parse_journal('{"type":"meta","data":{"format":1},"wall":{}}\n')
+        assert "no perf footer" in format_perf_footer(journal)
+
+
+class TestRenderAndCli:
+    def write_sample_journal(self, tmp_path):
+        obs.enable(reset=True)
+        with obs.span("replay.run", sim_time=0.0) as span:
+            span.sim_end = 60.0
+        obs.decision(make_decision())
+        obs.sample(
+            SampleRecord(
+                sim_time=30.0, controller_id="c0", balance=0.9,
+                total_load=3.0, users=2,
+            )
+        )
+        perf.reset()
+        perf.count("replay.sessions", 1)
+        with perf.timer("replay.total"):
+            pass
+        path = write_journal(tmp_path / "run.jsonl", meta={"preset": "tiny"})
+        obs.disable()
+        return path
+
+    def test_render_report_has_all_sections(self, tmp_path):
+        path = self.write_sample_journal(tmp_path)
+        text = render_report(read_journal(path), title="run.jsonl")
+        assert "=== run journal: run.jsonl ===" in text
+        assert "meta: preset=tiny" in text
+        assert "records: 1 spans, 1 decisions, 1 samples" in text
+        for section in (
+            "-- top spans --",
+            "-- balance timelines --",
+            "-- decision audit",
+            "-- perf footer --",
+        ):
+            assert section in text
+        assert "replay.run" in text
+        assert "replay.sessions" in text
+        assert "replay.total" in text
+
+    def test_cli_renders_report(self, tmp_path, capsys):
+        path = self.write_sample_journal(tmp_path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "=== run journal: run.jsonl ===" in out
+        assert "llf/single -> ap0" in out
+
+    def test_cli_strip_emits_byte_stable_journal(self, tmp_path, capsys):
+        path = self.write_sample_journal(tmp_path)
+        assert main([str(path), "--strip"]) == 0
+        out = capsys.readouterr().out
+        assert out == strip_wall(path.read_text(encoding="utf-8"))
+        assert '"wall"' not in out
+
+    def test_cli_missing_journal_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such journal" in capsys.readouterr().err

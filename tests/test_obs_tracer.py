@@ -1,0 +1,126 @@
+"""The span tracer: nesting, explicit clocks, enable/disable semantics."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.records import DecisionRecord, SampleRecord
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+
+def make_decision(user: str = "u1") -> DecisionRecord:
+    return DecisionRecord(
+        user_id=user,
+        strategy="llf",
+        controller_id="c0",
+        batch_id="c0#0",
+        sim_time=10.0,
+        chosen="ap0",
+    )
+
+
+class TestDisabledTracer:
+    def test_span_is_shared_noop(self):
+        tracer = Tracer()
+        span = tracer.span("x", sim_time=1.0)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(a=1)
+            inner.sim_end = 5.0
+        assert tracer.records == []
+
+    def test_decision_and_sample_dropped(self):
+        tracer = Tracer()
+        tracer.decision(make_decision())
+        tracer.sample(
+            SampleRecord(
+                sim_time=0.0, controller_id="c0", balance=1.0,
+                total_load=0.0, users=0,
+            )
+        )
+        assert tracer.records == []
+
+
+class TestEnabledTracer:
+    def test_nesting_and_completion_order(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+        inner_rec, outer_rec = tracer.spans()
+        assert outer_rec.span_id == 0 and inner_rec.span_id == 1
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert inner_rec.depth == 1 and outer_rec.depth == 0
+        assert outer is not inner
+
+    def test_explicit_sim_clock(self):
+        tracer = Tracer(enabled=True)
+        clock = {"now": 100.0}
+        with tracer.span("run", clock=lambda: clock["now"]):
+            clock["now"] = 250.0
+        (record,) = tracer.spans()
+        assert record.sim_start == 100.0
+        assert record.sim_end == 250.0
+        assert record.sim_elapsed == 150.0
+
+    def test_sim_time_argument_and_manual_end(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("run", sim_time=5.0) as span:
+            span.sim_end = 9.0
+        (record,) = tracer.spans()
+        assert (record.sim_start, record.sim_end) == (5.0, 9.0)
+
+    def test_attrs_and_wall_elapsed(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("run", preset="tiny") as span:
+            span.set(extra=3)
+        (record,) = tracer.spans()
+        assert record.attrs == {"preset": "tiny", "extra": 3}
+        assert record.wall_elapsed >= 0.0
+
+    def test_exception_annotates_and_closes(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (record,) = tracer.spans()
+        assert record.attrs["error"] == "ValueError"
+        assert tracer._stack == []
+
+    def test_decisions_and_samples_interleave_in_order(self):
+        tracer = Tracer(enabled=True)
+        tracer.decision(make_decision("u1"))
+        with tracer.span("s"):
+            pass
+        tracer.decision(make_decision("u2"))
+        kinds = [type(r).__name__ for r in tracer.records]
+        assert kinds == ["DecisionRecord", "SpanRecord", "DecisionRecord"]
+        assert [d.user_id for d in tracer.decisions()] == ["u1", "u2"]
+
+    def test_reset_clears_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        with tracer.span("b"):
+            pass
+        assert [s.span_id for s in tracer.spans()] == [0]
+
+
+class TestGlobalTracer:
+    def test_enable_disable_roundtrip(self):
+        tracer = obs.enable()
+        assert tracer is obs.get_tracer()
+        assert tracer.enabled
+        with obs.span("global"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["global"]
+        obs.disable()
+        assert obs.span("ignored") is NULL_SPAN
+        assert len(tracer.spans()) == 1
+        # a fresh enable drops the previous run's records
+        obs.enable()
+        assert obs.get_tracer().records == []
+        obs.disable()

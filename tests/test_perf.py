@@ -1,0 +1,79 @@
+"""The perf registry: timer statistics, counters, and the report table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import PerfRegistry, TimerStat
+
+
+class TestTimerStat:
+    def test_accumulates_min_mean_max(self):
+        stat = TimerStat()
+        for sample in (0.2, 0.1, 0.4):
+            stat.add(sample)
+        assert stat.calls == 3
+        assert stat.minimum == pytest.approx(0.1)
+        assert stat.maximum == pytest.approx(0.4)
+        assert stat.mean == pytest.approx(0.7 / 3)
+
+    def test_zero_call_stat_keeps_inf_sentinel(self):
+        stat = TimerStat()
+        assert stat.minimum == float("inf")
+        assert stat.mean == 0.0
+
+
+class TestRegistry:
+    def test_timer_and_record_share_a_stat(self):
+        registry = PerfRegistry()
+        with registry.timer("work"):
+            pass
+        registry.record("work", 0.5)
+        stat = registry.timers()["work"]
+        assert stat.calls == 2
+        assert stat.maximum >= 0.5
+
+    def test_negative_record_rejected(self):
+        registry = PerfRegistry()
+        with pytest.raises(ValueError):
+            registry.record("work", -1.0)
+
+    def test_counters_accumulate(self):
+        registry = PerfRegistry()
+        registry.count("events", 3)
+        registry.count("events")
+        assert registry.counters() == {"events": 4}
+
+
+class TestReport:
+    def test_report_renders_min_column(self):
+        registry = PerfRegistry()
+        registry.record("step", 0.25)
+        registry.record("step", 0.75)
+        text = registry.report()
+        header, row = text.splitlines()[:2]
+        assert header.split() == ["timer", "calls", "total", "mean", "min", "max"]
+        assert "0.2500s" in row  # min
+        assert "0.7500s" in row  # max
+        assert "inf" not in text
+
+    def test_report_never_renders_inf_for_zero_calls(self):
+        registry = PerfRegistry()
+        # A zero-call stat cannot arise through the public API; seed one
+        # directly to pin the defensive rendering.
+        registry._timers["ghost"] = TimerStat()
+        text = registry.report()
+        assert "inf" not in text
+        assert "0.0000s" in text
+
+    def test_empty_report_placeholder(self):
+        assert "no perf samples" in PerfRegistry().report()
+
+    def test_report_lists_counters(self):
+        registry = PerfRegistry()
+        registry.count("replay.events", 12)
+        registry.count("ratio", 0.125)
+        text = registry.report(title="t")
+        assert text.splitlines()[0] == "t"
+        assert "replay.events" in text and "12" in text
+        assert "0.125" in text
