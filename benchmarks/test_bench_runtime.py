@@ -1,0 +1,85 @@
+"""Benchmark the sharded process engine against the serial reference.
+
+One full PAPER-campus evaluation replay under LLF, serial vs
+``engine="process"`` with 4 workers.  Both paths record their wall time
+through the ``replay.run.llf`` perf timer (the registered wall-clock
+funnel), so the speedup is measured exactly where users feel it.  The
+speedup assertion is gated on the host's core count: the parity tests
+guarantee the engines agree everywhere, but a single-core CI box cannot
+(and should not) demonstrate a parallel speedup.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import perf
+from repro.runtime import plan_replay_shards, replay_process, replay_serial
+from repro.wlan.strategies import LeastLoadedFirst
+
+from conftest import run_once
+
+_WORKERS = 4
+_TIMER = "replay.run.llf"
+
+
+def _timed(fn):
+    """Run ``fn`` on a clean perf registry; returns (result, wall seconds)."""
+    perf.reset()
+    result = fn()
+    return result, perf.PERF.total(_TIMER)
+
+
+def test_bench_runtime_process_speedup(benchmark, paper_workload, report_writer):
+    layout = paper_workload.world.layout
+    demands = paper_workload.test_demands
+    config = paper_workload.config.replay
+    plan = plan_replay_shards(layout, demands, config)
+
+    serial, serial_s = _timed(
+        lambda: replay_serial(layout, LeastLoadedFirst(), demands, config)
+    )
+    process, process_s = _timed(
+        lambda: run_once(
+            benchmark,
+            lambda: replay_process(
+                layout, LeastLoadedFirst(), demands, config, workers=_WORKERS
+            ),
+        )
+    )
+    # the merge must stay exact at benchmark scale too
+    assert process.sessions == serial.sessions
+    assert process.events_processed == serial.events_processed
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_s / process_s if process_s else 0.0
+    report_writer(
+        "bench_runtime",
+        (
+            f"sharded replay (PAPER, LLF, {len(demands)} demands, "
+            f"{plan.busy_shards}/{len(plan.shards)} busy shards)\n"
+            f"serial : {serial_s:.2f}s\n"
+            f"process: {process_s:.2f}s ({_WORKERS} workers, "
+            f"{cpu_count} cores)\n"
+            f"speedup: {speedup:.2f}x"
+        ),
+        benchmark=benchmark,
+        metrics={
+            "serial_s": serial_s,
+            "process_s": process_s,
+            "speedup": speedup,
+            "workers": _WORKERS,
+            "cpu_count": cpu_count,
+            "shards": len(plan.shards),
+            "busy_shards": plan.busy_shards,
+            "sessions": len(process.sessions),
+            "events": process.events_processed,
+        },
+    )
+    assert speedup > 0.0
+    # Parallelism only pays where there are cores to spread over; the
+    # ISSUE's 1.5x target applies to a >=4-core host.
+    if cpu_count >= 4:
+        assert speedup >= 1.5
+    elif cpu_count >= 2:
+        assert speedup >= 1.1

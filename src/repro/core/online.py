@@ -114,6 +114,10 @@ class OnlineS3Strategy(SelectionStrategy):
     """
 
     name = "s3-online"
+    # The learner mutates shared model state from observe hooks in global
+    # event order; splitting the stream changes what later decisions have
+    # learned, so the process engine must not shard this strategy.
+    shard_safe = False
 
     def __init__(
         self,

@@ -60,4 +60,20 @@ PARITY_REGISTRY: Dict[str, ParityEntry] = {
             "tests/test_analysis_fastchurn.py::test_build_graph_cache_invalidated_by_record_events",
         ),
     ),
+    "repro.runtime.engine.replay": ParityEntry(
+        reference="repro.runtime.engine.replay_serial",
+        fast="repro.runtime.engine.replay_process",
+        tests=(
+            "tests/test_runtime_parity.py::test_replay_engines_identical_llf",
+            "tests/test_runtime_parity.py::test_replay_engines_identical_s3",
+            "tests/test_runtime_parity.py::test_merged_journal_byte_identical",
+        ),
+    ),
+    "repro.runtime.sweep.run_sweep": ParityEntry(
+        reference="repro.runtime.sweep.run_sweep_serial",
+        fast="repro.runtime.sweep.run_sweep_process",
+        tests=(
+            "tests/test_runtime_sweep.py::test_run_sweep_engines_identical",
+        ),
+    ),
 }

@@ -24,6 +24,10 @@ cache-invalidation memoizing classes that also mutate state must carry
                    a generation counter (``core/social.py`` pattern)
 mutable-default    no mutable argument defaults
 bare-except        no ``except:`` clauses
+fork-safe-rng      code under ``repro.runtime`` may not call
+                   ``RandomStreams.get()`` on a root-seeded factory —
+                   workers derive ``child()`` streams, the invariant
+                   serial/process parity rests on
 ================== ====================================================
 """
 
@@ -33,6 +37,7 @@ from repro.devtools.rules import (  # noqa: F401  (registration side effects)
     basics,
     cache_invalidation,
     engine_parity,
+    fork_safe_rng,
     ordered_iteration,
     rng,
     wallclock,

@@ -1,0 +1,118 @@
+"""fork-safe-rng: runtime workers draw only from ``child()`` streams.
+
+The parallel engine's determinism contract (see ``docs/runtime.md``)
+hangs on every shard deriving its streams through
+``RandomStreams.child(shard_stream_name(...))`` — content-addressed and
+therefore bit-identical in any process.  Calling ``.get()`` directly on
+a *root-seeded* factory inside :mod:`repro.runtime` would instead hand a
+worker streams whose draws depend on which other consumers share the
+factory, silently breaking serial/process parity.  This rule bans, in
+modules under ``repro.runtime``:
+
+* ``RandomStreams(seed).get(...)`` chained on the constructor;
+* ``streams.get(...)`` where ``streams`` was assigned from a bare
+  ``RandomStreams(...)`` constructor call in the same module.
+
+Deriving children (``streams.child(name)``) and using factories handed
+in from elsewhere remain allowed — the analysis is deliberately local
+and flow-insensitive, enough to catch the construct the contract bans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.devtools.findings import Finding
+from repro.devtools.project import LintModule
+from repro.devtools.registry import Rule, register
+from repro.devtools.rules.imports import ImportMap, canonical_call
+
+#: The package whose modules this rule applies to.
+SCOPE = "repro.runtime"
+
+#: The canonical dotted name of the stream factory constructor.
+FACTORY = "repro.sim.rng.RandomStreams"
+
+
+def _in_scope(module_name: str) -> bool:
+    return module_name == SCOPE or module_name.startswith(SCOPE + ".")
+
+
+@register
+class ForkSafeRng(Rule):
+    """Ban root-factory ``.get()`` calls inside ``repro.runtime``."""
+
+    id = "fork-safe-rng"
+    description = (
+        "code under repro.runtime may not call RandomStreams.get() on a "
+        "root-seeded factory; workers must derive child() streams"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        if not _in_scope(module.module):
+            return
+        imports = ImportMap(module.tree)
+        roots = self._root_factories(module.tree, imports)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "get"):
+                continue
+            target = func.value
+            if isinstance(target, ast.Name) and target.id in roots:
+                yield self._finding(
+                    module,
+                    node,
+                    f"`{target.id}.get()` draws from a root-seeded "
+                    "RandomStreams inside repro.runtime",
+                )
+            elif isinstance(target, ast.Call) and (
+                canonical_call(target.func, imports) == FACTORY
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    "`RandomStreams(...).get()` draws from a root-seeded "
+                    "factory inside repro.runtime",
+                )
+
+    def _root_factories(
+        self, tree: ast.AST, imports: ImportMap
+    ) -> Set[str]:
+        """Names assigned from a bare ``RandomStreams(...)`` constructor."""
+        roots: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not (
+                isinstance(value, ast.Call)
+                and canonical_call(value.func, imports) == FACTORY
+            ):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    roots.add(target.id)
+        return roots
+
+    def _finding(
+        self, module: LintModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.display_path,
+            line=node.lineno,
+            column=node.col_offset,
+            rule=self.id,
+            message=message,
+            hint=(
+                "derive a shard stream: "
+                "streams.child(shard_stream_name(controller_id)).get(name)"
+            ),
+        )

@@ -1,9 +1,14 @@
 """Run every experiment and print its rendered report.
 
     python -m repro.experiments [paper|small|tiny] [--perf] [--trace]
-                                [--journal PATH] [fig2 fig5 ...]
+                                [--journal PATH] [--workers N]
+                                [fig2 fig5 ...]
 
-Without experiment names, all twelve run in paper order.  ``--perf``
+Without experiment names, all twelve run in paper order.  ``--workers N``
+(N > 1) fans the named experiments out over a process pool via
+:mod:`repro.runtime` — each worker rebuilds its workload from the preset
+seed, so results are identical to the serial path; it cannot be combined
+with ``--trace``/``--journal`` (those observe one in-process run).  ``--perf``
 appends a :mod:`repro.perf` timer/counter table after each experiment
 (reset in between, so each table covers exactly one experiment — note the
 in-process workload cache means only the first experiment pays generation
@@ -65,6 +70,35 @@ PRESETS = {
 }
 
 
+def _run_parallel(
+    names: Sequence[str], preset_key: str, workers: int, show_perf: bool
+) -> int:
+    """Fan the named experiments out over a process pool.
+
+    Each task re-runs one experiment in a worker that rebuilds the
+    workload from the preset seed; the parent merges worker perf
+    snapshots, so ``--perf`` prints one table covering the whole fleet.
+    """
+    from repro.runtime.sweep import SweepPlan, experiment_task, make_task, run_sweep
+
+    perf.reset()
+    plan = SweepPlan(
+        [
+            make_task(name, experiment_task, name=name, preset=preset_key)
+            for name in names
+        ]
+    )
+    with perf.timer("experiment.total"):
+        rendered = run_sweep(plan, engine="process", workers=workers)
+    for name in names:
+        print(f"\n=== {name} (preset {preset_key}, workers={workers}) " + "=" * 20)
+        print(rendered[name])
+    if show_perf:
+        print()
+        print(perf.report(title=f"--- perf: {len(names)} experiments ---"))
+    return 0
+
+
 def main(argv: Sequence[str]) -> int:
     """Run the named experiments on the chosen preset; returns exit code."""
     args = list(argv)
@@ -82,14 +116,40 @@ def main(argv: Sequence[str]) -> int:
             return 2
         journal_path = args[index + 1]
         del args[index : index + 2]
-    preset = config_module.PAPER
+    workers: Optional[int] = None
+    if "--workers" in args:
+        index = args.index("--workers")
+        if index + 1 >= len(args):
+            print("--workers requires a positive integer argument")
+            return 2
+        try:
+            workers = int(args[index + 1])
+        except ValueError:
+            print(f"--workers requires an integer, got {args[index + 1]!r}")
+            return 2
+        if workers < 1:
+            print("--workers requires a positive integer argument")
+            return 2
+        del args[index : index + 2]
+    preset_key = "paper"
     if args and args[0] in PRESETS:
-        preset = PRESETS[args.pop(0)]
+        preset_key = args.pop(0)
+    preset = PRESETS[preset_key]
     names = args if args else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
         return 2
+    if workers is not None and workers > 1:
+        if show_trace or journal_path is not None:
+            print(
+                "--workers cannot be combined with --trace/--journal: "
+                "the fan-out runs experiments in worker processes whose "
+                "tracers are not merged (use python -m repro.runtime for "
+                "journaled parallel replays)"
+            )
+            return 2
+        return _run_parallel(names, preset_key, workers, show_perf)
 
     observing = show_trace or journal_path is not None
     if observing:

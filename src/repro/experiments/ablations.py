@@ -13,21 +13,28 @@ element altered and reports mean daytime balance:
 
 These back both the benchmark harness (``benchmarks/test_bench_ablation_
 *.py``) and the command-line runner.
+
+Each sweep is expressed as a :class:`~repro.runtime.SweepPlan` (one task
+per variant, built by the ``plan_*`` twins) and executed through
+:func:`repro.runtime.run_sweep`.  The default is the serial engine —
+task-for-task the same call sequence as the original loops — while a
+``runtime=RuntimeOptions(engine="process", ...)`` argument fans the
+variants out over a process pool and/or checkpoints them to a run
+directory for resume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pipeline import TrainingConfig
 from repro.core.selection import APState, S3Selector, SelectionConfig
 from repro.experiments.config import PAPER, ExperimentConfig
-from repro.experiments.evaluation import mean_daytime_balance
 from repro.experiments.reporting import format_table
-from repro.experiments.workload import build_workload, trained_model
+from repro.runtime.options import RuntimeOptions
+from repro.runtime.sweep import SweepPlan, balance_task, make_task, run_sweep
 from repro.sim.timeline import MINUTE
-from repro.wlan.strategies import LeastLoadedFirst, S3Strategy, SelectionStrategy
+from repro.wlan.strategies import SelectionStrategy
 
 
 @dataclass
@@ -70,25 +77,53 @@ class OnlineOnlyS3(SelectionStrategy):
         return self.selector.select(user_id, aps)
 
 
-def run_terms(config: ExperimentConfig = PAPER) -> AblationResult:
-    """Social-index term knockout: full vs alpha=0 vs conditional-off."""
-    workload = build_workload(config)
+def _execute(plan: SweepPlan, runtime: Optional[RuntimeOptions]) -> Dict[str, Any]:
+    """Run ``plan`` under ``runtime`` (serial, in order, by default)."""
+    options = runtime if runtime is not None else RuntimeOptions(engine="serial")
+    return run_sweep(
+        plan,
+        engine=options.engine,
+        workers=options.workers,
+        run_dir=options.run_dir,
+    )
 
-    def balance_for(training: TrainingConfig) -> float:
-        model = trained_model(config, training)
-        return mean_daytime_balance(
-            workload.replay_test(S3Strategy(model.selector()))
-        )
 
+_TERM_VARIANTS = ("full", "no-type-prior", "type-prior-only", "llf-baseline")
+
+
+def plan_terms(config: ExperimentConfig = PAPER) -> SweepPlan:
+    """The term-knockout sweep as an executable task graph."""
     base = config.training
-    rows = [
-        ("full", balance_for(base)),
-        ("no-type-prior", balance_for(replace(base, alpha=0.0))),
-        ("type-prior-only", balance_for(replace(base, min_encounters=10**9))),
-        (
-            "llf-baseline",
-            mean_daytime_balance(workload.replay_test(LeastLoadedFirst())),
-        ),
+    return SweepPlan(
+        [
+            make_task(
+                "terms/full", balance_task, config=config, strategy="s3",
+                training=base,
+            ),
+            make_task(
+                "terms/no-type-prior", balance_task, config=config,
+                strategy="s3", training=replace(base, alpha=0.0),
+            ),
+            make_task(
+                "terms/type-prior-only", balance_task, config=config,
+                strategy="s3", training=replace(base, min_encounters=10**9),
+            ),
+            make_task(
+                "terms/llf-baseline", balance_task, config=config,
+                strategy="llf",
+            ),
+        ]
+    )
+
+
+def run_terms(
+    config: ExperimentConfig = PAPER,
+    runtime: Optional[RuntimeOptions] = None,
+) -> AblationResult:
+    """Social-index term knockout: full vs alpha=0 vs conditional-off."""
+    values = _execute(plan_terms(config), runtime)
+    rows: List[Tuple[object, ...]] = [
+        (label, values[f"terms/{label}"]) for label in _TERM_VARIANTS
     ]
     return AblationResult(
         title="Ablation — social index terms",
@@ -97,23 +132,31 @@ def run_terms(config: ExperimentConfig = PAPER) -> AblationResult:
     )
 
 
-def run_batching(config: ExperimentConfig = PAPER) -> AblationResult:
+def plan_batching(config: ExperimentConfig = PAPER) -> SweepPlan:
+    """The batching-vs-online sweep as an executable task graph."""
+    return SweepPlan(
+        [
+            make_task(
+                "batching/clique-batched", balance_task, config=config,
+                strategy="s3",
+            ),
+            make_task(
+                "batching/online-only", balance_task, config=config,
+                strategy="s3", online_only=True,
+            ),
+        ]
+    )
+
+
+def run_batching(
+    config: ExperimentConfig = PAPER,
+    runtime: Optional[RuntimeOptions] = None,
+) -> AblationResult:
     """Clique-based batch distribution vs online-only selection."""
-    workload = build_workload(config)
-    model = trained_model(config)
-    rows = [
-        (
-            "clique-batched",
-            mean_daytime_balance(
-                workload.replay_test(S3Strategy(model.selector()))
-            ),
-        ),
-        (
-            "online-only",
-            mean_daytime_balance(
-                workload.replay_test(OnlineOnlyS3(model.selector()))
-            ),
-        ),
+    values = _execute(plan_batching(config), runtime)
+    rows: List[Tuple[object, ...]] = [
+        ("clique-batched", values["batching/clique-batched"]),
+        ("online-only", values["batching/online-only"]),
     ]
     return AblationResult(
         title="Ablation — clique batching vs online-only",
@@ -122,27 +165,37 @@ def run_batching(config: ExperimentConfig = PAPER) -> AblationResult:
     )
 
 
+def plan_threshold(
+    config: ExperimentConfig = PAPER,
+    thresholds: Sequence[float] = (0.05, 0.3, 0.6, 1.5),
+) -> SweepPlan:
+    """The edge-threshold sweep as an executable task graph."""
+    return SweepPlan(
+        [
+            make_task(
+                f"threshold/{threshold!r}", balance_task, config=config,
+                strategy="s3",
+                training=replace(
+                    config.training,
+                    selection=SelectionConfig(edge_threshold=threshold),
+                ),
+            )
+            for threshold in thresholds
+        ]
+    )
+
+
 def run_threshold(
     config: ExperimentConfig = PAPER,
     thresholds: Sequence[float] = (0.05, 0.3, 0.6, 1.5),
+    runtime: Optional[RuntimeOptions] = None,
 ) -> AblationResult:
     """Sweep of the social-graph edge threshold (paper: 0.3)."""
-    workload = build_workload(config)
-    rows = []
-    for threshold in thresholds:
-        training = replace(
-            config.training,
-            selection=SelectionConfig(edge_threshold=threshold),
-        )
-        model = trained_model(config, training)
-        rows.append(
-            (
-                threshold,
-                mean_daytime_balance(
-                    workload.replay_test(S3Strategy(model.selector()))
-                ),
-            )
-        )
+    values = _execute(plan_threshold(config, thresholds), runtime)
+    rows: List[Tuple[object, ...]] = [
+        (threshold, values[f"threshold/{threshold!r}"])
+        for threshold in thresholds
+    ]
     return AblationResult(
         title="Ablation — social-graph edge threshold",
         headers=["edge_threshold", "mean_balance"],
@@ -161,35 +214,59 @@ class AllAblations:
         return "\n\n".join(result.render() for result in self.results)
 
 
-def run(config: ExperimentConfig = PAPER) -> AllAblations:
+def run(
+    config: ExperimentConfig = PAPER,
+    runtime: Optional[RuntimeOptions] = None,
+) -> AllAblations:
     """Run all four ablations (the ``ablations`` runner entry)."""
     return AllAblations(
         results=[
-            run_terms(config),
-            run_batching(config),
-            run_threshold(config),
-            run_staleness(config),
+            run_terms(config, runtime=runtime),
+            run_batching(config, runtime=runtime),
+            run_threshold(config, runtime=runtime),
+            run_staleness(config, runtime=runtime),
         ]
     )
+
+
+def plan_staleness(
+    config: ExperimentConfig = PAPER,
+    poll_intervals: Sequence[float] = (1.0, 5 * MINUTE, 15 * MINUTE),
+) -> SweepPlan:
+    """The staleness sweep as an executable task graph."""
+    tasks = []
+    for interval in poll_intervals:
+        replay = replace(config.replay, load_measurement_interval=interval)
+        tasks.append(
+            make_task(
+                f"staleness/{interval!r}/llf", balance_task, config=config,
+                strategy="llf", replay=replay,
+            )
+        )
+        tasks.append(
+            make_task(
+                f"staleness/{interval!r}/s3", balance_task, config=config,
+                strategy="s3", replay=replay,
+            )
+        )
+    return SweepPlan(tasks)
 
 
 def run_staleness(
     config: ExperimentConfig = PAPER,
     poll_intervals: Sequence[float] = (1.0, 5 * MINUTE, 15 * MINUTE),
+    runtime: Optional[RuntimeOptions] = None,
 ) -> AblationResult:
     """Load-measurement staleness sweep for LLF vs S³."""
-    workload = build_workload(config)
-    model = trained_model(config)
-    rows = []
-    for interval in poll_intervals:
-        replay = replace(config.replay, load_measurement_interval=interval)
-        llf = mean_daytime_balance(
-            workload.replay_test(LeastLoadedFirst(), replay)
+    values = _execute(plan_staleness(config, poll_intervals), runtime)
+    rows: List[Tuple[object, ...]] = [
+        (
+            interval,
+            values[f"staleness/{interval!r}/llf"],
+            values[f"staleness/{interval!r}/s3"],
         )
-        s3 = mean_daytime_balance(
-            workload.replay_test(S3Strategy(model.selector()), replay)
-        )
-        rows.append((interval, llf, s3))
+        for interval in poll_intervals
+    ]
     return AblationResult(
         title="Ablation — load-measurement staleness",
         headers=["poll_interval_s", "llf_balance", "s3_balance"],

@@ -7,6 +7,16 @@ in the paper), and a trained S³ model.  This module builds them once per
 :class:`~repro.experiments.config.ExperimentConfig` and caches them
 in-process, so a benchmark session touching all twelve experiments pays
 the generation cost once.
+
+**Fork-safety contract.**  The caches are *per-process* and must never be
+inherited across a fork: a forked worker sharing multi-hundred-megabyte
+workload objects with its parent defeats copy-on-write the moment either
+side touches them, and a cache populated before the fork hides the cost a
+worker's first build would otherwise expose.  :mod:`repro.runtime` worker
+initializers therefore call :func:`clear_caches` as their first act —
+workers rebuild what they need (deterministically, from the config seed)
+rather than inherit it.  Anything added to this module must stay safe to
+drop and rebuild from its :class:`ExperimentConfig` key alone.
 """
 
 from __future__ import annotations
@@ -115,6 +125,15 @@ def trained_model(
 
 
 def clear_caches() -> None:
-    """Drop all cached workloads and models (used by tests)."""
+    """Drop all cached workloads and models.
+
+    Called by tests and — per the module's fork-safety contract — by
+    every :mod:`repro.runtime` worker initializer, so worker processes
+    rebuild workloads instead of inheriting the parent's cache."""
     _WORKLOADS.clear()
     _MODELS.clear()
+
+
+def cache_sizes() -> Tuple[int, int]:
+    """``(workloads, models)`` entry counts (test/diagnostic hook)."""
+    return len(_WORKLOADS), len(_MODELS)

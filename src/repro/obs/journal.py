@@ -7,6 +7,12 @@ compact separators — so two same-seed runs produce byte-identical
 journals once :func:`strip_wall` has removed the ``"wall"`` key (the only
 place wall-clock values are allowed to appear).
 
+The byte contract extends across process boundaries: a sharded replay
+(:mod:`repro.runtime`) collects each worker's record fragment and
+reassembles them (:mod:`repro.runtime.merge`) into the exact stream the
+serial engine would have traced, so journals stay ``strip_wall``-byte-
+identical whichever engine produced them.
+
     from repro import obs, perf
     from repro.obs.journal import write_journal, read_journal
 

@@ -47,10 +47,34 @@ class TimerStat:
         if elapsed > self.maximum:
             self.maximum = elapsed
 
+    def combine(self, other: "TimerStat") -> None:
+        """Fold another statistic (e.g. a worker's) into this one."""
+        self.calls += other.calls
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
     @property
     def mean(self) -> float:
         """Mean seconds per call (0 when never called)."""
         return self.total / self.calls if self.calls else 0.0
+
+
+@dataclass
+class PerfSnapshot:
+    """A picklable, immutable-by-convention copy of a registry's state.
+
+    This is the hand-off format of :mod:`repro.runtime`: a worker process
+    resets its registry, does its work, and ships a snapshot back; the
+    parent folds every snapshot into its own registry with
+    :meth:`PerfRegistry.merge`, so the final report covers work done in
+    all processes instead of silently dropping child-process timings.
+    """
+
+    timers: Dict[str, TimerStat] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
 
 
 class PerfRegistry:
@@ -106,6 +130,33 @@ class PerfRegistry:
         """Total seconds recorded under ``name`` (0 when never timed)."""
         stat = self._timers.get(name)
         return stat.total if stat is not None else 0.0
+
+    def snapshot(self) -> PerfSnapshot:
+        """A deep, picklable copy of the current timers and counters."""
+        return PerfSnapshot(
+            timers={
+                name: TimerStat(
+                    calls=stat.calls,
+                    total=stat.total,
+                    minimum=stat.minimum,
+                    maximum=stat.maximum,
+                )
+                for name, stat in self._timers.items()
+            },
+            counters=dict(self._counters),
+        )
+
+    def merge(self, snapshot: PerfSnapshot) -> None:
+        """Fold a snapshot (typically from a worker process) into this
+        registry: timer stats combine call counts / totals / extrema,
+        counters add."""
+        for name, stat in snapshot.timers.items():
+            mine = self._timers.get(name)
+            if mine is None:
+                mine = self._timers[name] = TimerStat()
+            mine.combine(stat)
+        for name, value in snapshot.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def __bool__(self) -> bool:
         return bool(self._timers or self._counters)
@@ -170,6 +221,16 @@ def record(name: str, elapsed: float) -> None:
 def count(name: str, amount: float = 1) -> None:
     """Increment a counter on the global registry."""
     PERF.count(name, amount)
+
+
+def snapshot() -> PerfSnapshot:
+    """Snapshot the global registry (for shipping across processes)."""
+    return PERF.snapshot()
+
+
+def merge(snap: PerfSnapshot) -> None:
+    """Fold a worker snapshot into the global registry."""
+    PERF.merge(snap)
 
 
 def report(title: Optional[str] = None) -> str:

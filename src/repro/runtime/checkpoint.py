@@ -1,0 +1,92 @@
+"""Checkpoint/resume for sharded runs.
+
+A :class:`RunDirectory` owns one directory holding:
+
+* ``meta.json`` — the run ``kind`` (``"replay"`` / ``"sweep"``) and the
+  plan fingerprint.  A directory created for one plan refuses to serve
+  another: resuming a sweep with different parameters against stale
+  results would silently mix runs.
+* ``task-<slug>-<crc>.pkl`` — one pickle per completed unit of work,
+  written atomically (temp file + ``os.replace``) so a kill mid-write
+  never leaves a readable-but-truncated checkpoint.
+
+Resume is implicit: the dispatcher asks :meth:`RunDirectory.has` before
+scheduling each task and re-executes only the misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import zlib
+from pathlib import Path
+from typing import Any, List, Sequence, Union
+
+_META_NAME = "meta.json"
+
+
+def _task_filename(task_id: str) -> str:
+    """A filesystem-safe, collision-resistant name for ``task_id``."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", task_id)[:80]
+    digest = zlib.crc32(task_id.encode("utf-8"))
+    return f"task-{slug}-{digest:08x}.pkl"
+
+
+class RunDirectory:
+    """One run's checkpoint store."""
+
+    def __init__(
+        self, path: Union[str, Path], kind: str, fingerprint: str
+    ) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.fingerprint = fingerprint
+        self.path.mkdir(parents=True, exist_ok=True)
+        meta_path = self.path / _META_NAME
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if meta.get("kind") != kind or meta.get("fingerprint") != fingerprint:
+                raise RuntimeError(
+                    f"run directory {self.path} belongs to a different run "
+                    f"(found kind={meta.get('kind')!r} "
+                    f"fingerprint={meta.get('fingerprint')!r}, expected "
+                    f"kind={kind!r} fingerprint={fingerprint!r}); refusing "
+                    "to mix checkpoints"
+                )
+        else:
+            meta_path.write_text(
+                json.dumps(
+                    {"kind": kind, "fingerprint": fingerprint},
+                    separators=(",", ":"),
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+
+    # ----------------------------------------------------------- task slots
+
+    def _task_path(self, task_id: str) -> Path:
+        return self.path / _task_filename(task_id)
+
+    def has(self, task_id: str) -> bool:
+        """Whether ``task_id`` already has a completed checkpoint."""
+        return self._task_path(task_id).exists()
+
+    def load(self, task_id: str) -> Any:
+        """The checkpointed value of ``task_id``."""
+        with self._task_path(task_id).open("rb") as handle:
+            return pickle.load(handle)
+
+    def store(self, task_id: str, value: Any) -> None:
+        """Persist ``value`` for ``task_id`` atomically."""
+        target = self._task_path(task_id)
+        tmp = target.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, target)
+
+    def completed(self, task_ids: Sequence[str]) -> List[str]:
+        """The subset of ``task_ids`` with a checkpoint, in given order."""
+        return [task_id for task_id in task_ids if self.has(task_id)]

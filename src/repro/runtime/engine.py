@@ -1,0 +1,215 @@
+"""The ``engine=`` dispatcher for sharded replays.
+
+:func:`replay` is the drop-in parallel equivalent of
+``ReplayEngine(layout, strategy, config).run(demands)``:
+
+* ``engine="serial"`` — exactly that call (:func:`replay_serial`);
+* ``engine="process"`` — shard per controller, execute the shards on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, and merge results,
+  journal fragments and perf snapshots deterministically
+  (:func:`replay_process`);
+* ``engine="auto"`` — the process pool when there is real parallelism
+  (more than one busy shard) and the strategy is ``shard_safe``, serial
+  otherwise.
+
+The two engines are byte-identical for a fixed seed — the parity tests
+registered in :mod:`repro.devtools.parity_registry` assert equal
+:class:`~repro.wlan.replay.ReplayResult`\\ s and ``strip_wall``-identical
+journals.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro import perf
+from repro.obs.tracer import Span, get_tracer
+from repro.runtime.checkpoint import RunDirectory
+from repro.runtime.merge import merge_journal_fragments, merge_shard_results
+from repro.runtime.shards import ShardPlan, plan_replay_shards
+from repro.runtime.workers import (
+    ShardOutcome,
+    ShardTask,
+    init_worker,
+    run_replay_shard,
+)
+from repro.trace.records import DemandSession
+from repro.trace.social import CampusLayout
+from repro.wlan.replay import ReplayConfig, ReplayEngine, ReplayResult
+from repro.wlan.strategies import SelectionStrategy
+
+
+def replay(
+    layout: CampusLayout,
+    strategy: SelectionStrategy,
+    demands: Sequence[DemandSession],
+    config: Optional[ReplayConfig] = None,
+    *,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+) -> ReplayResult:
+    """Replay ``demands`` under ``strategy``; see the module docstring."""
+    config = config if config is not None else ReplayConfig()
+    if engine not in ("auto", "serial", "process"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "process" and not strategy.shard_safe:
+        raise ValueError(
+            f"strategy {strategy.name!r} is not shard-safe (it carries "
+            "mutable cross-controller state); use engine='serial'"
+        )
+    if engine == "auto":
+        if not strategy.shard_safe or not demands:
+            engine = "serial"
+        else:
+            plan = plan_replay_shards(layout, demands, config)
+            engine = "process" if plan.busy_shards > 1 else "serial"
+    if engine == "serial":
+        return replay_serial(layout, strategy, demands, config)
+    return replay_process(
+        layout, strategy, demands, config, workers=workers, run_dir=run_dir
+    )
+
+
+def replay_serial(
+    layout: CampusLayout,
+    strategy: SelectionStrategy,
+    demands: Sequence[DemandSession],
+    config: Optional[ReplayConfig] = None,
+) -> ReplayResult:
+    """The single-process reference: ``ReplayEngine.run`` verbatim."""
+    return ReplayEngine(layout, strategy, config).run(demands)
+
+
+def replay_process(
+    layout: CampusLayout,
+    strategy: SelectionStrategy,
+    demands: Sequence[DemandSession],
+    config: Optional[ReplayConfig] = None,
+    workers: Optional[int] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+) -> ReplayResult:
+    """Sharded replay across a process pool, deterministically merged."""
+    config = config if config is not None else ReplayConfig()
+    if not strategy.shard_safe:
+        raise ValueError(
+            f"strategy {strategy.name!r} is not shard-safe; the process "
+            "engine would change its decisions"
+        )
+    if not demands:
+        # Nothing to shard; keep the serial engine's empty-result shape.
+        return replay_serial(layout, strategy, demands, config)
+    plan = plan_replay_shards(layout, demands, config)
+    tracer = get_tracer()
+    with perf.timer(f"replay.run.{strategy.name}"):
+        with tracer.span(
+            "replay.run",
+            strategy=strategy.name,
+            demands=len(demands),
+        ) as span:
+            span.sim_start = plan.window.start
+            tasks = [
+                ShardTask(
+                    shard=shard,
+                    layout=layout,
+                    strategy=strategy,
+                    config=config,
+                    window=plan.window,
+                    trace=tracer.enabled,
+                )
+                for shard in plan.shards
+            ]
+            outcomes = _execute_shards(plan, tasks, workers, run_dir)
+            for outcome in outcomes:
+                perf.merge(outcome.perf)
+            result = merge_shard_results(plan, outcomes, strategy.name)
+            final_now = {outcome.final_now for outcome in outcomes}
+            if len(final_now) != 1:
+                raise ValueError(
+                    f"shards ended at different clocks {sorted(final_now)}"
+                )
+            sim_end = next(iter(final_now))
+            if tracer.enabled and isinstance(span, Span):
+                tracer.inject(
+                    merge_journal_fragments(
+                        [outcome.records for outcome in outcomes],
+                        base_id=span.span_id,
+                        base_depth=span.depth,
+                        sim_start=plan.window.start,
+                        sim_end=sim_end,
+                        events=result.events_processed,
+                    )
+                )
+            span.sim_end = sim_end
+            span.set(
+                sessions=len(result.sessions),
+                events=result.events_processed,
+            )
+    perf.count("replay.events", result.events_processed)
+    perf.count("replay.sessions", len(result.sessions))
+    return result
+
+
+def resolve_workers(workers: Optional[int], pending: int) -> int:
+    """The pool size: requested (or CPU count), never above the work."""
+    limit = workers if workers is not None else os.cpu_count() or 1
+    return max(1, min(limit, pending))
+
+
+def _execute_shards(
+    plan: ShardPlan,
+    tasks: List[ShardTask],
+    workers: Optional[int],
+    run_dir: Optional[Union[str, Path]],
+) -> List[ShardOutcome]:
+    """Run (or reload) every shard; returns outcomes in plan order."""
+    store = (
+        RunDirectory(run_dir, kind="replay", fingerprint=_fingerprint(plan, tasks))
+        if run_dir is not None
+        else None
+    )
+    outcomes: Dict[str, ShardOutcome] = {}
+    pending: List[ShardTask] = []
+    for task in tasks:
+        if store is not None and store.has(task.shard.shard_id):
+            outcomes[task.shard.shard_id] = store.load(task.shard.shard_id)
+        else:
+            pending.append(task)
+    if pending:
+        pool_size = resolve_workers(workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=pool_size, initializer=init_worker
+        ) as pool:
+            futures: Dict[Future[ShardOutcome], str] = {
+                pool.submit(run_replay_shard, task): task.shard.shard_id
+                for task in pending
+            }
+            error: Optional[BaseException] = None
+            for future in as_completed(futures):
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    # Keep draining: every shard that *did* finish gets
+                    # checkpointed, so a resume re-runs only the failures.
+                    if error is None:
+                        error = exc
+                    continue
+                shard_id = futures[future]
+                outcomes[shard_id] = outcome
+                if store is not None:
+                    store.store(shard_id, outcome)
+            if error is not None:
+                raise error
+    return [outcomes[task.shard.shard_id] for task in tasks]
+
+
+def _fingerprint(plan: ShardPlan, tasks: List[ShardTask]) -> str:
+    """Checkpoint fingerprint: the plan shape plus strategy/config/trace."""
+    first = tasks[0]
+    return (
+        f"{plan.fingerprint()}|{first.strategy.name}|{first.config!r}"
+        f"|trace={first.trace}"
+    )

@@ -1,0 +1,202 @@
+"""Deterministic reassembly of per-shard outputs.
+
+Two merges happen after a sharded replay, and both must reproduce the
+serial engine's output exactly:
+
+**Results.**  Sessions concatenate and re-sort by ``(connect, user_id)``
+— the serial engine's own output order.  Per-controller series are
+disjoint across shards (each worker samples only its own controller on
+the shared :class:`~repro.wlan.replay.ReplayWindow` grid), so the series
+dict is a keyed union.  Event counts need one correction: every shard
+processes its *own* copy of the periodic sampler/poller ticks, which the
+serial run processes exactly once, so the merged count subtracts the
+``(k - 1)`` duplicate tick sets.
+
+**Journal fragments.**  The serial engine emits records in event order:
+at one instant, flush-phase records (decisions, then the closing
+``replay.flush`` span) precede sampler records, sampler records tick
+through controllers in sorted order, and the ``sim.run`` span closes
+after everything.  Worker fragments each preserve that order *within*
+a shard; the merge reassembles the global order by interleaving
+*units* — one flush group (its decisions plus the closing span) or one
+sample record — on the canonical key ``(sim_time, phase, tie)``, drops
+each worker's private ``sim.run`` span, renumbers the surviving spans
+consecutively under the parent's ``replay.run`` span, and synthesizes
+the single ``sim.run`` record the serial engine would have written.
+
+The tie key needs care: two controllers *do* flush at the same instant
+(arrivals are quantized to schedule boundaries), and the serial heap
+fires those flushes in the order their flush events were scheduled —
+which is the arrival order of each batch's first ("opener") demand, and
+arrivals at one instant are processed in ``(arrival, user_id)`` order.
+The opener is exactly the batch's first decision record, so a flush
+group ties on its first decision's ``user_id``.  Sample units tie on
+``controller_id`` (the serial sampler's own iteration order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.records import (
+    DecisionRecord,
+    SampleRecord,
+    SpanRecord,
+)
+from repro.obs.tracer import TracedRecord
+from repro.runtime.shards import ShardPlan
+from repro.runtime.workers import ShardOutcome
+from repro.wlan.metrics import ControllerSeries
+from repro.wlan.replay import ReplayResult
+
+#: Canonical intra-instant phases (mirrors the kernel's event
+#: priorities): flush-phase records before sampler records.
+_PHASE_FLUSH = 0
+_PHASE_SAMPLE = 1
+
+#: (sim_time, phase, tie, fragment_unit_seq)
+_SortKey = Tuple[float, int, str, int]
+
+
+def merge_shard_results(
+    plan: ShardPlan,
+    outcomes: Sequence[ShardOutcome],
+    strategy_name: str,
+) -> ReplayResult:
+    """Reassemble per-shard results into the serial engine's output."""
+    if len(outcomes) != len(plan.shards):
+        raise ValueError(
+            f"expected {len(plan.shards)} shard outcomes, got {len(outcomes)}"
+        )
+    sessions = sorted(
+        (s for outcome in outcomes for s in outcome.result.sessions),
+        key=lambda s: (s.connect, s.user_id),
+    )
+    series: Dict[str, ControllerSeries] = {}
+    for outcome in sorted(outcomes, key=lambda o: o.controller_id):
+        for controller_id, controller_series in outcome.result.series.items():
+            if controller_id in series:
+                raise ValueError(
+                    f"controller {controller_id!r} sampled by two shards"
+                )
+            series[controller_id] = controller_series
+    tick_sets = {(o.sampler_ticks, o.poller_ticks) for o in outcomes}
+    if len(tick_sets) != 1:
+        raise ValueError(
+            f"shards disagree on the periodic grid: {sorted(tick_sets)} — "
+            "they were not run against one shared window"
+        )
+    sampler_ticks, poller_ticks = next(iter(tick_sets))
+    duplicates = (len(outcomes) - 1) * (sampler_ticks + poller_ticks)
+    events = sum(o.result.events_processed for o in outcomes) - duplicates
+    return ReplayResult(
+        strategy_name=strategy_name,
+        sessions=sessions,
+        series=series,
+        events_processed=events,
+    )
+
+
+def _fragment_units(
+    fragment: Sequence[TracedRecord],
+) -> List[Tuple[_SortKey, List[TracedRecord]]]:
+    """Split one worker fragment into keyed interleave units.
+
+    A unit is either one flush group — the contiguous decisions of one
+    batch followed by its closing ``replay.flush`` span, keyed by the
+    flush instant and the opener's user id — or a single sample record,
+    keyed by its controller.  Workers' ``sim.run`` spans are dropped
+    (the parent synthesizes the single merged one).
+    """
+    units: List[Tuple[_SortKey, List[TracedRecord]]] = []
+    group: List[DecisionRecord] = []
+    for record in fragment:
+        if isinstance(record, DecisionRecord):
+            group.append(record)
+            continue
+        if isinstance(record, SpanRecord) and record.name == "sim.run":
+            if group:
+                raise ValueError("decisions dangling outside a flush group")
+            continue
+        seq = len(units)
+        if isinstance(record, SpanRecord):
+            if not group:
+                raise ValueError(
+                    f"span {record.name!r} closed with no decision group"
+                )
+            close = record.sim_end if record.sim_end is not None else 0.0
+            opener = group[0].user_id
+            units.append(
+                ((close, _PHASE_FLUSH, opener, seq), [*group, record])
+            )
+            group = []
+        elif isinstance(record, SampleRecord):
+            units.append(
+                (
+                    (record.sim_time, _PHASE_SAMPLE, record.controller_id, seq),
+                    [record],
+                )
+            )
+        else:
+            raise TypeError(
+                f"unexpected fragment record {type(record).__name__}"
+            )
+    if group:
+        raise ValueError("fragment ended inside an open flush group")
+    return units
+
+
+def merge_journal_fragments(
+    fragments: Sequence[Sequence[TracedRecord]],
+    base_id: int,
+    base_depth: int,
+    sim_start: float,
+    sim_end: float,
+    events: int,
+) -> List[TracedRecord]:
+    """Worker tracer fragments → the serial engine's record stream.
+
+    ``base_id``/``base_depth`` identify the parent's open ``replay.run``
+    span; the synthetic ``sim.run`` span is numbered directly after it
+    and every surviving fragment span is renumbered consecutively in
+    canonical order, exactly as the serial engine would have allocated
+    ids (flush spans open and close in event order).  ``events`` is the
+    *merged* event count (the serial ``sim.run`` span's attribute).
+    """
+    sim_run_id = base_id + 1
+    keyed: List[Tuple[_SortKey, List[TracedRecord]]] = []
+    for fragment in fragments:
+        keyed.extend(_fragment_units(fragment))
+    keyed.sort(key=lambda item: item[0])
+    merged: List[TracedRecord] = []
+    next_id = sim_run_id + 1
+    for _, unit in keyed:
+        for record in unit:
+            if isinstance(record, SpanRecord):
+                record = SpanRecord(
+                    span_id=next_id,
+                    parent_id=sim_run_id,
+                    name=record.name,
+                    depth=base_depth + 2,
+                    sim_start=record.sim_start,
+                    sim_end=record.sim_end,
+                    attrs=dict(record.attrs),
+                    wall_start=record.wall_start,
+                    wall_elapsed=record.wall_elapsed,
+                )
+                next_id += 1
+            merged.append(record)
+    merged.append(
+        SpanRecord(
+            span_id=sim_run_id,
+            parent_id=base_id,
+            name="sim.run",
+            depth=base_depth + 1,
+            sim_start=sim_start,
+            sim_end=sim_end,
+            attrs={"events": events},
+            wall_start=0.0,
+            wall_elapsed=0.0,
+        )
+    )
+    return merged

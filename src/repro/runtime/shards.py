@@ -1,0 +1,105 @@
+"""Shard planning: partition a demand stream by controller domain.
+
+Sharding is *by construction* lossless: ``wlan/replay.py`` buffers
+arrivals per controller, fires departures against the owning
+controller's APs, and samples each controller's load independently — no
+event of controller ``A``'s replay reads or writes controller ``B``'s
+state.  The only shared coordinates are the simulator clock and the
+periodic sampler/poller grids, which the plan pins for every shard via
+one global :class:`~repro.wlan.replay.ReplayWindow`.
+
+Every controller of the layout gets a shard, including controllers with
+zero demands: a serial run samples idle controllers too, and the merged
+series must carry those (all-idle) rows to stay identical.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.trace.records import DemandSession
+from repro.trace.social import CampusLayout
+from repro.wlan.replay import (
+    ReplayConfig,
+    ReplayWindow,
+    shard_stream_name,
+    window_for,
+)
+
+
+@dataclass(frozen=True)
+class ReplayShard:
+    """One controller domain's slice of the demand stream."""
+
+    #: Stable shard identifier — also the RNG child-stream name (see
+    #: :func:`repro.wlan.replay.shard_stream_name`).
+    shard_id: str
+    controller_id: str
+    #: This controller's demands, sorted by ``(arrival, user_id)``.
+    demands: Tuple[DemandSession, ...]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A full partition of one replay run."""
+
+    shards: Tuple[ReplayShard, ...]
+    window: ReplayWindow
+
+    @property
+    def n_demands(self) -> int:
+        """Total demands across all shards."""
+        return sum(len(shard.demands) for shard in self.shards)
+
+    @property
+    def busy_shards(self) -> int:
+        """Shards that actually carry demands."""
+        return sum(1 for shard in self.shards if shard.demands)
+
+    def fingerprint(self) -> str:
+        """A stable digest of the plan's shape, for checkpoint metadata.
+
+        Covers the shard ids, their demand counts and the window, so a
+        run directory created for one plan refuses to resume another.
+        """
+        parts = [f"{self.window.start!r}:{self.window.horizon!r}"]
+        parts.extend(
+            f"{shard.shard_id}={len(shard.demands)}" for shard in self.shards
+        )
+        digest = zlib.crc32("|".join(parts).encode("utf-8"))
+        return f"shards:{len(self.shards)}:{digest:08x}"
+
+
+def plan_replay_shards(
+    layout: CampusLayout,
+    demands: Sequence[DemandSession],
+    config: ReplayConfig,
+) -> ShardPlan:
+    """Partition ``demands`` into one shard per controller of ``layout``.
+
+    Raises :class:`ValueError` for an empty demand stream (there is no
+    window to pin — callers short-circuit that case) and :class:`KeyError`
+    for a demand in a building the layout does not know, mirroring what
+    the serial engine would raise at replay time.
+    """
+    if not demands:
+        raise ValueError("cannot plan shards for an empty demand stream")
+    ordered = sorted(demands, key=lambda d: (d.arrival, d.user_id))
+    window = window_for(ordered, config)
+    by_controller: Dict[str, List[DemandSession]] = {
+        controller_id: [] for controller_id in layout.controller_ids
+    }
+    for demand in ordered:
+        building = layout.buildings[demand.building_id]
+        by_controller[building.controller_id].append(demand)
+    shards = tuple(
+        ReplayShard(
+            shard_id=shard_stream_name(controller_id),
+            controller_id=controller_id,
+            demands=tuple(by_controller[controller_id]),
+        )
+        for controller_id in layout.controller_ids
+    )
+    return ShardPlan(shards=shards, window=window)

@@ -1,0 +1,214 @@
+"""Task-graph execution for experiment sweeps.
+
+An ablation sweep (and the figure runners) is a loop of independent,
+expensive evaluations — retrain with one knob changed, replay, score.
+A :class:`SweepPlan` captures that loop as named tasks; :func:`run_sweep`
+executes it serially (the reference: same call sequence as the original
+loop) or across a process pool, with optional checkpoint/resume.
+
+Task functions must be module-level and picklable by reference; the
+stock ones below (:func:`balance_task`, :func:`experiment_task`) rebuild
+their workload inside the worker from the experiment config's seed —
+deterministic by the workload module's construction — so task *inputs*
+stay small even when the artifacts are hundreds of megabytes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+import zlib
+
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+
+from repro import perf
+from repro.runtime.checkpoint import RunDirectory
+from repro.runtime.workers import SweepCall, SweepOutcome, init_worker, run_sweep_call
+
+#: A sweep task is just a named call; reuse the worker's picklable form.
+SweepTask = SweepCall
+
+
+def make_task(task_id: str, fn: Callable[..., Any], **kwargs: Any) -> SweepTask:
+    """Convenience constructor keeping kwargs in sorted, hashable form."""
+    return SweepTask(
+        task_id=task_id,
+        fn=fn,
+        kwargs=tuple(sorted(kwargs.items())),
+    )
+
+
+class SweepPlan:
+    """An ordered set of uniquely named, independent tasks."""
+
+    def __init__(self, tasks: Sequence[SweepTask]) -> None:
+        self.tasks: Tuple[SweepTask, ...] = tuple(tasks)
+        seen: Dict[str, SweepTask] = {}
+        for task in self.tasks:
+            if task.task_id in seen:
+                raise ValueError(f"duplicate sweep task id {task.task_id!r}")
+            seen[task.task_id] = task
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def fingerprint(self) -> str:
+        """A stable digest of the plan (task ids + functions + kwargs)."""
+        parts = [
+            f"{task.task_id}={task.fn.__module__}.{task.fn.__qualname__}"
+            f"({task.kwargs!r})"
+            for task in self.tasks
+        ]
+        digest = zlib.crc32("|".join(parts).encode("utf-8"))
+        return f"sweep:{len(self.tasks)}:{digest:08x}"
+
+
+def run_sweep(
+    plan: SweepPlan,
+    *,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Execute every task of ``plan``; values keyed by task id.
+
+    ``engine="serial"`` runs the tasks in order in this process — the
+    same call sequence as the loop the plan replaced.  ``"process"``
+    fans them out over a pool, merging each worker's perf snapshot into
+    the parent registry.  ``"auto"`` picks the pool when the plan holds
+    more than one task.
+    """
+    if engine not in ("auto", "serial", "process"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "auto":
+        engine = "process" if len(plan) > 1 else "serial"
+    if engine == "serial":
+        return run_sweep_serial(plan, run_dir=run_dir)
+    return run_sweep_process(plan, workers=workers, run_dir=run_dir)
+
+
+def run_sweep_serial(
+    plan: SweepPlan,
+    run_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """The reference: tasks run in plan order, in this process."""
+    store = _store(plan, run_dir)
+    values: Dict[str, Any] = {}
+    for task in plan.tasks:
+        if store is not None and store.has(task.task_id):
+            values[task.task_id] = store.load(task.task_id)
+            continue
+        value = task.fn(**task.kwargs_dict)
+        values[task.task_id] = value
+        if store is not None:
+            store.store(task.task_id, value)
+    return values
+
+
+def run_sweep_process(
+    plan: SweepPlan,
+    workers: Optional[int] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Fan the plan out over a process pool; resumes from ``run_dir``."""
+    # Imported here (not at module top) to keep a one-way dependency:
+    # engine → workers, sweep → engine-helpers.
+    from repro.runtime.engine import resolve_workers
+
+    store = _store(plan, run_dir)
+    values: Dict[str, Any] = {}
+    pending: List[SweepTask] = []
+    for task in plan.tasks:
+        if store is not None and store.has(task.task_id):
+            values[task.task_id] = store.load(task.task_id)
+        else:
+            pending.append(task)
+    if pending:
+        pool_size = resolve_workers(workers, len(pending))
+        snapshots: Dict[str, perf.PerfSnapshot] = {}
+        with ProcessPoolExecutor(
+            max_workers=pool_size, initializer=init_worker
+        ) as pool:
+            futures: Dict[Future[SweepOutcome], str] = {
+                pool.submit(run_sweep_call, task): task.task_id
+                for task in pending
+            }
+            error: Optional[BaseException] = None
+            for future in as_completed(futures):
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    # Keep draining so finished tasks are checkpointed;
+                    # a resume then re-runs only the failures.
+                    if error is None:
+                        error = exc
+                    continue
+                values[outcome.task_id] = outcome.value
+                snapshots[outcome.task_id] = outcome.perf
+                if store is not None:
+                    store.store(outcome.task_id, outcome.value)
+            if error is not None:
+                raise error
+        # Merge worker perf in plan order, so the parent registry's
+        # contents do not depend on completion order.
+        for task in pending:
+            perf.merge(snapshots[task.task_id])
+    return {task.task_id: values[task.task_id] for task in plan.tasks}
+
+
+def _store(
+    plan: SweepPlan, run_dir: Optional[Union[str, Path]]
+) -> Optional[RunDirectory]:
+    if run_dir is None:
+        return None
+    return RunDirectory(run_dir, kind="sweep", fingerprint=plan.fingerprint())
+
+
+# --------------------------------------------------------------- task fns
+#
+# Stock task bodies for the ablation/figure planners.  They must stay
+# module-level (picklable by reference) and rebuild everything they need
+# from their arguments — the worker starts with cleared caches.
+
+
+def balance_task(
+    config: Any,
+    strategy: str,
+    training: Any = None,
+    replay: Any = None,
+    online_only: bool = False,
+) -> float:
+    """Mean daytime balance of one replay variant.
+
+    ``strategy`` is ``"llf"`` or ``"s3"``; ``training`` overrides the
+    S³ training config (forcing a retrain), ``replay`` overrides the
+    replay config, and ``online_only`` wraps the S³ selector in the
+    ablations' no-batching strategy.
+    """
+    from repro.experiments.evaluation import mean_daytime_balance
+    from repro.experiments.workload import build_workload, trained_model
+    from repro.wlan.strategies import LeastLoadedFirst, S3Strategy, SelectionStrategy
+
+    workload = build_workload(config)
+    selected: SelectionStrategy
+    if strategy == "llf":
+        selected = LeastLoadedFirst()
+    elif strategy == "s3":
+        model = trained_model(config, training)
+        if online_only:
+            from repro.experiments.ablations import OnlineOnlyS3
+
+            selected = OnlineOnlyS3(model.selector())
+        else:
+            selected = S3Strategy(model.selector())
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return mean_daytime_balance(workload.replay_test(selected, replay))
+
+
+def experiment_task(name: str, preset: str) -> str:
+    """Run one registered experiment and return its rendered report."""
+    from repro.experiments.__main__ import EXPERIMENTS, PRESETS
+
+    result = EXPERIMENTS[name].run(PRESETS[preset])
+    return str(result.render())

@@ -1,0 +1,137 @@
+"""Worker-process entry points and lifecycle.
+
+Everything in this module is module-level and picklable by reference, so
+it works under any :mod:`multiprocessing` start method (fork or spawn).
+
+Lifecycle contract:
+
+* :func:`init_worker` runs once per pool process.  It clears the
+  :mod:`repro.experiments.workload` caches (the module's fork-safety
+  contract: workers rebuild, never inherit), resets the perf registry
+  and resets + disables the obs tracer, so nothing recorded in the
+  parent before the fork leaks into a worker's output.
+* Each task function resets the worker's perf registry, does its work,
+  and ships a :class:`~repro.perf.PerfSnapshot` (plus, for replay
+  shards, the tracer's record fragment) back to the parent, which merges
+  them.  Per-task reset means a pool process serving many tasks never
+  double-counts.
+
+RNG contract: a worker never draws from a root-seeded
+:class:`~repro.sim.rng.RandomStreams` directly — per-shard streams are
+derived via ``child(shard_stream_name(controller_id))`` inside the
+replay engine, which is what makes worker draws bit-identical to the
+serial engine's (enforced by the ``fork-safe-rng`` lint rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro import perf
+from repro.obs.tracer import TracedRecord, get_tracer
+from repro.perf import PerfSnapshot
+from repro.runtime.shards import ReplayShard
+from repro.trace.social import CampusLayout
+from repro.wlan.replay import ReplayConfig, ReplayEngine, ReplayResult, ReplayWindow
+from repro.wlan.strategies import SelectionStrategy
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One replay shard, fully self-contained and picklable."""
+
+    shard: ReplayShard
+    layout: CampusLayout
+    strategy: SelectionStrategy
+    config: ReplayConfig
+    window: ReplayWindow
+    #: Whether the worker should trace (journal fragments are collected
+    #: only when the parent's tracer is enabled).
+    trace: bool
+
+
+@dataclass
+class ShardOutcome:
+    """What one replay shard sends back for the deterministic merge."""
+
+    shard_id: str
+    controller_id: str
+    result: ReplayResult
+    final_now: float
+    sampler_ticks: int
+    poller_ticks: int
+    #: The worker tracer's records (flush spans, decisions, samples and
+    #: the worker's own ``sim.run`` span); empty when not tracing.
+    records: List[TracedRecord]
+    perf: PerfSnapshot
+
+
+def init_worker() -> None:
+    """Pool initializer: a worker rebuilds, never inherits."""
+    # Imported here so replay-only pools don't pay for the experiments
+    # package; the clear is the workload module's fork-safety contract.
+    from repro.experiments.workload import clear_caches
+
+    clear_caches()
+    perf.reset()
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enabled = False
+
+
+def run_replay_shard(task: ShardTask) -> ShardOutcome:
+    """Execute one shard in this process and package the outcome."""
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enabled = task.trace
+    perf.reset()
+    engine = ReplayEngine(task.layout, task.strategy, task.config)
+    run = engine.run_window(
+        list(task.shard.demands),
+        task.window,
+        controllers=(task.shard.controller_id,),
+    )
+    records = list(tracer.records)
+    tracer.reset()
+    tracer.enabled = False
+    return ShardOutcome(
+        shard_id=task.shard.shard_id,
+        controller_id=task.shard.controller_id,
+        result=run.result,
+        final_now=run.final_now,
+        sampler_ticks=run.sampler_ticks,
+        poller_ticks=run.poller_ticks,
+        records=records,
+        perf=perf.snapshot(),
+    )
+
+
+@dataclass(frozen=True)
+class SweepCall:
+    """One sweep task: a module-level function plus keyword arguments."""
+
+    task_id: str
+    fn: Callable[..., Any]
+    kwargs: Tuple[Tuple[str, Any], ...]
+
+    @property
+    def kwargs_dict(self) -> Dict[str, Any]:
+        """The kwargs as a dict (stored as a tuple to stay hashable)."""
+        return dict(self.kwargs)
+
+
+@dataclass
+class SweepOutcome:
+    """One sweep task's value plus the worker's perf snapshot."""
+
+    task_id: str
+    value: Any
+    perf: PerfSnapshot
+
+
+def run_sweep_call(call: SweepCall) -> SweepOutcome:
+    """Execute one sweep task in this process and package the outcome."""
+    perf.reset()
+    value = call.fn(**call.kwargs_dict)
+    return SweepOutcome(task_id=call.task_id, value=value, perf=perf.snapshot())

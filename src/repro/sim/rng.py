@@ -55,7 +55,17 @@ class RandomStreams:
         return self._streams[name]
 
     def child(self, name: str) -> "RandomStreams":
-        """Derive a whole sub-factory, e.g. one per simulated building."""
+        """Derive a whole sub-factory, e.g. one per simulated building.
+
+        The derivation is pure integer arithmetic on ``(root seed,
+        crc32(name))`` — no process state — so a child factory built
+        inside a :mod:`repro.runtime` worker process yields bit-identical
+        streams to one built in the parent.  This cross-process stability
+        is the invariant the parallel execution engine rests on: a shard
+        is handed only its ``child(shard_stream_name(...))`` factory,
+        never the root factory itself (enforced by the ``fork-safe-rng``
+        lint rule).
+        """
         tag = zlib.crc32(name.encode("utf-8"))
         return RandomStreams(seed=(self._seed * 1_000_003 + tag) % (2**63))
 

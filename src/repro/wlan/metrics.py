@@ -9,7 +9,7 @@ figure in the paper's evaluation is built from).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -70,10 +70,26 @@ class MetricsCollector:
         self._counts: Dict[str, List[List[int]]] = {}
         self._ap_ids: Dict[str, List[str]] = {}
 
-    def sample(self, now: float, campus: CampusRuntime) -> None:
-        """Record one snapshot of every controller."""
+    def sample(
+        self,
+        now: float,
+        campus: CampusRuntime,
+        controller_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Record one snapshot of every controller (or a fixed subset).
+
+        ``controller_ids`` restricts the snapshot to a shard's domain(s);
+        it must be sorted and stable across calls, which is how a sharded
+        run's per-controller series line up sample-for-sample with a
+        whole-campus serial run.
+        """
         self._times.append(now)
-        for controller_id in sorted(campus.controllers):
+        ids = (
+            sorted(campus.controllers)
+            if controller_ids is None
+            else controller_ids
+        )
+        for controller_id in ids:
             controller = campus.controllers[controller_id]
             if controller_id not in self._ap_ids:
                 self._ap_ids[controller_id] = controller.ap_ids

@@ -56,6 +56,66 @@ _PRIORITY_FLUSH = 2
 _PRIORITY_SAMPLE = 3
 
 
+def shard_stream_name(controller_id: str) -> str:
+    """The :meth:`~repro.sim.rng.RandomStreams.child` name of one shard.
+
+    Both the serial engine and a :mod:`repro.runtime` worker derive the
+    radio streams of controller ``c`` from the *same* child factory,
+    ``RandomStreams(seed).child(shard_stream_name(c))`` — which is what
+    makes per-shard draws identical across engines by construction.
+    """
+    return f"shard:{controller_id}"
+
+
+@dataclass(frozen=True)
+class ReplayWindow:
+    """The global event grid of one replay run.
+
+    A sharded run must sample and poll on the *whole* run's grid — first
+    arrival to horizon — not on each shard's local extent, or the merged
+    series would disagree with a single-process run.  The window pins
+    that grid: ``start`` anchors the simulator clock and both periodic
+    schedules, ``horizon`` is the run-until instant.
+    """
+
+    start: float
+    horizon: float
+
+    def __post_init__(self) -> None:
+        if self.horizon < self.start:
+            raise ValueError(
+                f"window horizon {self.horizon} precedes start {self.start}"
+            )
+
+
+def window_for(
+    demands: Sequence[DemandSession], config: ReplayConfig
+) -> ReplayWindow:
+    """The window a serial run of ``demands`` would use."""
+    if not demands:
+        raise ValueError("cannot derive a window from zero demands")
+    return ReplayWindow(
+        start=min(d.arrival for d in demands),
+        horizon=max(d.departure for d in demands) + config.batch_window,
+    )
+
+
+@dataclass
+class ShardRun:
+    """One engine pass plus the bookkeeping a deterministic merge needs.
+
+    ``sampler_ticks``/``poller_ticks`` count the periodic events the pass
+    processed; every shard of one window processes the same number, and
+    the merge subtracts the duplicates so the summed event count equals
+    the serial engine's.
+    """
+
+    result: ReplayResult
+    final_now: float
+    sampler_ticks: int
+    poller_ticks: int
+
+
 @dataclass(frozen=True)
 class ReplayConfig:
     """Replay engine knobs."""
@@ -133,6 +193,11 @@ class ReplayEngine:
         self.strategy = strategy
         self.config = config if config is not None else ReplayConfig()
         self._streams = RandomStreams(self.config.seed)
+        # Per-controller child stream factories (see shard_stream_name):
+        # every radio draw is rooted in its controller's child factory, so
+        # a worker replaying only that controller derives the exact same
+        # streams as the serial engine replaying the whole campus.
+        self._radio: Dict[str, RandomStreams] = {}
 
     # ------------------------------------------------------------- running
 
@@ -144,7 +209,7 @@ class ReplayEngine:
                 strategy=self.strategy.name,
                 demands=len(demands),
             ) as span:
-                result = self._run(demands, span)
+                result = self._run(demands, span).result
                 span.set(
                     sessions=len(result.sessions),
                     events=result.events_processed,
@@ -153,19 +218,62 @@ class ReplayEngine:
         perf.count("replay.sessions", len(result.sessions))
         return result
 
+    def run_window(
+        self,
+        demands: Sequence[DemandSession],
+        window: ReplayWindow,
+        controllers: Optional[Sequence[str]] = None,
+    ) -> ShardRun:
+        """Replay one shard of a larger run on an externally fixed grid.
+
+        This is the :mod:`repro.runtime` worker entry point: ``window``
+        pins the simulator start and horizon to the *whole* run's extent
+        (so sampler and poller ticks land on the global grid), and
+        ``controllers`` restricts sampling, polling and tracer samples to
+        the shard's controller domain(s).  Unlike :meth:`run`, no outer
+        span or perf wrapper is opened — the parent process owns those —
+        and the raw :class:`ShardRun` bookkeeping is returned for the
+        deterministic merge.
+        """
+        return self._run(demands, window=window, controllers=controllers)
+
     def _run(
-        self, demands: Sequence[DemandSession], span: Optional[AnySpan] = None
-    ) -> ReplayResult:
+        self,
+        demands: Sequence[DemandSession],
+        span: Optional[AnySpan] = None,
+        window: Optional[ReplayWindow] = None,
+        controllers: Optional[Sequence[str]] = None,
+    ) -> ShardRun:
         demands = sorted(demands, key=lambda d: (d.arrival, d.user_id))
-        if not demands:
-            return ReplayResult(self.strategy.name, [], {}, 0)
+        if not demands and window is None:
+            return ShardRun(
+                ReplayResult(self.strategy.name, [], {}, 0), 0.0, 0, 0
+            )
+        if window is None:
+            window = window_for(demands, self.config)
+        if demands and demands[0].arrival < window.start:
+            raise ValueError(
+                f"demand arrives at {demands[0].arrival} before the "
+                f"window start {window.start}"
+            )
 
         campus = CampusRuntime(self.layout)
+        sampled = (
+            sorted(campus.controllers)
+            if controllers is None
+            else sorted(controllers)
+        )
+        for controller_id in sampled:
+            if controller_id not in campus.controllers:
+                raise KeyError(f"unknown controller {controller_id!r}")
         collector = MetricsCollector()
-        sim = Simulator(start_time=demands[0].arrival)
+        sim = Simulator(start_time=window.start)
         tracer = get_tracer()
         if span is not None:
-            span.sim_start = demands[0].arrival
+            span.sim_start = window.start
+        # Periodic ticks processed; every shard of one window sees the
+        # same counts, which the merge layer relies on (see ShardRun).
+        ticks = {"sample": 0, "poll": 0}
         # Per-controller flush sequence numbers for decision provenance.
         batch_seq: Dict[str, int] = {}
         sessions: List[SessionRecord] = []
@@ -298,12 +406,11 @@ class ReplayEngine:
                 name="departure",
             )
 
-        horizon = max(d.departure for d in demands) + self.config.batch_window
-
         def take_sample() -> None:
-            collector.sample(sim.now, campus)
+            ticks["sample"] += 1
+            collector.sample(sim.now, campus, controller_ids=sampled)
             if tracer.enabled:
-                for controller_id in sorted(campus.controllers):
+                for controller_id in sampled:
                     controller = campus.controllers[controller_id]
                     loads = controller.loads()
                     tracer.sample(
@@ -319,33 +426,40 @@ class ReplayEngine:
         stop_sampler = sim.every(
             self.config.sample_interval,
             take_sample,
-            start=demands[0].arrival,
+            start=window.start,
             priority=_PRIORITY_SAMPLE,
             name="sample",
         )
 
         def poll_loads() -> None:
-            for controller in campus.controllers.values():
-                controller.refresh_measurements()
+            ticks["poll"] += 1
+            for controller_id in sampled:
+                campus.controllers[controller_id].refresh_measurements()
 
         stop_poller = sim.every(
             self.config.load_measurement_interval,
             poll_loads,
-            start=demands[0].arrival,
+            start=window.start,
             priority=_PRIORITY_DEPARTURE,  # polls see departures of the instant
             name="load-poll",
         )
-        sim.run(until=horizon)
+        sim.run(until=window.horizon)
         stop_sampler()
         stop_poller()
         if span is not None:
             span.sim_end = sim.now
 
-        return ReplayResult(
+        result = ReplayResult(
             strategy_name=self.strategy.name,
             sessions=sorted(sessions, key=lambda s: (s.connect, s.user_id)),
             series=collector.series(),
             events_processed=sim.events_processed,
+        )
+        return ShardRun(
+            result=result,
+            final_now=sim.now,
+            sampler_ticks=ticks["sample"],
+            poller_ticks=ticks["poll"],
         )
 
     # ----------------------------------------------------------- internals
@@ -362,7 +476,7 @@ class ReplayEngine:
         controller = campus.controllers[controller_id]
         tracer = get_tracer()
         rssi_by_user = {
-            d.user_id: self._station_rssi(d) for d in batch
+            d.user_id: self._station_rssi(d, controller_id) for d in batch
         }
         user_ids = [d.user_id for d in batch]
         snapshots = controller.snapshots()
@@ -451,9 +565,27 @@ class ReplayEngine:
             mode=mode,
         )
 
-    def _station_rssi(self, demand: DemandSession) -> Dict[str, float]:
+    def _radio_streams(self, controller_id: str) -> RandomStreams:
+        """The shard-scoped child factory for one controller's radios.
+
+        Derived via ``child(shard_stream_name(controller_id))`` so the
+        serial engine and a per-controller :mod:`repro.runtime` worker
+        draw from identical streams regardless of which other controllers
+        (if any) they simulate.
+        """
+        streams = self._radio.get(controller_id)
+        if streams is None:
+            streams = self._streams.child(shard_stream_name(controller_id))
+            self._radio[controller_id] = streams
+        return streams
+
+    def _station_rssi(
+        self, demand: DemandSession, controller_id: str
+    ) -> Dict[str, float]:
         """Deterministic per-session RSSI map for the arriving station."""
-        rng = self._streams.get(f"radio-{demand.user_id}-{demand.arrival:.3f}")
+        rng = self._radio_streams(controller_id).get(
+            f"radio-{demand.user_id}-{demand.arrival:.3f}"
+        )
         building = self.layout.buildings[demand.building_id]
         position = sample_position(building, rng)
         return rssi_map(

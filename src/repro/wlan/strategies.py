@@ -35,6 +35,17 @@ class SelectionStrategy(abc.ABC):
     #: Human-readable name used in reports and benchmark tables.
     name: str = "strategy"
 
+    #: Whether per-controller sharding preserves this strategy's
+    #: behaviour.  True for strategies whose decisions depend only on the
+    #: arriving batch and the owning controller's state (LLF, RSSI, the
+    #: trained S3 selector).  False for strategies carrying *mutable*
+    #: cross-controller state — a shared RNG consumed in global arrival
+    #: order, or an online learner updated by observe hooks — where
+    #: splitting the demand stream changes the call order and therefore
+    #: the decisions.  ``repro.runtime`` refuses ``engine="process"`` for
+    #: these and ``engine="auto"`` falls back to serial.
+    shard_safe: bool = True
+
     @abc.abstractmethod
     def select(
         self,
@@ -171,6 +182,9 @@ class RandomSelection(SelectionStrategy):
     """Uniform random choice — the floor any useful strategy must beat."""
 
     name = "random"
+    # One generator consumed in global arrival order: sharding reorders
+    # the draws, so the serial and process engines would diverge.
+    shard_safe = False
 
     def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
         self.rng = rng if rng is not None else np.random.default_rng(0)

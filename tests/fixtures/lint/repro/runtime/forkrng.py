@@ -1,0 +1,27 @@
+"""Fixture: root-factory ``.get()`` draws inside ``repro.runtime``.
+
+The fork-safe-rng rule must flag lines 12 and 17 (a named root factory
+and a constructor chain) and allow the ``child()`` derivations."""
+
+from repro.sim.rng import RandomStreams
+
+ROOT = RandomStreams(seed=7)
+
+
+def bad_named_root() -> object:
+    return ROOT.get("radio")  # line 12: root-seeded factory
+
+
+def bad_constructor_chain() -> object:
+    # line 17: .get() chained straight on the constructor
+    return RandomStreams(seed=7).get("radio")
+
+
+def good_child_stream(controller_id: str) -> object:
+    return ROOT.child(f"shard:{controller_id}").get("radio")
+
+
+def good_handed_in(streams: RandomStreams) -> object:
+    # A factory received from a caller is not locally root-seeded; the
+    # flow-insensitive rule deliberately trusts the hand-off.
+    return streams.get("radio")

@@ -35,6 +35,7 @@ EXPECTED_RULES = {
     "bare-except",
     "cache-invalidation",
     "engine-parity",
+    "fork-safe-rng",
     "mutable-default",
     "no-unseeded-rng",
     "no-wallclock",
@@ -119,6 +120,18 @@ def test_engine_parity_fixture():
     messages = "\n".join(f.message for f in findings)
     assert "engine_parity.resample" in messages
     assert "engine_parity.Pipeline.transform" in messages
+
+
+def test_fork_safe_rng_fixture_scoped_by_module_name():
+    path = FIXTURES / "repro" / "runtime" / "forkrng.py"
+    assert module_name_for(path) == "repro.runtime.forkrng"
+    findings = lint_module(parse_module(path))
+    assert lines_by_rule(findings, "fork-safe-rng") == [12, 17]
+    messages = "\n".join(f.message for f in findings)
+    assert "root-seeded" in messages
+    # the same code outside repro.runtime is not flagged
+    relaxed = lint_module(parse_module(path, module="repro.wlan.forkrng"))
+    assert lines_by_rule(relaxed, "fork-safe-rng") == []
 
 
 def test_mutable_default_fixture():

@@ -79,3 +79,27 @@ class TestJournalFlag:
         assert main(["tiny", "fig2", "--trace"]) == 0
         output = capsys.readouterr().out
         assert "wall_total" in output
+
+
+class TestWorkersFlag:
+    def test_workers_flag_validates_its_argument(self, capsys):
+        assert main(["tiny", "fig2", "--workers"]) == 2
+        assert main(["tiny", "fig2", "--workers", "zero"]) == 2
+        assert main(["tiny", "fig2", "--workers", "0"]) == 2
+
+    def test_workers_rejects_observation_flags(self, capsys):
+        assert main(["tiny", "fig2", "--workers", "2", "--trace"]) == 2
+        assert main(["tiny", "fig2", "--workers", "2", "--journal", "x"]) == 2
+        assert "--workers cannot be combined" in capsys.readouterr().out
+
+    def test_single_worker_stays_on_the_serial_path(self, capsys, tiny_workload):
+        assert main(["tiny", "fig2", "--workers", "1"]) == 0
+        assert "=== fig2" in capsys.readouterr().out
+
+    def test_parallel_run_matches_serial_output(self, capsys, tiny_workload):
+        assert main(["tiny", "fig2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["tiny", "fig2", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # identical rendered report; only the header line differs
+        assert serial.splitlines()[2:] == parallel.splitlines()[2:]

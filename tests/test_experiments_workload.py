@@ -1,0 +1,72 @@
+"""The workload cache: memoization, fork-safety and worker hygiene.
+
+The module-level workload/model caches are what make the session-scoped
+fixtures (and the sweep runners) cheap — but a forked worker inheriting
+hundreds of megabytes of parent cache would defeat the small-task-input
+design of :mod:`repro.runtime`.  The contract (documented in
+``repro/experiments/workload.py``) is that workers start empty:
+``init_worker`` clears both caches before any task runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import workload as workload_module
+from repro.experiments.config import TINY
+from repro.experiments.workload import (
+    build_workload,
+    cache_sizes,
+    clear_caches,
+    trained_model,
+)
+from repro.runtime.workers import init_worker
+
+
+@pytest.fixture
+def preserved_caches():
+    """Let a test clear the caches without orphaning the session fixtures."""
+    saved_workloads = dict(workload_module._WORKLOADS)
+    saved_models = dict(workload_module._MODELS)
+    try:
+        yield
+    finally:
+        workload_module._WORKLOADS.update(saved_workloads)
+        workload_module._MODELS.update(saved_models)
+
+
+def test_build_workload_memoizes_by_name_and_seed():
+    # other tests may clear the cache mid-session, so assert memoization
+    # on fresh calls rather than identity with the session fixture
+    assert build_workload(TINY) is build_workload(TINY)
+
+
+def test_cache_sizes_reports_both_caches(tiny_workload, tiny_model):
+    build_workload(TINY)
+    trained_model(TINY)
+    workloads, models = cache_sizes()
+    assert workloads >= 1
+    assert models >= 1
+
+
+def test_clear_caches_empties_both_dicts(tiny_workload, tiny_model, preserved_caches):
+    build_workload(TINY)
+    trained_model(TINY)
+    assert cache_sizes() != (0, 0)
+    clear_caches()
+    assert cache_sizes() == (0, 0)
+    assert workload_module._WORKLOADS == {}
+    assert workload_module._MODELS == {}
+
+
+def test_init_worker_starts_from_empty_caches(preserved_caches):
+    # The pool initializer must enforce the fork-safety contract even if
+    # the forked child inherited a warm parent cache.
+    build_workload(TINY)
+    assert cache_sizes()[0] >= 1
+    init_worker()
+    assert cache_sizes() == (0, 0)
+
+
+def test_fork_safety_contract_is_documented():
+    assert "Fork-safety contract" in (workload_module.__doc__ or "")

@@ -77,3 +77,65 @@ class TestReport:
         assert text.splitlines()[0] == "t"
         assert "replay.events" in text and "12" in text
         assert "0.125" in text
+
+
+class TestSnapshotMerge:
+    """The worker hand-off path: snapshot in the child, merge in the parent."""
+
+    def test_snapshot_is_a_deep_copy(self):
+        registry = PerfRegistry()
+        registry.record("step", 0.5)
+        registry.count("events", 2)
+        snap = registry.snapshot()
+        registry.record("step", 0.5)
+        registry.count("events", 1)
+        assert snap.timers["step"].calls == 1
+        assert snap.counters == {"events": 2}
+
+    def test_merge_combines_timers_and_adds_counters(self):
+        parent = PerfRegistry()
+        parent.record("step", 0.2)
+        parent.count("events", 10)
+        worker = PerfRegistry()
+        worker.record("step", 0.6)
+        worker.record("step", 0.1)
+        worker.record("worker.only", 0.3)
+        worker.count("events", 5)
+        worker.count("batches", 2)
+        parent.merge(worker.snapshot())
+        step = parent.timers()["step"]
+        assert step.calls == 3
+        assert step.total == pytest.approx(0.9)
+        assert step.minimum == pytest.approx(0.1)
+        assert step.maximum == pytest.approx(0.6)
+        assert parent.timers()["worker.only"].calls == 1
+        assert parent.counters() == {"events": 15, "batches": 2}
+
+    def test_merge_empty_snapshot_is_noop(self):
+        parent = PerfRegistry()
+        parent.record("step", 0.2)
+        before = parent.snapshot()
+        parent.merge(PerfRegistry().snapshot())
+        assert parent.timers()["step"].calls == before.timers["step"].calls
+        assert parent.counters() == before.counters
+
+    def test_snapshot_pickles(self):
+        import pickle
+
+        registry = PerfRegistry()
+        registry.record("step", 0.25)
+        registry.count("events", 4)
+        clone = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert clone.timers["step"].total == pytest.approx(0.25)
+        assert clone.counters == {"events": 4}
+
+    def test_combine_preserves_extrema_sentinels(self):
+        merged = TimerStat()
+        merged.combine(TimerStat())  # zero-call combine keeps the sentinel
+        assert merged.calls == 0
+        assert merged.minimum == float("inf")
+        loaded = TimerStat()
+        loaded.add(0.5)
+        merged.combine(loaded)
+        assert merged.minimum == pytest.approx(0.5)
+        assert merged.maximum == pytest.approx(0.5)

@@ -1,0 +1,186 @@
+"""Checkpoint/resume: the run directory and kill-mid-run recovery.
+
+The contract under test: a run that dies mid-way leaves one atomic
+checkpoint per *finished* unit of work, and re-invoking with the same
+run directory re-executes only the unfinished units.  Execution counts
+are observed through marker files the task bodies append to (worker
+processes share the filesystem, not the test's memory).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import replay_process, replay_serial
+from repro.runtime.checkpoint import RunDirectory
+from repro.runtime.engine import resolve_workers
+from repro.runtime.sweep import SweepPlan, make_task, run_sweep
+from repro.runtime.workers import run_replay_shard
+from repro.wlan.strategies import LeastLoadedFirst
+
+#: Env vars steering the module-level worker bodies below (worker
+#: processes cannot see test-local state, but they inherit the env).
+_MARKER_DIR = "REPRO_TEST_MARKER_DIR"
+_FAIL_SHARD = "REPRO_TEST_FAIL_SHARD"
+
+
+def _mark(name: str) -> int:
+    """Append one run marker for ``name``; returns the execution count."""
+    marker = Path(os.environ[_MARKER_DIR]) / name
+    with marker.open("a", encoding="utf-8") as handle:
+        handle.write("run\n")
+    return len(marker.read_text(encoding="utf-8").splitlines())
+
+
+def _runs(tmp_path: Path, name: str) -> int:
+    marker = tmp_path / name
+    if not marker.exists():
+        return 0
+    return len(marker.read_text(encoding="utf-8").splitlines())
+
+
+def _square_task(x: int, name: str, fail_first: bool = False) -> int:
+    """Picklable sweep body: record the execution, die on the first try."""
+    if _mark(name) == 1 and fail_first:
+        raise RuntimeError(f"injected failure in {name}")
+    return x * x
+
+
+def _failing_shard_body(task):
+    """Replay-shard body that dies (once per pool) on one chosen shard."""
+    _mark(task.shard.controller_id)
+    if task.shard.controller_id == os.environ[_FAIL_SHARD]:
+        raise RuntimeError(f"injected failure in {task.shard.shard_id}")
+    return run_replay_shard(task)
+
+
+# ------------------------------------------------------------ RunDirectory
+
+
+def test_run_directory_roundtrip(tmp_path):
+    store = RunDirectory(tmp_path / "run", kind="sweep", fingerprint="fp-1")
+    assert not store.has("a")
+    store.store("a", {"value": 1})
+    assert store.has("a")
+    assert store.load("a") == {"value": 1}
+    assert store.completed(["b", "a"]) == ["a"]
+    # atomic write: no temp file survives a completed store
+    assert not list(store.path.glob("*.tmp"))
+
+
+def test_run_directory_refuses_other_runs(tmp_path):
+    path = tmp_path / "run"
+    RunDirectory(path, kind="sweep", fingerprint="fp-1")
+    with pytest.raises(RuntimeError, match="refusing to mix checkpoints"):
+        RunDirectory(path, kind="sweep", fingerprint="fp-2")
+    with pytest.raises(RuntimeError, match="refusing to mix checkpoints"):
+        RunDirectory(path, kind="replay", fingerprint="fp-1")
+    # the original identity still opens
+    RunDirectory(path, kind="sweep", fingerprint="fp-1")
+
+
+def test_task_filenames_disambiguate_slug_collisions(tmp_path):
+    store = RunDirectory(tmp_path / "run", kind="sweep", fingerprint="fp")
+    store.store("threshold/0.3", 1)
+    store.store("threshold:0.3", 2)  # same slug, different id
+    assert store.load("threshold/0.3") == 1
+    assert store.load("threshold:0.3") == 2
+
+
+def test_resolve_workers_caps_at_pending_work():
+    assert resolve_workers(8, 3) == 3
+    assert resolve_workers(2, 5) == 2
+    assert resolve_workers(None, 4) == min(os.cpu_count() or 1, 4)
+    assert resolve_workers(4, 0) == 1
+
+
+# ------------------------------------------------------- sweep kill/resume
+
+
+def test_sweep_failure_checkpoints_survivors_then_resumes(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv(_MARKER_DIR, str(tmp_path))
+    run_dir = tmp_path / "run"
+    plan = SweepPlan(
+        [
+            make_task("sq/0", _square_task, x=0, name="sq0"),
+            make_task("sq/1", _square_task, x=1, name="sq1", fail_first=True),
+            make_task("sq/2", _square_task, x=2, name="sq2"),
+            make_task("sq/3", _square_task, x=3, name="sq3"),
+        ]
+    )
+    with pytest.raises(RuntimeError, match="injected failure in sq1"):
+        run_sweep(plan, engine="process", workers=2, run_dir=run_dir)
+    # every task that finished was checkpointed before the error surfaced
+    store = RunDirectory(run_dir, kind="sweep", fingerprint=plan.fingerprint())
+    survivors = store.completed(["sq/0", "sq/2", "sq/3"])
+    assert survivors == ["sq/0", "sq/2", "sq/3"]
+    assert not store.has("sq/1")
+    # the re-invocation completes, re-running only the failed task
+    values = run_sweep(plan, engine="process", workers=2, run_dir=run_dir)
+    assert values == {"sq/0": 0, "sq/1": 1, "sq/2": 4, "sq/3": 9}
+    assert _runs(tmp_path, "sq1") == 2
+    for name in ("sq0", "sq2", "sq3"):
+        assert _runs(tmp_path, name) == 1
+
+
+def test_serial_sweep_resumes_from_checkpoints(tmp_path, monkeypatch):
+    monkeypatch.setenv(_MARKER_DIR, str(tmp_path))
+    run_dir = tmp_path / "run"
+    plan = SweepPlan(
+        [
+            make_task("a", _square_task, x=2, name="ser-a"),
+            make_task("b", _square_task, x=3, name="ser-b"),
+        ]
+    )
+    first = run_sweep(plan, engine="serial", run_dir=run_dir)
+    again = run_sweep(plan, engine="serial", run_dir=run_dir)
+    assert first == again == {"a": 4, "b": 9}
+    assert _runs(tmp_path, "ser-a") == 1  # second call served from disk
+    assert _runs(tmp_path, "ser-b") == 1
+
+
+# ------------------------------------------------------ replay kill/resume
+
+
+def test_replay_resumes_only_unfinished_shards(
+    small_workload, tmp_path, monkeypatch
+):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    config = small_workload.config.replay
+    controllers = layout.controller_ids
+    fail_controller = controllers[-1]
+    monkeypatch.setenv(_MARKER_DIR, str(tmp_path))
+    monkeypatch.setenv(_FAIL_SHARD, fail_controller)
+    run_dir = tmp_path / "run"
+    # first invocation: one shard dies, the others finish and checkpoint
+    import repro.runtime.engine as engine_module
+
+    monkeypatch.setattr(
+        engine_module, "run_replay_shard", _failing_shard_body
+    )
+    with pytest.raises(RuntimeError, match="injected failure"):
+        replay_process(
+            layout, LeastLoadedFirst(), demands, config, workers=2,
+            run_dir=run_dir,
+        )
+    for controller_id in controllers:
+        assert _runs(tmp_path, controller_id) == 1
+    # re-invocation (the "kill and re-run" path): only the failed shard
+    # executes again, and the merged result still matches serial exactly
+    monkeypatch.setenv(_FAIL_SHARD, "none")
+    resumed = replay_process(
+        layout, LeastLoadedFirst(), demands, config, workers=2,
+        run_dir=run_dir,
+    )
+    assert _runs(tmp_path, fail_controller) == 2
+    for controller_id in controllers[:-1]:
+        assert _runs(tmp_path, controller_id) == 1
+    serial = replay_serial(layout, LeastLoadedFirst(), demands, config)
+    assert resumed.sessions == serial.sessions
+    assert resumed.events_processed == serial.events_processed

@@ -1,0 +1,78 @@
+"""The shard planner: lossless per-controller partitions under one window."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.runtime.shards import plan_replay_shards
+from repro.wlan.replay import shard_stream_name, window_for
+
+
+def test_one_shard_per_controller_including_idle(small_workload):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    plan = plan_replay_shards(layout, demands, small_workload.config.replay)
+    assert [s.controller_id for s in plan.shards] == layout.controller_ids
+    assert [s.shard_id for s in plan.shards] == [
+        shard_stream_name(c) for c in layout.controller_ids
+    ]
+    # serial runs sample idle controllers too: dropping the demand-less
+    # shards would drop their (all-idle) series rows from the merge
+    assert len(plan.shards) == len(layout.controller_ids)
+
+
+def test_partition_is_lossless_and_ordered(small_workload):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    plan = plan_replay_shards(layout, demands, small_workload.config.replay)
+    assert plan.n_demands == len(demands)
+    assert plan.busy_shards >= 2  # SMALL spans multiple controller domains
+    seen = set()
+    for shard in plan.shards:
+        for demand in shard.demands:
+            owner = layout.buildings[demand.building_id].controller_id
+            assert owner == shard.controller_id
+            seen.add(id(demand))
+        keys = [(d.arrival, d.user_id) for d in shard.demands]
+        assert keys == sorted(keys)
+    assert len(seen) == len(demands)
+
+
+def test_window_matches_serial_engine(small_workload):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    config = small_workload.config.replay
+    plan = plan_replay_shards(layout, demands, config)
+    assert plan.window == window_for(demands, config)
+    assert plan.window.start == min(d.arrival for d in demands)
+    assert plan.window.horizon == (
+        max(d.departure for d in demands) + config.batch_window
+    )
+
+
+def test_fingerprint_stable_and_shape_sensitive(small_workload):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    config = small_workload.config.replay
+    plan = plan_replay_shards(layout, demands, config)
+    again = plan_replay_shards(layout, list(demands), config)
+    fewer = plan_replay_shards(layout, demands[:-1], config)
+    assert plan.fingerprint() == again.fingerprint()
+    assert plan.fingerprint() != fewer.fingerprint()
+    assert plan.fingerprint().startswith(f"shards:{len(plan.shards)}:")
+
+
+def test_empty_demand_stream_is_rejected(small_workload):
+    layout = small_workload.world.layout
+    with pytest.raises(ValueError, match="empty demand stream"):
+        plan_replay_shards(layout, [], small_workload.config.replay)
+
+
+def test_unknown_building_raises_keyerror(small_workload):
+    layout = small_workload.world.layout
+    demands = list(small_workload.test_demands)
+    demands[0] = replace(demands[0], building_id="no-such-building")
+    with pytest.raises(KeyError):
+        plan_replay_shards(layout, demands, small_workload.config.replay)
