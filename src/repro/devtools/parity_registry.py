@@ -67,6 +67,8 @@ PARITY_REGISTRY: Dict[str, ParityEntry] = {
             "tests/test_runtime_parity.py::test_replay_engines_identical_llf",
             "tests/test_runtime_parity.py::test_replay_engines_identical_s3",
             "tests/test_runtime_parity.py::test_merged_journal_byte_identical",
+            "tests/test_faults_parity.py::test_fault_replay_engines_identical",
+            "tests/test_faults_parity.py::test_fault_journal_byte_identical",
         ),
     ),
     "repro.runtime.sweep.run_sweep": ParityEntry(

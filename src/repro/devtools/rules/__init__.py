@@ -28,6 +28,9 @@ fork-safe-rng      code under ``repro.runtime`` may not call
                    ``RandomStreams.get()`` on a root-seeded factory —
                    workers derive ``child()`` streams, the invariant
                    serial/process parity rests on
+fault-determinism  code under ``repro.faults`` draws only from the
+                   dedicated ``child("faults")`` stream family — chaos
+                   plans are pure functions of their seed
 ================== ====================================================
 """
 
@@ -37,6 +40,7 @@ from repro.devtools.rules import (  # noqa: F401  (registration side effects)
     basics,
     cache_invalidation,
     engine_parity,
+    fault_determinism,
     fork_safe_rng,
     ordered_iteration,
     rng,

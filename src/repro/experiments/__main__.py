@@ -45,6 +45,7 @@ from repro.experiments import (
     fig12_compare,
     forecast,
     ablations,
+    resilience,
 )
 
 EXPERIMENTS = {
@@ -61,6 +62,7 @@ EXPERIMENTS = {
     "fig12": fig12_compare,
     "forecast": forecast,
     "ablations": ablations,
+    "resilience": resilience,
 }
 
 PRESETS = {

@@ -1,0 +1,52 @@
+"""Deterministic fault injection: typed plans, seeded chaos schedules.
+
+See ``docs/robustness.md`` for the fault model, the injection points
+across the replay engine / prototype transport / trace readers, and the
+degradation chains each subsystem falls back along.
+"""
+
+from repro.faults.model import (
+    ApDown,
+    ApUp,
+    ControllerOutage,
+    CorruptTraceRecord,
+    EVENT_TYPES,
+    FaultEvent,
+    FaultPlan,
+    FrameDelay,
+    FrameDuplicate,
+    FrameLoss,
+    LINK_KINDS,
+    REPLAY_KINDS,
+    StaleLoadReport,
+    TRACE_FAMILIES,
+    apply_trace_corruption,
+    event_from_payload,
+    event_payload,
+    event_sort_key,
+)
+from repro.faults.schedule import ChaosConfig, generate_plan, targeted_ap_outage
+
+__all__ = [
+    "ApDown",
+    "ApUp",
+    "ChaosConfig",
+    "ControllerOutage",
+    "CorruptTraceRecord",
+    "EVENT_TYPES",
+    "FaultEvent",
+    "FaultPlan",
+    "FrameDelay",
+    "FrameDuplicate",
+    "FrameLoss",
+    "LINK_KINDS",
+    "REPLAY_KINDS",
+    "StaleLoadReport",
+    "TRACE_FAMILIES",
+    "apply_trace_corruption",
+    "event_from_payload",
+    "event_payload",
+    "event_sort_key",
+    "generate_plan",
+    "targeted_ap_outage",
+]

@@ -1,0 +1,124 @@
+"""Seeded chaos-plan generation from the dedicated ``faults`` child stream.
+
+Every random draw in this module comes from ``streams.child("faults")``
+— never from the root factory or any other child — so a chaos plan is a
+pure function of ``(seed, layout, window, config)`` and cannot perturb
+the workload's own streams (radio shadowing, demand synthesis).  The
+``fault-determinism`` lint rule enforces this by construction for every
+module under :mod:`repro.faults`.
+
+:func:`generate_plan` draws a randomized chaos schedule;
+:func:`targeted_ap_outage` builds the deterministic single-AP plan the
+resilience experiment uses (no draws at all — the target is computed
+from the demand trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.faults.model import (
+    ApDown,
+    ApUp,
+    ControllerOutage,
+    FaultEvent,
+    FaultPlan,
+    FrameLoss,
+    StaleLoadReport,
+)
+from repro.sim.rng import RandomStreams
+from repro.trace.social import CampusLayout
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for :func:`generate_plan` (all counts are best-effort caps)."""
+
+    #: Number of APs taken down once each (capped at the layout's AP count).
+    ap_outages: int = 1
+    #: Uniform range the AP downtime is drawn from, seconds.
+    ap_outage_duration: Tuple[float, float] = (900.0, 3600.0)
+    #: Number of controller outages (capped at the controller count).
+    controller_outages: int = 0
+    #: Uniform range of controller unreachability, seconds.
+    controller_outage_duration: Tuple[float, float] = (60.0, 600.0)
+    #: Number of skipped load-measurement polls.
+    stale_reports: int = 0
+    #: Number of lossy link windows (prototype transport only).
+    frame_loss_windows: int = 0
+    #: Per-frame drop probability inside a lossy window.
+    frame_loss_probability: float = 0.05
+    #: Length of each lossy window, seconds.
+    frame_window_duration: float = 600.0
+
+
+def _pick(rng: Any, names: List[str], count: int) -> List[str]:
+    """``count`` distinct names, drawn without replacement, returned sorted."""
+    count = min(count, len(names))
+    if count <= 0:
+        return []
+    indices = rng.choice(len(names), size=count, replace=False)
+    return sorted(names[int(i)] for i in indices)
+
+
+def generate_plan(
+    layout: CampusLayout,
+    start: float,
+    horizon: float,
+    streams: RandomStreams,
+    config: Optional[ChaosConfig] = None,
+) -> FaultPlan:
+    """A randomized chaos schedule inside ``[start, horizon]``.
+
+    Events are placed in the first 60% of the window so downtimes and
+    recoveries both land inside the replayed horizon.  Draw order is
+    fixed (APs, controllers, stale reports, link windows — each in
+    sorted-target order), so the plan is byte-stable for a given seed.
+    """
+    if horizon <= start:
+        raise ValueError(f"empty fault window: [{start}, {horizon}]")
+    config = config if config is not None else ChaosConfig()
+    rng = streams.child("faults").get("schedule")
+    span = horizon - start
+    events: List[FaultEvent] = []
+
+    for ap_id in _pick(rng, sorted(layout.aps), config.ap_outages):
+        down_at = start + float(rng.uniform(0.05, 0.6)) * span
+        duration = float(rng.uniform(*config.ap_outage_duration))
+        events.append(ApDown(time=down_at, ap_id=ap_id))
+        events.append(ApUp(time=min(down_at + duration, horizon), ap_id=ap_id))
+
+    controller_ids = layout.controller_ids
+    for controller_id in _pick(rng, controller_ids, config.controller_outages):
+        outage_at = start + float(rng.uniform(0.05, 0.6)) * span
+        duration = float(rng.uniform(*config.controller_outage_duration))
+        events.append(
+            ControllerOutage(
+                time=outage_at, controller_id=controller_id, duration=duration
+            )
+        )
+
+    for _ in range(config.stale_reports):
+        controller_id = controller_ids[int(rng.choice(len(controller_ids)))]
+        stale_at = start + float(rng.uniform(0.05, 0.9)) * span
+        events.append(StaleLoadReport(time=stale_at, controller_id=controller_id))
+
+    for _ in range(config.frame_loss_windows):
+        loss_at = start + float(rng.uniform(0.05, 0.6)) * span
+        events.append(
+            FrameLoss(
+                time=loss_at,
+                duration=config.frame_window_duration,
+                probability=config.frame_loss_probability,
+            )
+        )
+
+    return FaultPlan(tuple(events))
+
+
+def targeted_ap_outage(ap_id: str, start: float, duration: float) -> FaultPlan:
+    """The deterministic one-AP outage plan (no random draws)."""
+    if duration <= 0:
+        raise ValueError(f"outage duration must be positive: {duration}")
+    return FaultPlan((ApDown(time=start, ap_id=ap_id), ApUp(time=start + duration, ap_id=ap_id)))

@@ -41,6 +41,7 @@ from repro.obs.journal import (
 from repro.obs.records import (
     Candidate,
     DecisionRecord,
+    FaultRecord,
     MetaRecord,
     PerfRecord,
     SampleRecord,
@@ -54,6 +55,7 @@ from repro.obs.tracer import (
     decision,
     disable,
     enable,
+    fault,
     get_tracer,
     sample,
     span,
@@ -62,6 +64,7 @@ from repro.obs.tracer import (
 __all__ = [
     "Candidate",
     "DecisionRecord",
+    "FaultRecord",
     "Journal",
     "MetaRecord",
     "NULL_SPAN",
@@ -74,6 +77,7 @@ __all__ = [
     "decision",
     "disable",
     "enable",
+    "fault",
     "get_tracer",
     "journal",
     "parse_journal",

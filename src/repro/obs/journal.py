@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro import perf as perf_module
 from repro.obs.records import (
     DecisionRecord,
+    FaultRecord,
     JournalRecord,
     MetaRecord,
     PerfRecord,
@@ -104,6 +105,7 @@ class Journal:
     spans: List[SpanRecord] = field(default_factory=list)
     decisions: List[DecisionRecord] = field(default_factory=list)
     samples: List[SampleRecord] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
     perf: Optional[PerfRecord] = None
 
 
@@ -126,6 +128,8 @@ def parse_journal(text: str) -> Journal:
             journal.decisions.append(record)
         elif isinstance(record, SampleRecord):
             journal.samples.append(record)
+        elif isinstance(record, FaultRecord):
+            journal.faults.append(record)
         elif isinstance(record, PerfRecord):
             journal.perf = record
     return journal

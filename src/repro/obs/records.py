@@ -23,6 +23,10 @@ kinds:
 ``sample``
     One balance-index observation of a controller domain at a sampler
     tick.
+``fault``
+    One injected fault firing (or a runtime worker failure): the event
+    kind, its target, and a small deterministic detail map.  Replay
+    faults carry their sim time; worker failures have ``sim_time: null``.
 ``perf``
     The journal footer: :mod:`repro.perf` counters (deterministic, under
     ``data``) and timers (wall durations, under ``"wall"``).
@@ -34,7 +38,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Protocol, Sequence, Tuple, Union
 
 #: Journal schema version, bumped on any breaking layout change.
-SCHEMA_VERSION = 1
+#: v2: ``fault`` records and the optional ``note`` key on decisions.
+SCHEMA_VERSION = 2
 
 Payload = Tuple[str, Dict[str, Any], Dict[str, Any]]
 
@@ -149,6 +154,10 @@ class DecisionRecord:
     #: ``"batch"`` (Algorithm 1 flush), ``"single"`` (sequential arrival
     #: fallback) or ``"query"`` (prototype steering query).
     mode: str = "single"
+    #: Degradation provenance (e.g. ``"fallback:llf:stale-model"``) when
+    #: the decision came from a fallback path; omitted from the payload
+    #: when ``None`` so clean runs keep their byte layout.
+    note: Optional[str] = None
 
     def payload(self) -> Payload:
         data: Dict[str, Any] = {
@@ -159,16 +168,18 @@ class DecisionRecord:
             "sim_time": self.sim_time,
             "chosen": self.chosen,
             "mode": self.mode,
-            "candidates": [
-                {
-                    "ap": c.ap_id,
-                    "load": c.load,
-                    "users": c.users,
-                    "score": c.score,
-                }
-                for c in self.candidates
-            ],
         }
+        if self.note is not None:
+            data["note"] = self.note
+        data["candidates"] = [
+            {
+                "ap": c.ap_id,
+                "load": c.load,
+                "users": c.users,
+                "score": c.score,
+            }
+            for c in self.candidates
+        ]
         return "decision", data, {}
 
 
@@ -191,6 +202,37 @@ class SampleRecord:
             "users": self.users,
         }
         return "sample", data, {}
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault firing, or a quarantined runtime worker failure.
+
+    Replay-engine faults carry the sim time they fired at; runtime
+    worker failures (kind ``"worker-failure"``) happen in wall time and
+    carry ``sim_time=None``.  ``detail`` holds a small deterministic map
+    (e.g. ``{"evicted": 4}`` for an AP outage, attempt counts for a
+    worker failure) serialized with sorted keys.
+    """
+
+    sim_time: Optional[float]
+    #: The fault-event kind tag (``repro.faults`` kinds or ``"worker-failure"``).
+    kind: str
+    #: What the fault acted on: an AP id, controller id, shard/task id.
+    target: str
+    #: The controller domain affected, when one applies.
+    controller_id: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> Payload:
+        data: Dict[str, Any] = {
+            "sim_time": self.sim_time,
+            "kind": self.kind,
+            "target": self.target,
+            "controller": self.controller_id,
+            "detail": {key: self.detail[key] for key in sorted(self.detail)},
+        }
+        return "fault", data, {}
 
 
 @dataclass
@@ -221,7 +263,9 @@ class PerfRecord:
         return "perf", data, wall
 
 
-JournalRecord = Union[MetaRecord, SpanRecord, DecisionRecord, SampleRecord, PerfRecord]
+JournalRecord = Union[
+    MetaRecord, SpanRecord, DecisionRecord, SampleRecord, FaultRecord, PerfRecord
+]
 
 
 def record_from_payload(
@@ -262,6 +306,17 @@ def record_from_payload(
             chosen=str(data["chosen"]),
             candidates=candidates,
             mode=str(data["mode"]),
+            note=None if data.get("note") is None else str(data["note"]),
+        )
+    if kind == "fault":
+        return FaultRecord(
+            sim_time=data["sim_time"],
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            controller_id=(
+                None if data["controller"] is None else str(data["controller"])
+            ),
+            detail=dict(data["detail"]),
         )
     if kind == "sample":
         return SampleRecord(

@@ -20,7 +20,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.journal import Journal, read_journal, strip_wall
-from repro.obs.records import DecisionRecord, SampleRecord, SpanRecord
+from repro.obs.records import (
+    DecisionRecord,
+    FaultRecord,
+    SampleRecord,
+    SpanRecord,
+)
 
 
 def format_top_spans(spans: Sequence[SpanRecord], limit: int = 12) -> str:
@@ -97,10 +102,11 @@ def format_decision(decision: DecisionRecord) -> str:
         )
         for c in decision.candidates
     )
+    note = "" if decision.note is None else f"  [{decision.note}]"
     return (
         f"{when}  user={decision.user_id}  ctrl={decision.controller_id}  "
         f"batch={decision.batch_id}  {decision.strategy}/{decision.mode} -> "
-        f"{decision.chosen}\n    {candidates}"
+        f"{decision.chosen}{note}\n    {candidates}"
     )
 
 
@@ -113,6 +119,24 @@ def format_decisions(
     lines = [format_decision(d) for d in decisions[:limit]]
     if len(decisions) > limit:
         lines.append(f"... {len(decisions) - limit} more decision(s)")
+    return "\n".join(lines)
+
+
+def format_faults(faults: Sequence[FaultRecord]) -> str:
+    """One line per injected fault / worker failure, in journal order."""
+    if not faults:
+        return "(no faults recorded)"
+    lines = []
+    for record in faults:
+        when = "wall" if record.sim_time is None else f"t={record.sim_time:.0f}s"
+        detail = " ".join(
+            f"{key}={record.detail[key]}" for key in sorted(record.detail)
+        )
+        controller = "" if record.controller_id is None else f"  ctrl={record.controller_id}"
+        lines.append(
+            f"{when}  {record.kind}  target={record.target}{controller}"
+            + (f"  {detail}" if detail else "")
+        )
     return "\n".join(lines)
 
 
@@ -158,13 +182,17 @@ def render_report(
         f"=== run journal{f': {title}' if title else ''} ===",
         f"meta: {meta or '(none)'}",
         f"records: {len(journal.spans)} spans, {len(journal.decisions)} "
-        f"decisions, {len(journal.samples)} samples",
+        f"decisions, {len(journal.samples)} samples, "
+        f"{len(journal.faults)} faults",
         "",
         "-- top spans --",
         format_top_spans(journal.spans, limit=spans),
         "",
         "-- balance timelines --",
         format_balance_timelines(journal.samples),
+        "",
+        "-- faults --",
+        format_faults(journal.faults),
         "",
         f"-- decision audit (first {decisions}) --",
         format_decisions(journal.decisions, limit=decisions),

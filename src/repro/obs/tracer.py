@@ -31,12 +31,13 @@ from typing import Any, Callable, Dict, List, Optional, Type, Union
 from repro.obs._clock import wall_time
 from repro.obs.records import (
     DecisionRecord,
+    FaultRecord,
     PerfRecord,
     SampleRecord,
     SpanRecord,
 )
 
-TracedRecord = Union[SpanRecord, DecisionRecord, SampleRecord, PerfRecord]
+TracedRecord = Union[SpanRecord, DecisionRecord, SampleRecord, FaultRecord, PerfRecord]
 
 
 class Span:
@@ -226,6 +227,11 @@ class Tracer:
         if self.enabled:
             self.records.append(record)
 
+    def fault(self, record: FaultRecord) -> None:
+        """Journal one fault firing (no-op when disabled)."""
+        if self.enabled:
+            self.records.append(record)
+
     # ------------------------------------------------------------- querying
 
     def spans(self) -> List[SpanRecord]:
@@ -239,6 +245,10 @@ class Tracer:
     def samples(self) -> List[SampleRecord]:
         """All balance samples, in emission order."""
         return [r for r in self.records if isinstance(r, SampleRecord)]
+
+    def faults(self) -> List[FaultRecord]:
+        """All fault records, in emission order."""
+        return [r for r in self.records if isinstance(r, FaultRecord)]
 
     # ------------------------------------------------------------ lifecycle
 
@@ -276,6 +286,11 @@ def decision(record: DecisionRecord) -> None:
 def sample(record: SampleRecord) -> None:
     """Record a balance sample on the global tracer."""
     TRACER.sample(record)
+
+
+def fault(record: FaultRecord) -> None:
+    """Record a fault firing on the global tracer."""
+    TRACER.fault(record)
 
 
 def enable(reset: bool = True) -> Tracer:

@@ -31,7 +31,7 @@ from repro.prototype.messages import (
     ProbeResponse,
     RedirectDirective,
 )
-from repro.prototype.transport import MessageBus
+from repro.prototype.transport import FaultyLink, LinkPolicy, MessageBus
 from repro.prototype.ap_daemon import APDaemon
 from repro.prototype.controller_daemon import ControllerDaemon
 from repro.prototype.station import Station, StationLog
@@ -47,6 +47,8 @@ __all__ = [
     "ProbeRequest",
     "ProbeResponse",
     "RedirectDirective",
+    "FaultyLink",
+    "LinkPolicy",
     "MessageBus",
     "APDaemon",
     "ControllerDaemon",

@@ -13,14 +13,20 @@ A station walks the full join sequence:
 Every state transition is recorded in :class:`StationLog`, which the
 feasibility report inspects (e.g. "every station associated within N
 frames and one redirect").
+
+Degradation contract: an association request may be lost (link policy
+drops it, or the AP never answers).  Each request arms a
+simulation-clock timeout and is re-sent up to ``max_assoc_retries``
+times with exponential backoff (``assoc_timeout * 2**attempt``); only
+after the last retry expires does the station log
+``association-failed``.  The backoff is pure clock arithmetic — no
+random draws — so two same-seed runs retry at identical instants.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
-
-import numpy as np
 
 from repro.prototype.messages import (
     AssocRequest,
@@ -33,6 +39,7 @@ from repro.prototype.messages import (
     ProbeResponse,
 )
 from repro.prototype.transport import MessageBus
+from repro.sim.kernel import Event
 from repro.wlan.radio import rssi_map
 from repro.trace.social import AccessPointInfo
 
@@ -66,19 +73,33 @@ class Station:
         visible_aps: List[AccessPointInfo],
         bus: MessageBus,
         max_redirects: int = 3,
+        assoc_timeout: float = 2.0,
+        max_assoc_retries: int = 2,
     ) -> None:
         if not visible_aps:
             raise ValueError(f"station {station_id} sees no APs")
+        if assoc_timeout <= 0:
+            raise ValueError(f"assoc_timeout must be positive: {assoc_timeout!r}")
+        if max_assoc_retries < 0:
+            raise ValueError(
+                f"max_assoc_retries must be >= 0: {max_assoc_retries!r}"
+            )
         self.station_id = station_id
         self.position = position
         self.visible_aps = {ap.ap_id: ap for ap in visible_aps}
         self.bus = bus
         self.max_redirects = max_redirects
+        self.assoc_timeout = assoc_timeout
+        self.max_assoc_retries = max_assoc_retries
         self.log = StationLog()
         self.rssi: Dict[str, float] = {}
         self.associated_ap: Optional[str] = None
+        #: Association requests re-sent after a timeout.
+        self.assoc_retries = 0
         self._redirects_left = max_redirects
         self._probing = False
+        self._assoc_timer: Optional[Event] = None
+        self._assoc_attempt = 0
         bus.register(self.endpoint, self.handle)
 
     @property
@@ -146,17 +167,45 @@ class Station:
         if not frame.success:
             self.log.add(self.bus.sim.now, f"auth-failed:{frame.ap_id}")
             return
-        self.log.add(self.bus.sim.now, f"assoc-request:{frame.ap_id}")
+        self._assoc_attempt = 0
+        self._send_assoc(frame.ap_id)
+
+    def _send_assoc(self, ap_id: str) -> None:
+        label = "assoc-request" if self._assoc_attempt == 0 else "assoc-resend"
+        self.log.add(self.bus.sim.now, f"{label}:{ap_id}")
         self.bus.send(
             AssocRequest(
                 src=self.endpoint,
-                dst=f"ap:{frame.ap_id}",
+                dst=f"ap:{ap_id}",
                 station_id=self.station_id,
                 rssi_report=tuple(sorted(self.rssi.items())),
             )
         )
+        backoff = self.assoc_timeout * (2.0 ** self._assoc_attempt)
+        self._assoc_timer = self.bus.sim.schedule_after(
+            backoff,
+            lambda: self._on_assoc_timeout(ap_id),
+            name=f"assoc-timeout-{self.station_id}",
+        )
+
+    def _on_assoc_timeout(self, ap_id: str) -> None:
+        self._assoc_timer = None
+        if self.associated_ap is not None:
+            return  # answered meanwhile; stale timer
+        if self._assoc_attempt < self.max_assoc_retries:
+            self._assoc_attempt += 1
+            self.assoc_retries += 1
+            self._send_assoc(ap_id)
+            return
+        self.log.add(self.bus.sim.now, "association-failed")
+
+    def _cancel_assoc_timer(self) -> None:
+        if self._assoc_timer is not None and not self._assoc_timer.cancelled:
+            self._assoc_timer.cancel()
+        self._assoc_timer = None
 
     def _on_assoc_response(self, frame: AssocResponse) -> None:
+        self._cancel_assoc_timer()
         if frame.accepted:
             self.associated_ap = frame.ap_id
             self.log.add(self.bus.sim.now, f"associated:{frame.ap_id}")

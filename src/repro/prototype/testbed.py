@@ -24,7 +24,7 @@ from repro.analysis.balance import normalized_balance_index
 from repro.prototype.ap_daemon import APDaemon
 from repro.prototype.controller_daemon import ControllerDaemon
 from repro.prototype.station import Station
-from repro.prototype.transport import MessageBus
+from repro.prototype.transport import LinkPolicy, MessageBus
 from repro.sim.kernel import Simulator
 from repro.trace.social import CampusLayout
 from repro.wlan.radio import sample_position
@@ -43,11 +43,12 @@ class Testbed:
         building_id: str,
         strategy: SelectionStrategy,
         latency: float = 0.002,
+        link_policy: Optional[LinkPolicy] = None,
     ) -> None:
         self.layout = layout
         self.building_id = building_id
         self.sim = Simulator()
-        self.bus = MessageBus(self.sim, latency=latency)
+        self.bus = MessageBus(self.sim, latency=latency, link_policy=link_policy)
         building = layout.buildings[building_id]
         self.aps: List[APDaemon] = [
             APDaemon(info, self.bus, controller_endpoint=f"ctrl:{building.controller_id}")

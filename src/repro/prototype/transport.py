@@ -4,33 +4,144 @@ Endpoints register a handler under a unique name; ``send`` schedules the
 handler invocation on the shared :class:`~repro.sim.kernel.Simulator`
 after a per-link latency.  Broadcast domains (a station's radio range) are
 expressed by the caller sending one frame per receiver — the bus stays a
-dumb, reliable, ordered channel, which is all the control-plane emulation
-needs.
+dumb, ordered channel, which is all the control-plane emulation needs.
+
+The channel is reliable by default.  Handing the bus a
+:class:`LinkPolicy` makes it lossy on purpose: the policy decides, per
+frame, whether it is dropped, delayed beyond the base latency, or
+duplicated.  :class:`FaultyLink` is the stock policy — it interprets the
+``frame-loss`` / ``frame-delay`` / ``frame-duplicate`` windows of a
+:class:`~repro.faults.model.FaultPlan` with draws from a caller-supplied
+generator, so two runs with the same plan, seed and frame sequence
+misbehave identically.  Every non-delivery is counted, never silent:
+``frames_dropped`` (policy drops), ``drops_unregistered`` (endpoint left
+between send and delivery) and ``drops_unknown_destination`` (send to a
+never-registered endpoint under a fault plan; without a policy that stays
+an immediate ``KeyError``, because a typo'd destination is a bug).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.faults.model import (
+    LINK_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FrameDelay,
+    FrameDuplicate,
+    FrameLoss,
+    event_sort_key,
+)
 from repro.prototype.messages import Frame
 from repro.sim.kernel import Simulator
 
 Handler = Callable[[Frame], None]
 
+#: The fault-event kinds a link policy interprets (all carry a window).
+LinkEvent = Union[FrameLoss, FrameDelay, FrameDuplicate]
+
 #: Default one-way delivery latency, seconds (a LAN/radio hop).
 DEFAULT_LATENCY = 0.002
 
 
-class MessageBus:
-    """Reliable, ordered, latency-delayed frame delivery."""
+class LinkPolicy:
+    """Per-frame verdicts for a deliberately unreliable link.
 
-    def __init__(self, sim: Simulator, latency: float = DEFAULT_LATENCY) -> None:
+    :meth:`decide` returns the extra delays (seconds beyond the bus
+    latency) of every copy to deliver: ``[]`` drops the frame, ``[0.0]``
+    is normal delivery, and each further element is a duplicate copy.
+    Implementations must be deterministic for a fixed frame sequence —
+    draw only from generators handed in by the caller.
+    """
+
+    def decide(self, frame: Frame, now: float) -> List[float]:
+        """Extra delivery delays for ``frame`` sent at ``now``."""
+        raise NotImplementedError
+
+
+class FaultyLink(LinkPolicy):
+    """The stock policy: a fault plan's link windows, seeded draws.
+
+    Only the plan's ``frame-loss`` / ``frame-delay`` / ``frame-duplicate``
+    events apply; a window is active while ``time <= now < time +
+    duration``.  For each active window, in plan order, one uniform draw
+    decides whether it fires: a firing loss window drops the frame (no
+    further draws), firing delay windows add their ``delay``, and each
+    firing duplicate window adds one extra copy.  The generator should be
+    a dedicated fault stream (``streams.child("faults").get("link")``) so
+    link draws never perturb workload draws.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent], rng: Any) -> None:
+        ordered: List[LinkEvent] = []
+        for event in sorted(events, key=event_sort_key):
+            if not isinstance(event, (FrameLoss, FrameDelay, FrameDuplicate)):
+                raise ValueError(
+                    f"{event.kind!r} is not a link fault; FaultyLink takes "
+                    f"only {sorted(LINK_KINDS)}"
+                )
+            ordered.append(event)
+        self.events: Tuple[LinkEvent, ...] = tuple(ordered)
+        self.rng = rng
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan, rng: Any) -> "FaultyLink":
+        """Build the policy from a plan's link-kind events."""
+        return cls(plan.of_kinds(LINK_KINDS), rng)
+
+    def _active(self, now: float) -> Tuple[LinkEvent, ...]:
+        return tuple(
+            event
+            for event in self.events
+            if event.time <= now < event.time + event.duration
+        )
+
+    def decide(self, frame: Frame, now: float) -> List[float]:
+        """See :class:`LinkPolicy`; one draw per active window."""
+        extra = 0.0
+        copies = 1
+        for event in self._active(now):
+            draw = float(self.rng.random())
+            if isinstance(event, FrameLoss):
+                if draw < event.probability:
+                    return []
+            elif isinstance(event, FrameDelay):
+                if draw < event.probability:
+                    extra += event.delay
+            elif isinstance(event, FrameDuplicate):
+                if draw < event.probability:
+                    copies += 1
+        return [extra] * copies
+
+
+class MessageBus:
+    """Ordered, latency-delayed frame delivery (reliable unless told not
+    to be)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = DEFAULT_LATENCY,
+        link_policy: Optional[LinkPolicy] = None,
+    ) -> None:
         if latency < 0:
             raise ValueError(f"negative latency {latency!r}")
         self.sim = sim
         self.latency = latency
+        self.link_policy = link_policy
         self._endpoints: Dict[str, Handler] = {}
         self.frames_delivered = 0
+        #: Frames the link policy dropped outright.
+        self.frames_dropped = 0
+        #: Frames whose primary copy arrived later than the base latency.
+        self.frames_delayed = 0
+        #: Extra copies delivered beyond each frame's primary copy.
+        self.frames_duplicated = 0
+        #: Frames lost to the send/delivery deregistration race.
+        self.drops_unregistered = 0
+        #: Sends to a never-registered endpoint, absorbed under a policy.
+        self.drops_unknown_destination = 0
         #: Optional transcript of (time, frame) pairs for debugging/tests.
         self.transcript: List[Tuple[float, Frame]] = []
         self.record_transcript = False
@@ -42,7 +153,8 @@ class MessageBus:
         self._endpoints[name] = handler
 
     def unregister(self, name: str) -> None:
-        """Detach an endpoint; in-flight frames to it are dropped."""
+        """Detach an endpoint; in-flight frames to it become counted
+        ``drops_unregistered``."""
         if name not in self._endpoints:
             raise KeyError(f"endpoint {name!r} not registered")
         del self._endpoints[name]
@@ -54,22 +166,42 @@ class MessageBus:
     def send(self, frame: Frame, latency: Optional[float] = None) -> None:
         """Schedule delivery of ``frame`` to ``frame.dst``.
 
-        Sending to an unregistered endpoint raises immediately — a typo'd
-        destination is a bug, not a lost packet.
+        Without a link policy, sending to an unregistered endpoint raises
+        immediately — a typo'd destination is a bug, not a lost packet.
+        Under a policy (a fault plan is in force, endpoints may genuinely
+        be gone) it becomes a counted ``drops_unknown_destination``.
         """
         if frame.dst not in self._endpoints:
-            raise KeyError(f"no endpoint {frame.dst!r} on the bus")
+            if self.link_policy is None:
+                raise KeyError(f"no endpoint {frame.dst!r} on the bus")
+            self.drops_unknown_destination += 1
+            return
         delay = self.latency if latency is None else latency
+        extras = (
+            [0.0]
+            if self.link_policy is None
+            else self.link_policy.decide(frame, self.sim.now)
+        )
+        if not extras:
+            self.frames_dropped += 1
+            return
+        if extras[0] > 0:
+            self.frames_delayed += 1
+        self.frames_duplicated += len(extras) - 1
 
         def deliver() -> None:
             # The endpoint may have deregistered between send and delivery
-            # (station left); that is a legitimate race, drop silently.
+            # (station left); that is a legitimate race, counted not raised.
             handler = self._endpoints.get(frame.dst)
             if handler is None:
+                self.drops_unregistered += 1
                 return
             self.frames_delivered += 1
             if self.record_transcript:
                 self.transcript.append((self.sim.now, frame))
             handler(frame)
 
-        self.sim.schedule_after(delay, deliver, name=f"deliver-{type(frame).__name__}")
+        for extra in extras:
+            self.sim.schedule_after(
+                delay + extra, deliver, name=f"deliver-{type(frame).__name__}"
+            )

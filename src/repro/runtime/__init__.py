@@ -27,6 +27,7 @@ shard of one run samples on the same :class:`ReplayWindow` grid.  See
 from repro.runtime.checkpoint import RunDirectory
 from repro.runtime.engine import replay, replay_process, replay_serial
 from repro.runtime.options import RuntimeOptions
+from repro.runtime.resilience import TaskFailure
 from repro.runtime.shards import ReplayShard, ShardPlan, plan_replay_shards
 from repro.runtime.sweep import (
     SweepPlan,
@@ -45,6 +46,7 @@ __all__ = [
     "ShardPlan",
     "SweepPlan",
     "SweepTask",
+    "TaskFailure",
     "plan_replay_shards",
     "replay",
     "replay_process",

@@ -16,6 +16,13 @@ run's structured journal (byte-identical across engines after
 through :func:`repro.runtime.sweep.run_sweep` and prints each task's
 value.  ``--run-dir`` makes either mode resumable: a re-invocation after
 a mid-run kill re-executes only the unfinished shards/tasks.
+
+Fault injection (``replay`` only): ``--fault-seed N`` generates a
+deterministic chaos plan (one AP outage by default) from seed ``N`` over
+the run's window; ``--fault-plan PATH`` replays a plan saved as JSON
+(see :mod:`repro.faults`).  Same seed or same file, same faults — the
+journal stays byte-identical across engines.  ``--retries N`` retries
+crashed shard workers up to ``N`` times before giving up (both modes).
 """
 
 from __future__ import annotations
@@ -29,10 +36,11 @@ _USAGE = (
     "usage: python -m repro.runtime replay [preset] [--strategy llf|s3]\n"
     "           [--engine auto|serial|process] [--workers N]\n"
     "           [--run-dir PATH] [--journal PATH]\n"
+    "           [--fault-seed N | --fault-plan PATH] [--retries N]\n"
     "       python -m repro.runtime sweep {terms,threshold,staleness,"
     "batching}\n"
     "           [preset] [--engine auto|serial|process] [--workers N]\n"
-    "           [--run-dir PATH]"
+    "           [--run-dir PATH] [--retries N]"
 )
 
 _SWEEPS = ("terms", "threshold", "staleness", "batching")
@@ -55,8 +63,8 @@ def _pop_option(args: List[str], flag: str) -> Optional[str]:
 
 def _parse_common(
     args: List[str],
-) -> Tuple[str, Optional[int], Optional[str]]:
-    """Extract ``--engine/--workers/--run-dir`` from ``args`` in place."""
+) -> Tuple[str, Optional[int], Optional[str], int]:
+    """Extract ``--engine/--workers/--run-dir/--retries`` in place."""
     engine = _pop_option(args, "--engine") or "auto"
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -67,7 +75,13 @@ def _parse_common(
         if workers < 1:
             raise ValueError("--workers must be a positive integer")
     run_dir = _pop_option(args, "--run-dir")
-    return engine, workers, run_dir
+    raw_retries = _pop_option(args, "--retries")
+    retries = 0
+    if raw_retries is not None:
+        retries = int(raw_retries)
+        if retries < 0:
+            raise ValueError("--retries must be a non-negative integer")
+    return engine, workers, run_dir, retries
 
 
 def _pop_preset(args: List[str]) -> str:
@@ -86,9 +100,13 @@ def _cmd_replay(args: List[str]) -> int:
     from repro.runtime.engine import replay
     from repro.wlan.strategies import LeastLoadedFirst, S3Strategy, SelectionStrategy
 
-    engine, workers, run_dir = _parse_common(args)
+    engine, workers, run_dir, retries = _parse_common(args)
     journal_path = _pop_option(args, "--journal")
     strategy_name = _pop_option(args, "--strategy") or "llf"
+    fault_seed = _pop_option(args, "--fault-seed")
+    fault_plan_path = _pop_option(args, "--fault-plan")
+    if fault_seed is not None and fault_plan_path is not None:
+        raise ValueError("--fault-seed and --fault-plan are mutually exclusive")
     preset_key = _pop_preset(args)
     if args:
         raise ValueError(f"unexpected arguments: {args}")
@@ -101,6 +119,9 @@ def _cmd_replay(args: List[str]) -> int:
         strategy = S3Strategy(trained_model(config).selector())
     else:
         raise ValueError(f"unknown strategy {strategy_name!r}; choose llf or s3")
+    fault_plan = _fault_plan(
+        fault_seed, fault_plan_path, workload, config.replay
+    )
     if journal_path is not None:
         obs.enable(reset=True)
     try:
@@ -112,16 +133,18 @@ def _cmd_replay(args: List[str]) -> int:
             engine=engine,
             workers=workers,
             run_dir=run_dir,
+            fault_plan=fault_plan,
+            max_task_retries=retries,
         )
         if journal_path is not None:
-            obs.write_journal(
-                journal_path,
-                meta={
-                    "preset": preset_key,
-                    "strategy": strategy.name,
-                    "engine": engine,
-                },
-            )
+            meta = {
+                "preset": preset_key,
+                "strategy": strategy.name,
+                "engine": engine,
+            }
+            if fault_plan is not None:
+                meta["faults"] = fault_plan.fingerprint()
+            obs.write_journal(journal_path, meta=meta)
     finally:
         if journal_path is not None:
             obs.disable()
@@ -133,10 +156,41 @@ def _cmd_replay(args: List[str]) -> int:
         f"  sessions={len(result.sessions)} events={result.events_processed} "
         f"controllers={len(result.series)}"
     )
+    if fault_plan is not None:
+        print(
+            f"  faults: {len(fault_plan.events)} event(s), "
+            f"{fault_plan.fingerprint()}"
+        )
     print(f"  mean daytime balance: {mean_daytime_balance(result):.4f}")
     if journal_path is not None:
         print(f"  journal: {journal_path}")
     return 0
+
+
+def _fault_plan(
+    fault_seed: Optional[str],
+    fault_plan_path: Optional[str],
+    workload: Any,
+    replay_config: Any,
+) -> Optional[Any]:
+    """Resolve ``--fault-seed``/``--fault-plan`` into a FaultPlan (or None)."""
+    if fault_plan_path is not None:
+        from repro.faults import FaultPlan
+
+        return FaultPlan.load(fault_plan_path)
+    if fault_seed is None:
+        return None
+    from repro.faults import generate_plan
+    from repro.sim.rng import RandomStreams
+    from repro.wlan.replay import window_for
+
+    window = window_for(workload.test_demands, replay_config)
+    return generate_plan(
+        workload.world.layout,
+        window.start,
+        window.horizon,
+        RandomStreams(int(fault_seed)),
+    )
 
 
 def _cmd_sweep(args: List[str]) -> int:
@@ -147,7 +201,7 @@ def _cmd_sweep(args: List[str]) -> int:
     if not args or args[0] not in _SWEEPS:
         raise ValueError(f"sweep needs one of {_SWEEPS}")
     sweep_name = args.pop(0)
-    engine, workers, run_dir = _parse_common(args)
+    engine, workers, run_dir, retries = _parse_common(args)
     preset_key = _pop_preset(args)
     if args:
         raise ValueError(f"unexpected arguments: {args}")
@@ -160,7 +214,8 @@ def _cmd_sweep(args: List[str]) -> int:
     }
     plan = planners[sweep_name](config)
     values: Dict[str, Any] = run_sweep(
-        plan, engine=engine, workers=workers, run_dir=run_dir
+        plan, engine=engine, workers=workers, run_dir=run_dir,
+        max_task_retries=retries,
     )
     print(
         f"sweep {sweep_name} preset={preset_key} engine={engine} "

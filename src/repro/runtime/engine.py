@@ -21,19 +21,20 @@ journals.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro import perf
+from repro.faults.model import FaultPlan
 from repro.obs.tracer import Span, get_tracer
 from repro.runtime.checkpoint import RunDirectory
 from repro.runtime.merge import merge_journal_fragments, merge_shard_results
+from repro.runtime.resilience import journal_failure, run_pool_with_retries
 from repro.runtime.shards import ShardPlan, plan_replay_shards
 from repro.runtime.workers import (
     ShardOutcome,
     ShardTask,
-    init_worker,
+    init_worker,  # noqa: F401  (re-exported for pool users/tests)
     run_replay_shard,
 )
 from repro.trace.records import DemandSession
@@ -51,6 +52,8 @@ def replay(
     engine: str = "auto",
     workers: Optional[int] = None,
     run_dir: Optional[Union[str, Path]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_task_retries: int = 0,
 ) -> ReplayResult:
     """Replay ``demands`` under ``strategy``; see the module docstring."""
     config = config if config is not None else ReplayConfig()
@@ -68,9 +71,10 @@ def replay(
             plan = plan_replay_shards(layout, demands, config)
             engine = "process" if plan.busy_shards > 1 else "serial"
     if engine == "serial":
-        return replay_serial(layout, strategy, demands, config)
+        return replay_serial(layout, strategy, demands, config, fault_plan=fault_plan)
     return replay_process(
-        layout, strategy, demands, config, workers=workers, run_dir=run_dir
+        layout, strategy, demands, config, workers=workers, run_dir=run_dir,
+        fault_plan=fault_plan, max_task_retries=max_task_retries,
     )
 
 
@@ -79,9 +83,12 @@ def replay_serial(
     strategy: SelectionStrategy,
     demands: Sequence[DemandSession],
     config: Optional[ReplayConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ReplayResult:
     """The single-process reference: ``ReplayEngine.run`` verbatim."""
-    return ReplayEngine(layout, strategy, config).run(demands)
+    return ReplayEngine(layout, strategy, config, fault_plan=fault_plan).run(
+        demands
+    )
 
 
 def replay_process(
@@ -91,6 +98,8 @@ def replay_process(
     config: Optional[ReplayConfig] = None,
     workers: Optional[int] = None,
     run_dir: Optional[Union[str, Path]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_task_retries: int = 0,
 ) -> ReplayResult:
     """Sharded replay across a process pool, deterministically merged."""
     config = config if config is not None else ReplayConfig()
@@ -101,7 +110,7 @@ def replay_process(
         )
     if not demands:
         # Nothing to shard; keep the serial engine's empty-result shape.
-        return replay_serial(layout, strategy, demands, config)
+        return replay_serial(layout, strategy, demands, config, fault_plan=fault_plan)
     plan = plan_replay_shards(layout, demands, config)
     tracer = get_tracer()
     with perf.timer(f"replay.run.{strategy.name}"):
@@ -119,10 +128,13 @@ def replay_process(
                     config=config,
                     window=plan.window,
                     trace=tracer.enabled,
+                    fault_plan=fault_plan,
                 )
                 for shard in plan.shards
             ]
-            outcomes = _execute_shards(plan, tasks, workers, run_dir)
+            outcomes = _execute_shards(
+                plan, tasks, workers, run_dir, max_task_retries
+            )
             for outcome in outcomes:
                 perf.merge(outcome.perf)
             result = merge_shard_results(plan, outcomes, strategy.name)
@@ -164,8 +176,17 @@ def _execute_shards(
     tasks: List[ShardTask],
     workers: Optional[int],
     run_dir: Optional[Union[str, Path]],
+    max_task_retries: int = 0,
 ) -> List[ShardOutcome]:
-    """Run (or reload) every shard; returns outcomes in plan order."""
+    """Run (or reload) every shard; returns outcomes in plan order.
+
+    A shard whose worker raises — or dies outright, breaking the pool —
+    is retried up to ``max_task_retries`` times on a fresh pool.  A merge
+    needs *every* shard, so a shard that exhausts its retries is fatal:
+    it is journalled and marked ``.failed.json`` in the run directory
+    (never silently dropped), the finished shards stay checkpointed, and
+    the first original exception re-raises for the resume to handle.
+    """
     store = (
         RunDirectory(run_dir, kind="replay", fingerprint=_fingerprint(plan, tasks))
         if run_dir is not None
@@ -174,42 +195,50 @@ def _execute_shards(
     outcomes: Dict[str, ShardOutcome] = {}
     pending: List[ShardTask] = []
     for task in tasks:
-        if store is not None and store.has(task.shard.shard_id):
-            outcomes[task.shard.shard_id] = store.load(task.shard.shard_id)
+        hit = False
+        value: Optional[ShardOutcome] = None
+        if store is not None:
+            hit, value = store.try_load(task.shard.shard_id)
+        if hit and value is not None:
+            outcomes[task.shard.shard_id] = value
         else:
             pending.append(task)
     if pending:
-        pool_size = resolve_workers(workers, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=pool_size, initializer=init_worker
-        ) as pool:
-            futures: Dict[Future[ShardOutcome], str] = {
-                pool.submit(run_replay_shard, task): task.shard.shard_id
-                for task in pending
-            }
-            error: Optional[BaseException] = None
-            for future in as_completed(futures):
-                try:
-                    outcome = future.result()
-                except Exception as exc:
-                    # Keep draining: every shard that *did* finish gets
-                    # checkpointed, so a resume re-runs only the failures.
-                    if error is None:
-                        error = exc
-                    continue
-                shard_id = futures[future]
-                outcomes[shard_id] = outcome
+
+        def record(task: ShardTask, outcome: ShardOutcome) -> None:
+            outcomes[task.shard.shard_id] = outcome
+            if store is not None:
+                store.store(task.shard.shard_id, outcome)
+
+        failures, first_error = run_pool_with_retries(
+            pending,
+            run_replay_shard,
+            lambda task: task.shard.shard_id,
+            record,
+            workers=workers,
+            max_retries=max_task_retries,
+        )
+        if failures:
+            for task_id in sorted(failures):
+                failure = failures[task_id]
+                journal_failure(failure)
                 if store is not None:
-                    store.store(shard_id, outcome)
-            if error is not None:
-                raise error
+                    store.store_failure(
+                        task_id,
+                        {"error": failure.error, "attempts": failure.attempts},
+                    )
+            assert first_error is not None
+            raise first_error
     return [outcomes[task.shard.shard_id] for task in tasks]
 
 
 def _fingerprint(plan: ShardPlan, tasks: List[ShardTask]) -> str:
-    """Checkpoint fingerprint: the plan shape plus strategy/config/trace."""
+    """Checkpoint fingerprint: plan shape, strategy/config/trace, faults."""
     first = tasks[0]
+    faults = (
+        "none" if first.fault_plan is None else first.fault_plan.fingerprint()
+    )
     return (
         f"{plan.fingerprint()}|{first.strategy.name}|{first.config!r}"
-        f"|trace={first.trace}"
+        f"|trace={first.trace}|faults={faults}"
     )

@@ -40,6 +40,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.obs.records import (
     DecisionRecord,
+    FaultRecord,
     SampleRecord,
     SpanRecord,
 )
@@ -50,7 +51,10 @@ from repro.wlan.metrics import ControllerSeries
 from repro.wlan.replay import ReplayResult
 
 #: Canonical intra-instant phases (mirrors the kernel's event
-#: priorities): flush-phase records before sampler records.
+#: priorities): fault records fire first at an instant (the engine
+#: schedules fault events at priority -1), then flush-phase records,
+#: then sampler records.
+_PHASE_FAULT = -1
 _PHASE_FLUSH = 0
 _PHASE_SAMPLE = 1
 
@@ -136,6 +140,20 @@ def _fragment_units(
                     (record.sim_time, _PHASE_SAMPLE, record.controller_id, seq),
                     [record],
                 )
+            )
+        elif isinstance(record, FaultRecord):
+            if record.sim_time is None:
+                raise ValueError(
+                    f"fault record {record.kind!r} in a shard fragment "
+                    "carries no sim time"
+                )
+            # The serial engine schedules a plan's fault events in plan
+            # order — sorted (time, kind, target) — so the same key
+            # reassembles the global stream (kind tags never prefix one
+            # another, so "kind:target" compares like (kind, target)).
+            tie = f"{record.kind}:{record.target}"
+            units.append(
+                ((record.sim_time, _PHASE_FAULT, tie, seq), [record])
             )
         else:
             raise TypeError(

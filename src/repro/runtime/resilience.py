@@ -1,0 +1,198 @@
+"""Bounded retry and quarantine for pool-executed task graphs.
+
+One failure policy shared by the replay dispatcher
+(:mod:`repro.runtime.engine`) and the sweep executor
+(:mod:`repro.runtime.sweep`):
+
+* a task that raises — or whose worker process dies outright, surfacing
+  as ``BrokenProcessPool`` for everything in flight — is retried up to
+  ``max_retries`` times on a **fresh** pool (a broken executor cannot be
+  reused);
+* a task that exhausts its retries becomes a :class:`TaskFailure`: the
+  caller decides whether to re-raise the first original exception
+  (``on_failure="raise"``, the default everywhere) or to quarantine the
+  failure — journal it as a ``worker-failure`` fault record, persist a
+  ``*.failed.json`` marker next to the checkpoints, and let the rest of
+  the run complete.
+
+Nothing here is silent: every failed attempt logs a warning, and a
+quarantined task is visible in the run journal, the run directory and
+the returned values.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.obs.records import FaultRecord
+from repro.obs.tracer import get_tracer
+from repro.runtime.workers import init_worker
+
+_LOG = logging.getLogger(__name__)
+
+TaskT = TypeVar("TaskT")
+OutcomeT = TypeVar("OutcomeT")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that exhausted its retries.
+
+    ``error`` is ``"ExcType: message"`` of the *last* attempt;
+    ``attempts`` counts every execution (first try included).
+    """
+
+    task_id: str
+    error: str
+    attempts: int
+
+
+def failure_fault_record(failure: TaskFailure) -> FaultRecord:
+    """The journal record of one quarantined task.
+
+    ``sim_time`` is ``None``: a worker failure is a wall-clock event of
+    the host, not of the simulated campus.
+    """
+    return FaultRecord(
+        sim_time=None,
+        kind="worker-failure",
+        target=failure.task_id,
+        controller_id=None,
+        detail={"attempts": failure.attempts, "error": failure.error},
+    )
+
+
+def journal_failure(failure: TaskFailure) -> None:
+    """Log and (when tracing) journal one quarantined task."""
+    _LOG.warning(
+        "task %s failed %d attempt(s), quarantined: %s",
+        failure.task_id,
+        failure.attempts,
+        failure.error,
+    )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.fault(failure_fault_record(failure))
+
+
+def run_pool_with_retries(
+    tasks: Sequence[TaskT],
+    runner: Callable[[TaskT], OutcomeT],
+    task_id_of: Callable[[TaskT], str],
+    on_result: Callable[[TaskT, OutcomeT], None],
+    workers: Optional[int] = None,
+    max_retries: int = 0,
+) -> Tuple[Dict[str, TaskFailure], Optional[BaseException]]:
+    """Execute ``tasks`` on process pools with bounded per-task retries.
+
+    ``on_result`` is invoked in the parent, in completion order, for each
+    success (the caller checkpoints and merges there).  Returns the
+    tasks that exhausted their retries, keyed by id, plus the *first*
+    exception observed — callers running ``on_failure="raise"`` re-raise
+    exactly that object, preserving the original type and message.
+
+    Each retry round gets a fresh :class:`ProcessPoolExecutor`: a worker
+    killed hard (``os._exit``, OOM, SIGKILL) breaks the pool for every
+    in-flight future, so survivors of the round are retried on a new one.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    # Imported lazily to keep the one-way dependency engine -> resilience.
+    from repro.runtime.engine import resolve_workers
+
+    pending: List[TaskT] = list(tasks)
+    attempts: Dict[str, int] = {}
+    failures: Dict[str, TaskFailure] = {}
+    first_error: Optional[BaseException] = None
+    while pending:
+        pool_size = resolve_workers(workers, len(pending))
+        retry: List[TaskT] = []
+        with ProcessPoolExecutor(
+            max_workers=pool_size, initializer=init_worker
+        ) as pool:
+            futures: Dict[Future[OutcomeT], TaskT] = {
+                pool.submit(runner, task): task for task in pending
+            }
+            for future in as_completed(futures):
+                task = futures[future]
+                task_id = task_id_of(task)
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                    count = attempts.get(task_id, 0) + 1
+                    attempts[task_id] = count
+                    error = f"{type(exc).__name__}: {exc}"
+                    if count <= max_retries:
+                        _LOG.warning(
+                            "task %s failed attempt %d/%d, retrying: %s",
+                            task_id,
+                            count,
+                            max_retries + 1,
+                            error,
+                        )
+                        retry.append(task)
+                    else:
+                        failures[task_id] = TaskFailure(
+                            task_id=task_id, error=error, attempts=count
+                        )
+                    continue
+                on_result(task, outcome)
+        pending = retry
+    return failures, first_error
+
+
+def serial_with_retries(
+    tasks: Sequence[TaskT],
+    runner: Callable[[TaskT], Any],
+    task_id_of: Callable[[TaskT], str],
+    on_result: Callable[[TaskT, Any], None],
+    max_retries: int = 0,
+) -> Tuple[Dict[str, TaskFailure], Optional[BaseException]]:
+    """The in-process mirror of :func:`run_pool_with_retries`.
+
+    Same retry accounting and return shape, so the serial and process
+    sweep engines expose identical failure semantics.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    failures: Dict[str, TaskFailure] = {}
+    first_error: Optional[BaseException] = None
+    for task in tasks:
+        task_id = task_id_of(task)
+        for attempt in range(1, max_retries + 2):
+            try:
+                outcome = runner(task)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt <= max_retries:
+                    _LOG.warning(
+                        "task %s failed attempt %d/%d, retrying: %s",
+                        task_id,
+                        attempt,
+                        max_retries + 1,
+                        error,
+                    )
+                    continue
+                failures[task_id] = TaskFailure(
+                    task_id=task_id, error=error, attempts=attempt
+                )
+                break
+            on_result(task, outcome)
+            break
+    return failures, first_error

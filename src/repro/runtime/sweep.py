@@ -19,11 +19,15 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import zlib
 
-from concurrent.futures import Future, ProcessPoolExecutor, as_completed
-
 from repro import perf
 from repro.runtime.checkpoint import RunDirectory
-from repro.runtime.workers import SweepCall, SweepOutcome, init_worker, run_sweep_call
+from repro.runtime.resilience import (
+    TaskFailure,
+    journal_failure,
+    run_pool_with_retries,
+    serial_with_retries,
+)
+from repro.runtime.workers import SweepCall, SweepOutcome, run_sweep_call
 
 #: A sweep task is just a named call; reuse the worker's picklable form.
 SweepTask = SweepCall
@@ -69,6 +73,8 @@ def run_sweep(
     engine: str = "auto",
     workers: Optional[int] = None,
     run_dir: Optional[Union[str, Path]] = None,
+    max_task_retries: int = 0,
+    on_failure: str = "raise",
 ) -> Dict[str, Any]:
     """Execute every task of ``plan``; values keyed by task id.
 
@@ -77,82 +83,152 @@ def run_sweep(
     fans them out over a pool, merging each worker's perf snapshot into
     the parent registry.  ``"auto"`` picks the pool when the plan holds
     more than one task.
+
+    A failing task is retried ``max_task_retries`` times (on a fresh
+    pool, so even a worker killed hard is survivable).  A task that
+    exhausts its retries follows ``on_failure``: ``"raise"`` (default)
+    re-raises the first original exception after the survivors have
+    checkpointed; ``"quarantine"`` journals the failure, writes a
+    ``.failed.json`` marker beside the checkpoints and completes the
+    sweep with a :class:`~repro.runtime.resilience.TaskFailure` as that
+    task's value.
     """
     if engine not in ("auto", "serial", "process"):
         raise ValueError(f"unknown engine {engine!r}")
+    _check_on_failure(on_failure)
     if engine == "auto":
         engine = "process" if len(plan) > 1 else "serial"
     if engine == "serial":
-        return run_sweep_serial(plan, run_dir=run_dir)
-    return run_sweep_process(plan, workers=workers, run_dir=run_dir)
+        return run_sweep_serial(
+            plan, run_dir=run_dir, max_task_retries=max_task_retries,
+            on_failure=on_failure,
+        )
+    return run_sweep_process(
+        plan, workers=workers, run_dir=run_dir,
+        max_task_retries=max_task_retries, on_failure=on_failure,
+    )
+
+
+def _check_on_failure(on_failure: str) -> None:
+    if on_failure not in ("raise", "quarantine"):
+        raise ValueError(f"unknown on_failure policy {on_failure!r}")
+
+
+def _call_task(task: SweepTask) -> Any:
+    return task.fn(**task.kwargs_dict)
+
+
+def _task_id(task: SweepTask) -> str:
+    return task.task_id
+
+
+def _resolve_failures(
+    failures: Dict[str, TaskFailure],
+    first_error: Optional[BaseException],
+    values: Dict[str, Any],
+    store: Optional[RunDirectory],
+    on_failure: str,
+) -> None:
+    """Apply the ``on_failure`` policy to the tasks that exhausted retries.
+
+    Either way the failures are journalled and (when checkpointing)
+    marked on disk first — a failed task is never silently dropped.
+    """
+    if not failures:
+        return
+    for task_id in sorted(failures):
+        failure = failures[task_id]
+        journal_failure(failure)
+        if store is not None:
+            store.store_failure(
+                task_id,
+                {"error": failure.error, "attempts": failure.attempts},
+            )
+    if on_failure == "raise":
+        assert first_error is not None
+        raise first_error
+    for task_id in sorted(failures):
+        values[task_id] = failures[task_id]
 
 
 def run_sweep_serial(
     plan: SweepPlan,
     run_dir: Optional[Union[str, Path]] = None,
+    max_task_retries: int = 0,
+    on_failure: str = "raise",
 ) -> Dict[str, Any]:
     """The reference: tasks run in plan order, in this process."""
+    _check_on_failure(on_failure)
     store = _store(plan, run_dir)
     values: Dict[str, Any] = {}
+    pending: List[SweepTask] = []
     for task in plan.tasks:
-        if store is not None and store.has(task.task_id):
-            values[task.task_id] = store.load(task.task_id)
-            continue
-        value = task.fn(**task.kwargs_dict)
+        hit = False
+        value: Any = None
+        if store is not None:
+            hit, value = store.try_load(task.task_id)
+        if hit:
+            values[task.task_id] = value
+        else:
+            pending.append(task)
+
+    def record(task: SweepTask, value: Any) -> None:
         values[task.task_id] = value
         if store is not None:
             store.store(task.task_id, value)
-    return values
+
+    failures, first_error = serial_with_retries(
+        pending, _call_task, _task_id, record, max_retries=max_task_retries
+    )
+    _resolve_failures(failures, first_error, values, store, on_failure)
+    return {task.task_id: values[task.task_id] for task in plan.tasks}
 
 
 def run_sweep_process(
     plan: SweepPlan,
     workers: Optional[int] = None,
     run_dir: Optional[Union[str, Path]] = None,
+    max_task_retries: int = 0,
+    on_failure: str = "raise",
 ) -> Dict[str, Any]:
     """Fan the plan out over a process pool; resumes from ``run_dir``."""
-    # Imported here (not at module top) to keep a one-way dependency:
-    # engine → workers, sweep → engine-helpers.
-    from repro.runtime.engine import resolve_workers
-
+    _check_on_failure(on_failure)
     store = _store(plan, run_dir)
     values: Dict[str, Any] = {}
     pending: List[SweepTask] = []
     for task in plan.tasks:
-        if store is not None and store.has(task.task_id):
-            values[task.task_id] = store.load(task.task_id)
+        hit = False
+        value: Any = None
+        if store is not None:
+            hit, value = store.try_load(task.task_id)
+        if hit:
+            values[task.task_id] = value
         else:
             pending.append(task)
     if pending:
-        pool_size = resolve_workers(workers, len(pending))
         snapshots: Dict[str, perf.PerfSnapshot] = {}
-        with ProcessPoolExecutor(
-            max_workers=pool_size, initializer=init_worker
-        ) as pool:
-            futures: Dict[Future[SweepOutcome], str] = {
-                pool.submit(run_sweep_call, task): task.task_id
-                for task in pending
-            }
-            error: Optional[BaseException] = None
-            for future in as_completed(futures):
-                try:
-                    outcome = future.result()
-                except Exception as exc:
-                    # Keep draining so finished tasks are checkpointed;
-                    # a resume then re-runs only the failures.
-                    if error is None:
-                        error = exc
-                    continue
-                values[outcome.task_id] = outcome.value
-                snapshots[outcome.task_id] = outcome.perf
-                if store is not None:
-                    store.store(outcome.task_id, outcome.value)
-            if error is not None:
-                raise error
+
+        def record(task: SweepTask, outcome: SweepOutcome) -> None:
+            values[outcome.task_id] = outcome.value
+            snapshots[outcome.task_id] = outcome.perf
+            if store is not None:
+                store.store(outcome.task_id, outcome.value)
+
+        failures, first_error = run_pool_with_retries(
+            pending,
+            run_sweep_call,
+            _task_id,
+            record,
+            workers=workers,
+            max_retries=max_task_retries,
+        )
+        _resolve_failures(failures, first_error, values, store, on_failure)
         # Merge worker perf in plan order, so the parent registry's
-        # contents do not depend on completion order.
+        # contents do not depend on completion order.  Quarantined tasks
+        # have no snapshot to merge.
         for task in pending:
-            perf.merge(snapshots[task.task_id])
+            if task.task_id in snapshots:
+                perf.merge(snapshots[task.task_id])
     return {task.task_id: values[task.task_id] for task in plan.tasks}
 
 

@@ -26,9 +26,10 @@ serial engine's (enforced by the ``fork-safe-rng`` lint rule).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import perf
+from repro.faults.model import FaultPlan
 from repro.obs.tracer import TracedRecord, get_tracer
 from repro.perf import PerfSnapshot
 from repro.runtime.shards import ReplayShard
@@ -49,6 +50,9 @@ class ShardTask:
     #: Whether the worker should trace (journal fragments are collected
     #: only when the parent's tracer is enabled).
     trace: bool
+    #: The run's fault plan (the worker fires the plan's events on its
+    #: own controllers, exactly as the serial engine would).
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -86,7 +90,9 @@ def run_replay_shard(task: ShardTask) -> ShardOutcome:
     tracer.reset()
     tracer.enabled = task.trace
     perf.reset()
-    engine = ReplayEngine(task.layout, task.strategy, task.config)
+    engine = ReplayEngine(
+        task.layout, task.strategy, task.config, fault_plan=task.fault_plan
+    )
     run = engine.run_window(
         list(task.shard.demands),
         task.window,

@@ -6,15 +6,26 @@ round-trip so generated traces can be saved, shared and re-analyzed without
 re-running the generator.  One CSV file per record family, with explicit
 headers; floats are written with full repr precision so round-trips are
 exact.
+
+Damaged rows (bit rot, a truncated copy, or a fault plan's
+``corrupt-trace-record`` events applied via
+:func:`repro.faults.model.apply_trace_corruption`) follow the reader's
+``on_error`` policy: ``"strict"`` (default) raises a :class:`ValueError`
+naming the file and data row, ``"skip"`` drops the row, logs it, and
+logs a final per-file skip count — so a chaos run degrades to a smaller
+trace instead of dying, and never loses rows silently.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import logging
 import os
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+logger = logging.getLogger(__name__)
 
 from repro.trace.records import DemandSession, FlowRecord, SessionRecord, TraceBundle
 from repro.trace.social import AccessPointInfo, BuildingInfo, CampusLayout
@@ -49,6 +60,45 @@ DEMAND_FIELDS = [
     "realm_bytes",
 ]
 
+#: Accepted ``on_error`` reader policies.
+READ_POLICIES = ("strict", "skip")
+
+#: What a damaged CSV row raises while being parsed: non-numeric text
+#: (ValueError), a short row padded with None (TypeError), a missing
+#: column (KeyError).
+_ROW_ERRORS = (ValueError, TypeError, KeyError)
+
+
+def _read_rows(
+    path: PathLike,
+    fields: List[str],
+    parse: Callable[[Dict[str, Any]], Any],
+    on_error: str,
+) -> List[Any]:
+    """Shared reader loop applying the ``on_error`` row policy."""
+    if on_error not in READ_POLICIES:
+        raise ValueError(
+            f"unknown on_error policy {on_error!r}; choose from {READ_POLICIES}"
+        )
+    records: List[Any] = []
+    skipped = 0
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, fields, path)
+        for index, row in enumerate(reader):
+            try:
+                records.append(parse(row))
+            except _ROW_ERRORS as exc:
+                if on_error == "strict":
+                    raise ValueError(
+                        f"{path}: corrupt data row {index}: {exc}"
+                    ) from exc
+                skipped += 1
+                logger.warning("%s: skipping corrupt data row %d: %s", path, index, exc)
+    if skipped:
+        logger.warning("%s: skipped %d corrupt row(s)", path, skipped)
+    return records
+
 
 def write_sessions(path: PathLike, sessions: Iterable[SessionRecord]) -> int:
     """Write session records to CSV; returns the record count."""
@@ -71,24 +121,22 @@ def write_sessions(path: PathLike, sessions: Iterable[SessionRecord]) -> int:
     return count
 
 
-def read_sessions(path: PathLike) -> List[SessionRecord]:
+def read_sessions(
+    path: PathLike, on_error: str = "strict"
+) -> List[SessionRecord]:
     """Read session records from CSV written by :func:`write_sessions`."""
-    records: List[SessionRecord] = []
-    with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
-        _require_fields(reader.fieldnames, SESSION_FIELDS, path)
-        for row in reader:
-            records.append(
-                SessionRecord(
-                    user_id=row["user_id"],
-                    ap_id=row["ap_id"],
-                    controller_id=row["controller_id"],
-                    connect=float(row["connect"]),
-                    disconnect=float(row["disconnect"]),
-                    bytes_total=float(row["bytes_total"]),
-                )
-            )
-    return records
+
+    def parse(row: Dict[str, Any]) -> SessionRecord:
+        return SessionRecord(
+            user_id=row["user_id"],
+            ap_id=row["ap_id"],
+            controller_id=row["controller_id"],
+            connect=float(row["connect"]),
+            disconnect=float(row["disconnect"]),
+            bytes_total=float(row["bytes_total"]),
+        )
+
+    return _read_rows(path, SESSION_FIELDS, parse, on_error)
 
 
 def write_flows(path: PathLike, flows: Iterable[FlowRecord]) -> int:
@@ -115,27 +163,23 @@ def write_flows(path: PathLike, flows: Iterable[FlowRecord]) -> int:
     return count
 
 
-def read_flows(path: PathLike) -> List[FlowRecord]:
+def read_flows(path: PathLike, on_error: str = "strict") -> List[FlowRecord]:
     """Read flow records written by :func:`write_flows`."""
-    records: List[FlowRecord] = []
-    with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
-        _require_fields(reader.fieldnames, FLOW_FIELDS, path)
-        for row in reader:
-            records.append(
-                FlowRecord(
-                    user_id=row["user_id"],
-                    start=float(row["start"]),
-                    end=float(row["end"]),
-                    src_ip=row["src_ip"],
-                    dst_ip=row["dst_ip"],
-                    protocol=row["protocol"],
-                    src_port=int(row["src_port"]),
-                    dst_port=int(row["dst_port"]),
-                    bytes_total=float(row["bytes_total"]),
-                )
-            )
-    return records
+
+    def parse(row: Dict[str, Any]) -> FlowRecord:
+        return FlowRecord(
+            user_id=row["user_id"],
+            start=float(row["start"]),
+            end=float(row["end"]),
+            src_ip=row["src_ip"],
+            dst_ip=row["dst_ip"],
+            protocol=row["protocol"],
+            src_port=int(row["src_port"]),
+            dst_port=int(row["dst_port"]),
+            bytes_total=float(row["bytes_total"]),
+        )
+
+    return _read_rows(path, FLOW_FIELDS, parse, on_error)
 
 
 def write_demands(path: PathLike, demands: Iterable[DemandSession]) -> int:
@@ -159,26 +203,24 @@ def write_demands(path: PathLike, demands: Iterable[DemandSession]) -> int:
     return count
 
 
-def read_demands(path: PathLike) -> List[DemandSession]:
+def read_demands(
+    path: PathLike, on_error: str = "strict"
+) -> List[DemandSession]:
     """Read demand sessions written by :func:`write_demands`."""
-    records: List[DemandSession] = []
-    with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
-        _require_fields(reader.fieldnames, DEMAND_FIELDS, path)
-        for row in reader:
-            records.append(
-                DemandSession(
-                    user_id=row["user_id"],
-                    building_id=row["building_id"],
-                    arrival=float(row["arrival"]),
-                    departure=float(row["departure"]),
-                    group_id=row["group_id"] or None,
-                    realm_bytes=tuple(
-                        float(v) for v in row["realm_bytes"].split("|")
-                    ),
-                )
-            )
-    return records
+
+    def parse(row: Dict[str, Any]) -> DemandSession:
+        return DemandSession(
+            user_id=row["user_id"],
+            building_id=row["building_id"],
+            arrival=float(row["arrival"]),
+            departure=float(row["departure"]),
+            group_id=row["group_id"] or None,
+            realm_bytes=tuple(
+                float(v) for v in row["realm_bytes"].split("|")
+            ),
+        )
+
+    return _read_rows(path, DEMAND_FIELDS, parse, on_error)
 
 
 def save_bundle(directory: PathLike, bundle: TraceBundle) -> None:
@@ -190,20 +232,27 @@ def save_bundle(directory: PathLike, bundle: TraceBundle) -> None:
     write_demands(directory / "demands.csv", bundle.demands)
 
 
-def load_bundle(directory: PathLike) -> TraceBundle:
+def load_bundle(directory: PathLike, on_error: str = "strict") -> TraceBundle:
     """Load a bundle previously written by :func:`save_bundle`.
 
     Missing files are treated as empty record families, so a demands-only
-    directory loads fine.
+    directory loads fine.  ``on_error`` is forwarded to every family
+    reader (see the module docstring).
     """
     directory = Path(directory)
     sessions_path = directory / "sessions.csv"
     flows_path = directory / "flows.csv"
     demands_path = directory / "demands.csv"
     return TraceBundle(
-        sessions=read_sessions(sessions_path) if sessions_path.exists() else [],
-        flows=read_flows(flows_path) if flows_path.exists() else [],
-        demands=read_demands(demands_path) if demands_path.exists() else [],
+        sessions=read_sessions(sessions_path, on_error=on_error)
+        if sessions_path.exists()
+        else [],
+        flows=read_flows(flows_path, on_error=on_error)
+        if flows_path.exists()
+        else [],
+        demands=read_demands(demands_path, on_error=on_error)
+        if demands_path.exists()
+        else [],
     )
 
 

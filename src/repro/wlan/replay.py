@@ -19,23 +19,45 @@ Mechanics (driven by the :mod:`repro.sim` kernel):
 * a **sampler** snapshots every controller's per-AP load and user counts
   on a fixed interval for the metrics series.
 
-Event ordering at equal timestamps: departures (priority 0) before
-arrivals (priority 1) before batch flushes (priority 2) before samples
-(priority 3), so a flush sees every departure up to its instant.
+Event ordering at equal timestamps: fault events (priority -1) before
+departures (priority 0) before arrivals (priority 1) before batch flushes
+(priority 2) before samples (priority 3), so a flush sees every departure
+up to its instant and a fault takes effect before anything else at its
+instant.
+
+Fault injection (``fault_plan=``): ``ApDown`` evicts the AP's active
+users — each gets a truncated session record and its demand remainder is
+re-buffered, producing one forced co-leaving/re-association batch — and
+hides the AP from candidate sets until the matching ``ApUp``.
+``ControllerOutage`` degrades steering to per-station strongest-signal
+while it lasts; ``StaleLoadReport`` skips the controller's next load
+poll.  All fault handling is keyed off the plan alone, so same-seed
+chaos replays stay byte-identical under both engines (see
+``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro import perf
 from repro.analysis.balance import normalized_balance_index
 from repro.core.selection import APState
+from repro.faults.model import (
+    REPLAY_KINDS,
+    ApDown,
+    ApUp,
+    ControllerOutage,
+    FaultEvent,
+    FaultPlan,
+    StaleLoadReport,
+)
 from repro.obs.records import (
     DecisionRecord,
+    FaultRecord,
     SampleRecord,
     candidates_from_states,
 )
@@ -45,11 +67,12 @@ from repro.sim.rng import RandomStreams
 from repro.sim.timeline import MINUTE
 from repro.trace.records import DemandSession, SessionRecord, TraceBundle
 from repro.trace.social import CampusLayout
-from repro.wlan.entities import CampusRuntime
+from repro.wlan.entities import CampusRuntime, ControllerRuntime
 from repro.wlan.metrics import ControllerSeries, MetricsCollector
 from repro.wlan.radio import rssi_map, sample_position
-from repro.wlan.strategies import SelectionStrategy
+from repro.wlan.strategies import SelectionStrategy, StrongestSignal
 
+_PRIORITY_FAULT = -1
 _PRIORITY_DEPARTURE = 0
 _PRIORITY_ARRIVAL = 1
 _PRIORITY_FLUSH = 2
@@ -188,10 +211,16 @@ class ReplayEngine:
         layout: CampusLayout,
         strategy: SelectionStrategy,
         config: Optional[ReplayConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.layout = layout
         self.strategy = strategy
         self.config = config if config is not None else ReplayConfig()
+        self.fault_plan = fault_plan
+        # Engine-held strongest-signal selector: the declared last resort
+        # when a controller is unreachable (ControllerOutage).  Stateless,
+        # so sharing one instance across batches is safe.
+        self._rssi_fallback = StrongestSignal()
         self._streams = RandomStreams(self.config.seed)
         # Per-controller child stream factories (see shard_stream_name):
         # every radio draw is rooted in its controller's child factory, so
@@ -283,6 +312,19 @@ class ReplayEngine:
         # user -> (ap_id, controller_id, owning demand) while associated.
         active: Dict[str, Tuple[str, str, DemandSession]] = {}
 
+        # ---- fault state (all empty when no plan is injected) ----------
+        # APs currently down (hidden from candidate sets).
+        down: Set[str] = set()
+        # controller -> sim time its outage ends (strongest-signal
+        # fallback until then).
+        outage_until: Dict[str, float] = {}
+        # Controllers whose next load poll must be skipped (stale report).
+        stale_pending: Set[str] = set()
+        # controller -> sorted ApUp times, for deferring a flush whose
+        # controller has every AP down.
+        up_times: Dict[str, List[float]] = {}
+        fault_events = self._plan_events(window, sampled, up_times)
+
         def handle_departure(demand: DemandSession) -> None:
             entry = active.get(demand.user_id)
             if entry is None or entry[2] is not demand:
@@ -344,8 +386,36 @@ class ReplayEngine:
             active[demand.user_id] = (ap_id, controller_id, demand)
 
         def flush(controller_id: str) -> None:
-            flush_scheduled[controller_id] = False
             batch = buffers.get(controller_id, [])
+            if batch and down:
+                controller = campus.controllers[controller_id]
+                if all(ap_id in down for ap_id in controller.ap_ids):
+                    # Nothing can serve this batch: defer the flush to the
+                    # controller's next ApUp instant.  The up event runs at
+                    # priority -1, so the AP is back before the re-flush.
+                    next_up = next(
+                        (
+                            t
+                            for t in up_times.get(controller_id, [])
+                            if t > sim.now
+                        ),
+                        None,
+                    )
+                    if next_up is None:
+                        raise RuntimeError(
+                            f"controller {controller_id}: every AP is down "
+                            f"at t={sim.now} and the fault plan schedules "
+                            "no ApUp — the batch can never be served"
+                        )
+                    perf.count("faults.deferred_flushes")
+                    sim.schedule(
+                        next_up,
+                        lambda cid=controller_id: flush(cid),
+                        priority=_PRIORITY_FLUSH,
+                        name=f"flush-{controller_id}",
+                    )
+                    return
+            flush_scheduled[controller_id] = False
             if not batch:
                 return
             buffers[controller_id] = []
@@ -360,6 +430,8 @@ class ReplayEngine:
             self._assign_batch(
                 campus, controller_id, batch, place, sim,
                 batch_id=f"{controller_id}#{seq}",
+                down=down,
+                outage_until=outage_until,
             )
 
         def handle_arrival(demand: DemandSession) -> None:
@@ -406,6 +478,135 @@ class ReplayEngine:
                 name="departure",
             )
 
+        def fault_ap_down(event: ApDown) -> None:
+            controller_id = self.layout.controller_of_ap(event.ap_id)
+            controller = campus.controllers[controller_id]
+            ap = controller.aps[event.ap_id]
+            down.add(event.ap_id)
+            evicted = list(ap.users)
+            if tracer.enabled:
+                tracer.fault(
+                    FaultRecord(
+                        sim_time=sim.now,
+                        kind=event.kind,
+                        target=event.ap_id,
+                        controller_id=controller_id,
+                        detail={"evicted": len(evicted)},
+                    )
+                )
+            perf.count("faults.evicted_users", len(evicted))
+            for user_id in evicted:
+                ap_id, _, demand = active.pop(user_id)
+                ap.disassociate(user_id)
+                # Truncated first leg: bytes prorated to the served
+                # fraction of the demanded dwell.
+                duration = demand.departure - demand.arrival
+                served = (sim.now - demand.arrival) / duration
+                sessions.append(
+                    SessionRecord(
+                        user_id=user_id,
+                        ap_id=ap_id,
+                        controller_id=controller_id,
+                        connect=demand.arrival,
+                        disconnect=sim.now,
+                        bytes_total=demand.bytes_total * served,
+                    )
+                )
+                self.strategy.observe_departure(
+                    user_id, ap_id, sim.now, mean_rate=demand.mean_rate
+                )
+                if demand.departure <= sim.now:
+                    continue
+                # The remainder re-arrives *now* — the forced co-leaving
+                # burst: every evicted user hits the same flush batch.
+                remaining = 1.0 - served
+                remainder = dc_replace(
+                    demand,
+                    arrival=sim.now,
+                    realm_bytes=tuple(
+                        b * remaining for b in demand.realm_bytes
+                    ),
+                )
+                handle_arrival(remainder)
+                departure_time = remainder.departure
+                flush_time = sim.now + self.config.batch_window
+                if departure_time <= flush_time:
+                    departure_time = flush_time + 1e-6
+                sim.schedule(
+                    departure_time,
+                    lambda d=remainder: handle_departure(d),
+                    priority=_PRIORITY_DEPARTURE,
+                    name="departure",
+                )
+
+        def fault_ap_up(event: ApUp) -> None:
+            down.discard(event.ap_id)
+            if tracer.enabled:
+                tracer.fault(
+                    FaultRecord(
+                        sim_time=sim.now,
+                        kind=event.kind,
+                        target=event.ap_id,
+                        controller_id=self.layout.controller_of_ap(
+                            event.ap_id
+                        ),
+                        detail={},
+                    )
+                )
+
+        def fault_outage(event: ControllerOutage) -> None:
+            current = outage_until.get(event.controller_id, window.start)
+            outage_until[event.controller_id] = max(
+                current, sim.now + event.duration
+            )
+            if tracer.enabled:
+                tracer.fault(
+                    FaultRecord(
+                        sim_time=sim.now,
+                        kind=event.kind,
+                        target=event.controller_id,
+                        controller_id=event.controller_id,
+                        detail={"duration": event.duration},
+                    )
+                )
+
+        def fault_stale(event: StaleLoadReport) -> None:
+            stale_pending.add(event.controller_id)
+            if tracer.enabled:
+                tracer.fault(
+                    FaultRecord(
+                        sim_time=sim.now,
+                        kind=event.kind,
+                        target=event.controller_id,
+                        controller_id=event.controller_id,
+                        detail={},
+                    )
+                )
+
+        def fire_fault(event: FaultEvent) -> None:
+            perf.count(f"faults.{event.kind}")
+            if isinstance(event, ApDown):
+                fault_ap_down(event)
+            elif isinstance(event, ApUp):
+                fault_ap_up(event)
+            elif isinstance(event, ControllerOutage):
+                fault_outage(event)
+            elif isinstance(event, StaleLoadReport):
+                fault_stale(event)
+            else:  # pragma: no cover - _plan_events filters to REPLAY_KINDS
+                raise TypeError(f"unexpected fault event {event!r}")
+
+        # Plan order is sorted (time, kind, target); scheduling in plan
+        # order makes same-instant faults fire identically everywhere
+        # (the merge layer keys fragments the same way).
+        for event in fault_events:
+            sim.schedule(
+                event.time,
+                lambda e=event: fire_fault(e),
+                priority=_PRIORITY_FAULT,
+                name=f"fault-{event.kind}",
+            )
+
         def take_sample() -> None:
             ticks["sample"] += 1
             collector.sample(sim.now, campus, controller_ids=sampled)
@@ -434,6 +635,13 @@ class ReplayEngine:
         def poll_loads() -> None:
             ticks["poll"] += 1
             for controller_id in sampled:
+                if controller_id in stale_pending:
+                    # StaleLoadReport: this poll is lost; strategies keep
+                    # steering on the previous measurement for one more
+                    # interval.
+                    stale_pending.discard(controller_id)
+                    perf.count("faults.stale_polls")
+                    continue
                 campus.controllers[controller_id].refresh_measurements()
 
         stop_poller = sim.every(
@@ -464,6 +672,66 @@ class ReplayEngine:
 
     # ----------------------------------------------------------- internals
 
+    def _plan_events(
+        self,
+        window: ReplayWindow,
+        sampled: Sequence[str],
+        up_times: Dict[str, List[float]],
+    ) -> List[FaultEvent]:
+        """Validate and filter the fault plan for one engine pass.
+
+        Returns the replay-relevant events whose controller is in the
+        pass's ``sampled`` domain — which is what keeps a sharded run's
+        fault handling identical to the serial engine's: each worker
+        fires exactly the events the serial run fires on its controllers.
+        Events before the window start are an error; events past the
+        horizon never fire and are dropped silently (a plan may outlive a
+        short replay).  ``up_times`` is filled with each controller's
+        sorted ApUp instants (for flush deferral).
+        """
+        if self.fault_plan is None:
+            return []
+        events: List[FaultEvent] = []
+        sampled_set = set(sampled)
+        for event in self.fault_plan.of_kinds(REPLAY_KINDS):
+            if isinstance(event, (ApDown, ApUp)):
+                if event.ap_id not in self.layout.aps:
+                    raise KeyError(
+                        f"fault plan names unknown AP {event.ap_id!r}"
+                    )
+                controller_id = self.layout.controller_of_ap(event.ap_id)
+            else:
+                controller_id = event.controller_id
+                if controller_id not in self.layout.controller_ids:
+                    raise KeyError(
+                        f"fault plan names unknown controller "
+                        f"{controller_id!r}"
+                    )
+            if event.time < window.start:
+                raise ValueError(
+                    f"fault event {event.kind!r} at t={event.time} "
+                    f"precedes the window start {window.start}"
+                )
+            if controller_id not in sampled_set:
+                continue
+            if event.time > window.horizon:
+                continue
+            events.append(event)
+            if isinstance(event, ApUp):
+                up_times.setdefault(controller_id, []).append(event.time)
+        for times in up_times.values():
+            times.sort()
+        return events
+
+    def _candidate_states(
+        self, controller: ControllerRuntime, down: Optional[Set[str]]
+    ) -> List[APState]:
+        """The controller's snapshots minus APs currently down."""
+        snapshots = controller.snapshots()
+        if down:
+            snapshots = [s for s in snapshots if s.ap_id not in down]
+        return snapshots
+
     def _assign_batch(
         self,
         campus: CampusRuntime,
@@ -472,6 +740,8 @@ class ReplayEngine:
         place: Callable[[DemandSession, str, str], None],
         sim: Simulator,
         batch_id: str = "",
+        down: Optional[Set[str]] = None,
+        outage_until: Optional[Dict[str, float]] = None,
     ) -> None:
         controller = campus.controllers[controller_id]
         tracer = get_tracer()
@@ -479,7 +749,7 @@ class ReplayEngine:
             d.user_id: self._station_rssi(d, controller_id) for d in batch
         }
         user_ids = [d.user_id for d in batch]
-        snapshots = controller.snapshots()
+        snapshots = self._candidate_states(controller, down)
         perf.count("replay.batches")
         # Build the span args only when tracing: this runs once per flush,
         # and the disabled path must stay near-free.
@@ -495,6 +765,45 @@ class ReplayEngine:
             else NULL_SPAN
         )
         with span:
+            outage_end = (
+                None if outage_until is None
+                else outage_until.get(controller_id)
+            )
+            if outage_end is not None and sim.now < outage_end:
+                # Controller unreachable: the engine steers each station
+                # to its strongest signal, the declared last resort of
+                # every fallback chain.
+                perf.count("faults.outage_fallback", len(batch))
+                for demand in batch:
+                    states = self._candidate_states(controller, down)
+                    choice = self._rssi_fallback.select(
+                        demand.user_id,
+                        states,
+                        rssi=rssi_by_user[demand.user_id],
+                    )
+                    if tracer.enabled:
+                        scores = self._rssi_fallback.score_candidates(
+                            demand.user_id,
+                            states,
+                            rssi=rssi_by_user[demand.user_id],
+                        )
+                        tracer.decision(
+                            DecisionRecord(
+                                user_id=demand.user_id,
+                                strategy=self._rssi_fallback.name,
+                                controller_id=controller_id,
+                                batch_id=batch_id,
+                                sim_time=sim.now,
+                                chosen=choice,
+                                candidates=candidates_from_states(
+                                    states, scores
+                                ),
+                                mode="single",
+                                note="fallback:rssi:controller-outage",
+                            )
+                        )
+                    place(demand, choice, controller_id)
+                return
             with perf.timer("replay.assign_batch"):
                 placement = self.strategy.assign_batch(
                     user_ids, snapshots, rssi_by_user=rssi_by_user
@@ -503,23 +812,26 @@ class ReplayEngine:
                 # Sequential fallback: live snapshots between picks, which
                 # is what an arrival-at-a-time controller does.
                 for demand in batch:
-                    states = controller.snapshots()
+                    states = self._candidate_states(controller, down)
                     choice = self.strategy.select(
                         demand.user_id,
                         states,
                         rssi=rssi_by_user[demand.user_id],
                     )
+                    note = self.strategy.consume_degradation()
                     if tracer.enabled:
                         tracer.decision(
                             self._decision(
                                 demand, states, choice, controller_id,
                                 batch_id, sim.now, mode="single",
                                 rssi=rssi_by_user[demand.user_id],
+                                note=note,
                             )
                         )
                     place(demand, choice, controller_id)
                 return
 
+            note = self.strategy.consume_degradation()
             for demand in batch:
                 ap_id = placement.get(demand.user_id)
                 if ap_id is None:
@@ -535,6 +847,7 @@ class ReplayEngine:
                             demand, snapshots, ap_id, controller_id,
                             batch_id, sim.now, mode="batch",
                             rssi=rssi_by_user[demand.user_id],
+                            note=note,
                         )
                     )
                 place(demand, ap_id, controller_id)
@@ -549,6 +862,7 @@ class ReplayEngine:
         sim_time: float,
         mode: str,
         rssi: Optional[Dict[str, float]] = None,
+        note: Optional[str] = None,
     ) -> DecisionRecord:
         """Provenance for one placement (only built when tracing is on)."""
         scores = self.strategy.score_candidates(
@@ -563,6 +877,7 @@ class ReplayEngine:
             chosen=chosen,
             candidates=candidates_from_states(states, scores),
             mode=mode,
+            note=note,
         )
 
     def _radio_streams(self, controller_id: str) -> RandomStreams:

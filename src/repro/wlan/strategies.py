@@ -21,7 +21,7 @@ arrives as immutable :class:`~repro.core.selection.APState` snapshots.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,22 @@ class SelectionStrategy(abc.ABC):
     #: the decisions.  ``repro.runtime`` refuses ``engine="process"`` for
     #: these and ``engine="auto"`` falls back to serial.
     shard_safe: bool = True
+
+    #: Declared graceful-degradation order, most- to least-preferred
+    #: strategy name.  Empty for strategies with no fallback logic.
+    fallback_chain: Tuple[str, ...] = ()
+
+    def consume_degradation(self) -> Optional[str]:
+        """The degradation note of the most recent ``select`` /
+        ``assign_batch`` call, cleared on read.
+
+        The replay engine calls this after every strategy decision and
+        journals a non-``None`` note on the
+        :class:`~repro.obs.DecisionRecord` (``"fallback:<strategy>:
+        <reason>"``), so every silent fallback leaves provenance.  The
+        default strategy never degrades.
+        """
+        return None
 
     @abc.abstractmethod
     def select(
@@ -203,12 +219,69 @@ class RandomSelection(SelectionStrategy):
 
 
 class S3Strategy(SelectionStrategy):
-    """The paper's scheme, wrapping a trained selector."""
+    """The paper's scheme, wrapping a trained selector.
+
+    Degradation chain (``fallback_chain``): the wrapped selector first;
+    plain LLF when the social model is stale (older than
+    ``model_max_age`` relative to the newest observed event) or the
+    selector raises; per-station strongest signal when there is no
+    candidate state at all.  Every fallback decision carries a
+    ``"fallback:..."`` note via :meth:`consume_degradation`, and the
+    degraded sequential path reproduces :class:`LeastLoadedFirst`
+    decision-for-decision (``assign_batch`` declines, so the engine's
+    live-snapshot sequential path runs).
+
+    Staleness is judged against a clock advanced by the observe hooks —
+    the association stream the controller sees anyway — so it needs no
+    wall time and stays deterministic.
+    """
 
     name = "s3"
+    fallback_chain = ("s3", "llf", "rssi")
 
-    def __init__(self, selector: S3Selector) -> None:
+    def __init__(
+        self,
+        selector: S3Selector,
+        model_max_age: Optional[float] = None,
+        model_trained_at: float = 0.0,
+    ) -> None:
         self.selector = selector
+        self.model_max_age = model_max_age
+        self.model_trained_at = model_trained_at
+        self._clock = model_trained_at
+        self._llf = LeastLoadedFirst()
+        self._note: Optional[str] = None
+        if model_max_age is not None:
+            if model_max_age <= 0:
+                raise ValueError(
+                    f"model_max_age must be positive, got {model_max_age!r}"
+                )
+            # The staleness clock is mutable cross-controller state:
+            # sharding the demand stream changes what each decision has
+            # observed, so the engines could diverge mid-run.
+            self.shard_safe = False
+
+    def _model_stale(self) -> bool:
+        if self.model_max_age is None:
+            return False
+        return (self._clock - self.model_trained_at) > self.model_max_age
+
+    def consume_degradation(self) -> Optional[str]:
+        """Pop the note set by the most recent decision call."""
+        note, self._note = self._note, None
+        return note
+
+    def observe_arrival(self, user_id: str, ap_id: str, time: float) -> None:
+        """Advance the staleness clock."""
+        if time > self._clock:
+            self._clock = time
+
+    def observe_departure(
+        self, user_id: str, ap_id: str, time: float, mean_rate: float = 0.0
+    ) -> None:
+        """Advance the staleness clock."""
+        if time > self._clock:
+            self._clock = time
 
     def select(
         self,
@@ -216,8 +289,21 @@ class S3Strategy(SelectionStrategy):
         aps: Sequence[APState],
         rssi: Optional[Dict[str, float]] = None,
     ) -> str:
-        """Pick the AP per this strategy's policy."""
-        return self.selector.select(user_id, aps)
+        """Pick the AP per this strategy's policy (or its fallback)."""
+        self._note = None
+        if not aps:
+            if rssi:
+                self._note = "fallback:rssi:no-candidates"
+                return strongest_ap(rssi)
+            raise ValueError("no candidate APs")
+        if self._model_stale():
+            self._note = "fallback:llf:model-stale"
+            return self._llf.select(user_id, aps, rssi=rssi)
+        try:
+            return self.selector.select(user_id, aps)
+        except Exception:
+            self._note = "fallback:llf:selector-error"
+            return self._llf.select(user_id, aps, rssi=rssi)
 
     def assign_batch(
         self,
@@ -225,8 +311,19 @@ class S3Strategy(SelectionStrategy):
         aps: Sequence[APState],
         rssi_by_user: Optional[Dict[str, Dict[str, float]]] = None,
     ) -> Optional[Dict[str, str]]:
-        """Algorithm 1 batch distribution via the wrapped selector."""
-        return self.selector.assign_batch(user_ids, aps)
+        """Algorithm 1 batch distribution via the wrapped selector.
+
+        Declines (returns ``None``) when degraded: the engine's
+        sequential path then takes over, and each per-user ``select``
+        call records its own fallback note.
+        """
+        self._note = None
+        if not aps or self._model_stale():
+            return None
+        try:
+            return self.selector.assign_batch(user_ids, aps)
+        except Exception:
+            return None
 
     def score_candidates(
         self,
@@ -234,7 +331,18 @@ class S3Strategy(SelectionStrategy):
         aps: Sequence[APState],
         rssi: Optional[Dict[str, float]] = None,
     ) -> Dict[str, float]:
-        """Algorithm 1's primary objective: the added social cost C(AP)."""
-        return {
-            ap.ap_id: self.selector.added_social_cost(user_id, ap) for ap in aps
-        }
+        """Algorithm 1's primary objective: the added social cost C(AP).
+
+        Under degradation the scores come from the active fallback
+        (LLF's load ranking), matching what ``select`` actually ranked.
+        Never touches the pending degradation note.
+        """
+        if self._model_stale():
+            return self._llf.score_candidates(user_id, aps, rssi=rssi)
+        try:
+            return {
+                ap.ap_id: self.selector.added_social_cost(user_id, ap)
+                for ap in aps
+            }
+        except Exception:
+            return self._llf.score_candidates(user_id, aps, rssi=rssi)

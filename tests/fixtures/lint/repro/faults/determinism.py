@@ -1,0 +1,34 @@
+"""Fixture: ad hoc randomness inside ``repro.faults``.
+
+The fault-determinism rule must flag the ``default_rng`` call and every
+``.get`` not derived from ``child("faults")`` (lines 13, 17, 21, 25) and
+allow the dedicated stream forms."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+def bad_default_rng() -> object:
+    return np.random.default_rng(7)  # line 13: ad hoc generator
+
+
+def bad_root_get(streams: RandomStreams) -> object:
+    return streams.get("radio")  # line 17: not a faults child
+
+
+def bad_other_child(streams: RandomStreams) -> object:
+    return streams.child("workload").get("demand")  # line 21
+
+
+def bad_dict_get(config) -> object:
+    return config.get("ap_outages")  # line 25: blunt on purpose
+
+
+def good_chained(streams: RandomStreams) -> object:
+    return streams.child("faults").get("schedule")
+
+
+def good_named(streams: RandomStreams) -> object:
+    rng = streams.child("faults")
+    return rng.get("schedule")

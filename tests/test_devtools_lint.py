@@ -35,6 +35,7 @@ EXPECTED_RULES = {
     "bare-except",
     "cache-invalidation",
     "engine-parity",
+    "fault-determinism",
     "fork-safe-rng",
     "mutable-default",
     "no-unseeded-rng",
@@ -132,6 +133,19 @@ def test_fork_safe_rng_fixture_scoped_by_module_name():
     # the same code outside repro.runtime is not flagged
     relaxed = lint_module(parse_module(path, module="repro.wlan.forkrng"))
     assert lines_by_rule(relaxed, "fork-safe-rng") == []
+
+
+def test_fault_determinism_fixture_scoped_by_module_name():
+    path = FIXTURES / "repro" / "faults" / "determinism.py"
+    assert module_name_for(path) == "repro.faults.determinism"
+    findings = lint_module(parse_module(path))
+    assert lines_by_rule(findings, "fault-determinism") == [13, 17, 21, 25]
+    messages = "\n".join(f.message for f in findings)
+    assert "default_rng" in messages
+    assert 'child("faults")' in messages
+    # the same code outside repro.faults is not flagged by this rule
+    relaxed = lint_module(parse_module(path, module="repro.wlan.determinism"))
+    assert lines_by_rule(relaxed, "fault-determinism") == []
 
 
 def test_mutable_default_fixture():

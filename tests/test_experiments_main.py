@@ -18,6 +18,7 @@ class TestRunnerRegistry:
         expected = {
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "table1", "fig10", "fig11", "fig12", "forecast", "ablations",
+            "resilience",
         }
         assert set(EXPERIMENTS) == expected
 

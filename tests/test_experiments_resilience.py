@@ -1,0 +1,142 @@
+"""The resilience experiment: target picking, journal-only analysis.
+
+The experiment's contract is that every number it reports is derived
+from journal records (fault firings + balance samples) — so the tests
+drive :func:`analyze_journal` through a real render/parse round-trip,
+and pin the deterministic worst-case target selection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import resilience
+from repro.experiments.config import TINY
+from repro.obs.journal import parse_journal, render_journal
+from repro.obs.records import FaultRecord, SampleRecord
+
+
+def test_pick_target_is_deterministic_peak_concurrency(tiny_workload):
+    layout = tiny_workload.world.layout
+    demands = tiny_workload.test_demands
+    first = resilience.pick_target(layout, demands)
+    second = resilience.pick_target(layout, demands)
+    assert first == second
+    ap_id, peak_time = first
+    assert ap_id in layout.aps
+    window = resilience.window_for(demands, tiny_workload.config.replay)
+    assert window.start <= peak_time <= window.horizon
+    with pytest.raises(ValueError, match="zero demands"):
+        resilience.pick_target(layout, [])
+
+
+def test_outage_plan_fits_inside_the_window(tiny_workload):
+    layout = tiny_workload.world.layout
+    demands = tiny_workload.test_demands
+    config = tiny_workload.config.replay
+    plan = resilience.outage_plan(layout, demands, config)
+    down, up = plan.events
+    assert down.kind == "ap-down" and up.kind == "ap-up"
+    window = resilience.window_for(demands, config)
+    assert window.start <= down.time < up.time <= window.horizon
+    assert up.time - down.time <= 2.0 * config.sample_interval
+
+
+def synthetic_journal(balances, down_at, up_at, evicted=3):
+    """A parsed journal with one outage and a known balance trajectory."""
+    records = []
+    for i, balance in enumerate(balances):
+        records.append(
+            SampleRecord(
+                sim_time=100.0 * i,
+                controller_id="ctrl-B00",
+                balance=balance,
+                total_load=1e6,
+                users=10,
+            )
+        )
+    records.append(
+        FaultRecord(
+            sim_time=down_at,
+            kind="ap-down",
+            target="ap-B00-00",
+            controller_id="ctrl-B00",
+            detail={"evicted": evicted},
+        )
+    )
+    records.append(
+        FaultRecord(
+            sim_time=up_at,
+            kind="ap-up",
+            target="ap-B00-00",
+            controller_id="ctrl-B00",
+            detail={},
+        )
+    )
+    return parse_journal(render_journal(records))
+
+
+def test_analyze_journal_from_parsed_records_alone():
+    # Samples every 100s: pre-fault mean 0.9, dip to 0.5 during the
+    # outage [250, 450), recovery at t=600 (balance back >= 0.95*0.9).
+    journal = synthetic_journal(
+        balances=[0.9, 0.9, 0.9, 0.5, 0.6, 0.7, 0.86, 0.9],
+        down_at=250.0,
+        up_at=450.0,
+    )
+    entry = resilience.analyze_journal(journal, "llf")
+    assert entry.strategy == "llf"
+    assert entry.controller_id == "ctrl-B00"
+    assert entry.evicted == 3
+    assert entry.pre_fault_balance == pytest.approx(0.9)
+    assert entry.min_balance_during == pytest.approx(0.5)
+    assert entry.drop == pytest.approx(0.4)
+    # First post-restore sample at/above 0.855 is t=600 -> 150s after up.
+    assert entry.recovery_time == pytest.approx(150.0)
+
+
+def test_analyze_journal_never_recovering_is_none():
+    journal = synthetic_journal(
+        balances=[0.9, 0.9, 0.9, 0.5, 0.5, 0.5, 0.5, 0.5],
+        down_at=250.0,
+        up_at=450.0,
+    )
+    entry = resilience.analyze_journal(journal, "s3")
+    assert entry.recovery_time is None
+
+
+def test_analyze_journal_requires_an_outage():
+    journal = parse_journal(
+        render_journal(
+            [
+                SampleRecord(
+                    sim_time=0.0,
+                    controller_id="c",
+                    balance=1.0,
+                    total_load=0.0,
+                    users=0,
+                )
+            ]
+        )
+    )
+    with pytest.raises(ValueError, match="ap-down/ap-up"):
+        resilience.analyze_journal(journal, "llf")
+
+
+def test_resilience_experiment_end_to_end_tiny():
+    result = resilience.run(TINY)
+    assert sorted(result.by_strategy) == ["llf", "s3"]
+    assert result.fault_duration > 0
+    for entry in result.by_strategy.values():
+        assert entry.evicted > 0  # the target AP really had users
+        assert 0.0 <= entry.min_balance_during <= entry.pre_fault_balance + 1e-9
+        assert entry.drop >= 0.0
+    text = result.render()
+    assert "Resilience" in text
+    assert result.target_ap in text
+    assert "llf:" in text and "s3:" in text
+    # Running again reproduces the exact result (pure function of preset).
+    again = resilience.run(TINY)
+    assert again.target_ap == result.target_ap
+    assert again.fault_start == result.fault_start
+    assert again.by_strategy == result.by_strategy

@@ -1,0 +1,167 @@
+"""The fault model: canonical order, validation, round-trips, generation.
+
+The chaos layer's base contract: a :class:`FaultPlan` is a frozen,
+sorted, validated value that round-trips byte-exactly through JSON, and
+:func:`generate_plan` is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    ApDown,
+    ApUp,
+    ChaosConfig,
+    ControllerOutage,
+    CorruptTraceRecord,
+    FaultPlan,
+    FrameDelay,
+    FrameDuplicate,
+    FrameLoss,
+    StaleLoadReport,
+    apply_trace_corruption,
+    generate_plan,
+    targeted_ap_outage,
+)
+from repro.faults.model import LINK_KINDS, REPLAY_KINDS, event_sort_key
+from repro.obs.journal import parse_journal, render_journal
+from repro.obs.records import FaultRecord
+from repro.sim.rng import RandomStreams
+from repro.trace.social import CampusLayout
+
+
+def sample_plan() -> FaultPlan:
+    return FaultPlan(
+        (
+            ApUp(time=400.0, ap_id="ap-1"),
+            ApDown(time=100.0, ap_id="ap-1"),
+            ControllerOutage(time=50.0, controller_id="ctrl-1", duration=30.0),
+            StaleLoadReport(time=100.0, controller_id="ctrl-1"),
+            FrameLoss(time=10.0, duration=60.0, probability=0.5),
+            CorruptTraceRecord(time=0.0, family="sessions", row=3),
+        )
+    )
+
+
+def test_plan_sorts_canonically():
+    plan = sample_plan()
+    keys = [event_sort_key(e) for e in plan.events]
+    assert keys == sorted(keys)
+    assert plan.events[0].kind == "corrupt-trace-record"
+    assert plan.events[-1].kind == "ap-up"
+
+
+def test_plan_json_round_trip_is_byte_exact(tmp_path):
+    plan = sample_plan()
+    text = plan.to_json()
+    again = FaultPlan.from_json(text)
+    assert again == plan
+    assert again.to_json() == text
+    path = plan.save(tmp_path / "plan.json")
+    assert FaultPlan.load(path) == plan
+    assert FaultPlan.load(path).fingerprint() == plan.fingerprint()
+
+
+def test_plan_validation_rejects_bad_sequences():
+    with pytest.raises(ValueError, match="already down"):
+        FaultPlan(
+            (
+                ApDown(time=1.0, ap_id="ap-1"),
+                ApDown(time=2.0, ap_id="ap-1"),
+            )
+        )
+    with pytest.raises(ValueError, match="without a preceding"):
+        FaultPlan((ApUp(time=1.0, ap_id="ap-1"),))
+    with pytest.raises(ValueError, match="duplicate"):
+        FaultPlan(
+            (
+                StaleLoadReport(time=1.0, controller_id="c"),
+                StaleLoadReport(time=1.0, controller_id="c"),
+            )
+        )
+
+
+def test_event_field_validation():
+    with pytest.raises(ValueError, match="positive"):
+        ControllerOutage(time=0.0, controller_id="c", duration=0.0)
+    with pytest.raises(ValueError, match="probability"):
+        FrameLoss(time=0.0, duration=1.0, probability=1.5)
+    with pytest.raises(ValueError, match="delay"):
+        FrameDelay(time=0.0, duration=1.0, probability=0.5, delay=0.0)
+    with pytest.raises(ValueError, match="family"):
+        CorruptTraceRecord(time=0.0, family="nope", row=0)
+
+
+def test_kind_partitions_are_disjoint():
+    assert not REPLAY_KINDS & LINK_KINDS
+    plan = sample_plan()
+    replay = plan.of_kinds(REPLAY_KINDS)
+    assert {e.kind for e in replay} <= REPLAY_KINDS
+    assert len(replay) == 4
+
+
+def test_generate_plan_is_seed_deterministic():
+    layout = CampusLayout.grid(2, 3)
+    config = ChaosConfig(
+        ap_outages=2, controller_outages=1, stale_reports=2,
+        frame_loss_windows=1,
+    )
+    one = generate_plan(layout, 0.0, 10_000.0, RandomStreams(7), config)
+    two = generate_plan(layout, 0.0, 10_000.0, RandomStreams(7), config)
+    other = generate_plan(layout, 0.0, 10_000.0, RandomStreams(8), config)
+    assert one == two
+    assert one.to_json() == two.to_json()
+    assert other != one
+    assert not one.is_empty
+    kinds = {e.kind for e in one.events}
+    assert "ap-down" in kinds and "ap-up" in kinds
+
+
+def test_targeted_outage_plan_shape():
+    plan = targeted_ap_outage("ap-9", 100.0, 50.0)
+    assert [e.kind for e in plan.events] == ["ap-down", "ap-up"]
+    assert plan.events[1].time == 150.0
+    with pytest.raises(ValueError, match="positive"):
+        targeted_ap_outage("ap-9", 100.0, 0.0)
+
+
+def test_fault_record_journal_round_trip():
+    record = FaultRecord(
+        sim_time=12.5,
+        kind="ap-down",
+        target="ap-1",
+        controller_id="ctrl-1",
+        detail={"evicted": 4},
+    )
+    worker = FaultRecord(
+        sim_time=None, kind="worker-failure", target="shard-a",
+        detail={"attempts": 2, "error": "RuntimeError: boom"},
+    )
+    journal = parse_journal(render_journal([record, worker]))
+    assert len(journal.faults) == 2
+    first, second = journal.faults
+    assert (first.kind, first.target, first.sim_time) == ("ap-down", "ap-1", 12.5)
+    assert first.detail == {"evicted": 4}
+    assert second.sim_time is None
+    assert second.detail["attempts"] == 2
+
+
+def test_apply_trace_corruption_damages_named_rows(tmp_path):
+    path = tmp_path / "sessions.csv"
+    path.write_text(
+        "user_id,ap_id,controller_id,connect,disconnect,bytes_total\n"
+        "u1,a1,c1,0.0,10.0,100.0\n"
+        "u2,a1,c1,5.0,15.0,200.0\n"
+    )
+    events = [
+        CorruptTraceRecord(time=0.0, family="sessions", row=1),
+        CorruptTraceRecord(time=0.0, family="sessions", row=99),
+        CorruptTraceRecord(time=1.0, family="flows", row=0),
+    ]
+    assert apply_trace_corruption(path, "sessions", events) == 1
+    lines = path.read_text().splitlines()
+    assert lines[1].endswith("100.0")
+    assert lines[2].endswith("CORRUPT")
+    with pytest.raises(ValueError, match="family"):
+        apply_trace_corruption(path, "nope", events)

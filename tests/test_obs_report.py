@@ -143,7 +143,7 @@ class TestRenderAndCli:
         text = render_report(read_journal(path), title="run.jsonl")
         assert "=== run journal: run.jsonl ===" in text
         assert "meta: preset=tiny" in text
-        assert "records: 1 spans, 1 decisions, 1 samples" in text
+        assert "records: 1 spans, 1 decisions, 1 samples, 0 faults" in text
         for section in (
             "-- top spans --",
             "-- balance timelines --",

@@ -14,9 +14,13 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
+from repro.obs.records import FaultRecord
+from repro.obs.tracer import get_tracer
 from repro.runtime import replay_process, replay_serial
 from repro.runtime.checkpoint import RunDirectory
 from repro.runtime.engine import resolve_workers
+from repro.runtime.resilience import TaskFailure
 from repro.runtime.sweep import SweepPlan, make_task, run_sweep
 from repro.runtime.workers import run_replay_shard
 from repro.wlan.strategies import LeastLoadedFirst
@@ -55,6 +59,21 @@ def _failing_shard_body(task):
     if task.shard.controller_id == os.environ[_FAIL_SHARD]:
         raise RuntimeError(f"injected failure in {task.shard.shard_id}")
     return run_replay_shard(task)
+
+
+def _fail_once_shard_body(task):
+    """Replay-shard body that raises only on the chosen shard's first try."""
+    count = _mark(task.shard.controller_id)
+    if task.shard.controller_id == os.environ[_FAIL_SHARD] and count == 1:
+        raise RuntimeError(f"injected failure in {task.shard.shard_id}")
+    return run_replay_shard(task)
+
+
+def _kill_task(x: int, name: str) -> int:
+    """Picklable body that hard-kills its worker on the first execution."""
+    if _mark(name) == 1:
+        os._exit(1)
+    return x * x
 
 
 # ------------------------------------------------------------ RunDirectory
@@ -184,3 +203,135 @@ def test_replay_resumes_only_unfinished_shards(
     serial = replay_serial(layout, LeastLoadedFirst(), demands, config)
     assert resumed.sessions == serial.sessions
     assert resumed.events_processed == serial.events_processed
+
+
+def test_replay_retries_killed_shard_and_matches_serial(
+    small_workload, tmp_path, monkeypatch
+):
+    """``max_task_retries`` heals a one-off shard failure in-run."""
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    config = small_workload.config.replay
+    fail_controller = layout.controller_ids[0]
+    monkeypatch.setenv(_MARKER_DIR, str(tmp_path))
+    monkeypatch.setenv(_FAIL_SHARD, fail_controller)
+    import repro.runtime.engine as engine_module
+
+    monkeypatch.setattr(
+        engine_module, "run_replay_shard", _fail_once_shard_body
+    )
+    result = replay_process(
+        layout, LeastLoadedFirst(), demands, config, workers=2,
+        max_task_retries=1,
+    )
+    assert _runs(tmp_path, fail_controller) == 2
+    serial = replay_serial(layout, LeastLoadedFirst(), demands, config)
+    assert result.sessions == serial.sessions
+    assert result.events_processed == serial.events_processed
+
+
+# ------------------------------------------------- checkpoint corruption
+
+
+def test_corrupt_checkpoint_is_quarantined_and_recomputed(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv(_MARKER_DIR, str(tmp_path))
+    run_dir = tmp_path / "run"
+    plan = SweepPlan(
+        [
+            make_task("a", _square_task, x=2, name="cc-a"),
+            make_task("b", _square_task, x=3, name="cc-b"),
+        ]
+    )
+    first = run_sweep(plan, engine="serial", run_dir=run_dir)
+    assert first == {"a": 4, "b": 9}
+    pickles = sorted(run_dir.glob("task-*.pkl"))
+    assert len(pickles) == 2
+    pickles[0].write_bytes(b"not a pickle")
+    again = run_sweep(plan, engine="serial", run_dir=run_dir)
+    assert again == first
+    # the damaged file is preserved as evidence, not silently replaced
+    assert len(list(run_dir.glob("*.corrupt"))) == 1
+    # exactly one task recomputed; the intact one was served from disk
+    assert _runs(tmp_path, "cc-a") + _runs(tmp_path, "cc-b") == 3
+
+
+def test_corrupt_meta_quarantines_the_whole_run(tmp_path):
+    run_dir = tmp_path / "run"
+    store = RunDirectory(run_dir, kind="sweep", fingerprint="fp-1")
+    store.store("a", 1)
+    (run_dir / "meta.json").write_text("{broken", encoding="utf-8")
+    # Without the fingerprint the checkpoints cannot be trusted: reopening
+    # quarantines the meta plus every task pickle and starts fresh.
+    reopened = RunDirectory(run_dir, kind="sweep", fingerprint="fp-1")
+    assert not reopened.has("a")
+    assert (run_dir / "meta.json.corrupt").exists()
+    assert len(list(run_dir.glob("task-*.pkl.corrupt"))) == 1
+    reopened.store("a", 2)
+    assert reopened.load("a") == 2
+
+
+# ------------------------------------------------- retries and quarantine
+
+
+def test_killed_worker_is_retried_on_a_fresh_pool(tmp_path, monkeypatch):
+    """``os._exit`` breaks the whole pool; the retry round rebuilds it."""
+    monkeypatch.setenv(_MARKER_DIR, str(tmp_path))
+    plan = SweepPlan(
+        [
+            make_task("k/0", _square_task, x=2, name="kill-ok"),
+            make_task("k/1", _kill_task, x=3, name="kill-victim"),
+        ]
+    )
+    values = run_sweep(plan, engine="process", workers=2, max_task_retries=1)
+    assert values == {"k/0": 4, "k/1": 9}
+    assert _runs(tmp_path, "kill-victim") == 2
+
+
+def test_quarantine_completes_sweep_and_journals_the_failure(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv(_MARKER_DIR, str(tmp_path))
+    run_dir = tmp_path / "run"
+    plan = SweepPlan(
+        [
+            make_task("ok", _square_task, x=2, name="q-ok"),
+            make_task("bad", _square_task, x=3, name="q-bad", fail_first=True),
+        ]
+    )
+    tracer = obs.enable(reset=True)
+    try:
+        values = run_sweep(
+            plan, engine="serial", run_dir=run_dir, on_failure="quarantine"
+        )
+        faults = [r for r in tracer.records if isinstance(r, FaultRecord)]
+    finally:
+        obs.disable()
+        get_tracer().reset()
+    assert values["ok"] == 4
+    failure = values["bad"]
+    assert isinstance(failure, TaskFailure)
+    assert failure.attempts == 1
+    assert failure.error == "RuntimeError: injected failure in q-bad"
+    # journal-visible: the quarantined task is a worker-failure fault
+    assert [f.kind for f in faults] == ["worker-failure"]
+    assert faults[0].target == "bad"
+    assert faults[0].sim_time is None
+    assert faults[0].detail["attempts"] == 1
+    store = RunDirectory(
+        run_dir, kind="sweep", fingerprint=plan.fingerprint()
+    )
+    assert store.failed(["ok", "bad"]) == ["bad"]
+    marker = store.load_failure("bad")
+    assert marker["attempts"] == 1
+    assert "RuntimeError" in marker["error"]
+    # Re-running heals: the second execution succeeds and clears the
+    # marker (store() supersedes an old failure).
+    values = run_sweep(
+        plan, engine="serial", run_dir=run_dir, on_failure="quarantine"
+    )
+    assert values == {"ok": 4, "bad": 9}
+    assert not store.has_failure("bad")
+    assert _runs(tmp_path, "q-ok") == 1
+    assert _runs(tmp_path, "q-bad") == 2

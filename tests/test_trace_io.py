@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import CorruptTraceRecord, apply_trace_corruption
 from repro.trace.io import (
     load_bundle,
     read_demands,
@@ -80,3 +81,66 @@ class TestRoundTrips:
         assert len(loaded.sessions) == len(tiny_workload.collected.sessions)
         assert len(loaded.flows) == len(tiny_workload.collected.flows)
         assert loaded.sessions[0] == tiny_workload.collected.sessions[0]
+
+
+class TestCorruptionPolicy:
+    """Readers under damage from a fault plan's corrupt-trace-record events."""
+
+    def test_strict_read_names_the_corrupt_row(self, tmp_path, sample_bundle):
+        path = tmp_path / "sessions.csv"
+        write_sessions(path, sample_bundle.sessions)
+        damaged = apply_trace_corruption(
+            path,
+            "sessions",
+            [CorruptTraceRecord(time=0.0, family="sessions", row=1)],
+        )
+        assert damaged == 1
+        with pytest.raises(ValueError, match="corrupt data row 1"):
+            read_sessions(path)
+        with pytest.raises(ValueError, match=str(path)):
+            read_sessions(path, on_error="strict")
+
+    def test_skip_drops_exactly_the_corrupted_rows(self, tmp_path, sample_bundle):
+        path = tmp_path / "flows.csv"
+        write_flows(path, sample_bundle.flows)
+        apply_trace_corruption(
+            path,
+            "flows",
+            [CorruptTraceRecord(time=0.0, family="flows", row=0)],
+        )
+        survivors = read_flows(path, on_error="skip")
+        assert survivors == [sample_bundle.flows[1]]
+
+    def test_skip_bundle_degrades_to_a_smaller_trace(
+        self, tmp_path, sample_bundle
+    ):
+        directory = tmp_path / "chaos"
+        save_bundle(directory, sample_bundle)
+        events = [
+            CorruptTraceRecord(time=0.0, family="demands", row=1),
+            CorruptTraceRecord(time=0.0, family="sessions", row=0),
+        ]
+        assert (
+            apply_trace_corruption(
+                directory / "demands.csv", "demands", events
+            )
+            == 1
+        )
+        assert (
+            apply_trace_corruption(
+                directory / "sessions.csv", "sessions", events
+            )
+            == 1
+        )
+        with pytest.raises(ValueError, match="corrupt data row"):
+            load_bundle(directory)
+        loaded = load_bundle(directory, on_error="skip")
+        assert loaded.sessions == [sample_bundle.sessions[1]]
+        assert loaded.demands == [sample_bundle.demands[0]]
+        assert loaded.flows == sample_bundle.flows  # untouched family intact
+
+    def test_unknown_policy_is_rejected(self, tmp_path, sample_bundle):
+        path = tmp_path / "sessions.csv"
+        write_sessions(path, sample_bundle.sessions)
+        with pytest.raises(ValueError, match="unknown on_error policy"):
+            read_sessions(path, on_error="ignore")
