@@ -69,6 +69,7 @@ PARITY_REGISTRY: Dict[str, ParityEntry] = {
             "tests/test_runtime_parity.py::test_merged_journal_byte_identical",
             "tests/test_faults_parity.py::test_fault_replay_engines_identical",
             "tests/test_faults_parity.py::test_fault_journal_byte_identical",
+            "tests/test_runtime_shm.py::test_shm_replay_byte_identical_with_faults_armed",
         ),
     ),
     "repro.runtime.sweep.run_sweep": ParityEntry(

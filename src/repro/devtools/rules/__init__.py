@@ -31,6 +31,10 @@ fork-safe-rng      code under ``repro.runtime`` may not call
 fault-determinism  code under ``repro.faults`` draws only from the
                    dedicated ``child("faults")`` stream family — chaos
                    plans are pure functions of their seed
+no-pickled-columns code under ``repro.runtime`` may not pickle
+                   ``SessionArrays``/``DemandArrays``/``FlowArrays``/
+                   ``TraceBundle`` across a process pool — columnar
+                   payloads travel through ``repro.runtime.shm``
 ================== ====================================================
 """
 
@@ -42,6 +46,7 @@ from repro.devtools.rules import (  # noqa: F401  (registration side effects)
     engine_parity,
     fault_determinism,
     fork_safe_rng,
+    no_pickled_columns,
     ordered_iteration,
     rng,
     wallclock,

@@ -241,3 +241,25 @@ def report(title: Optional[str] = None) -> str:
 def reset() -> None:
     """Clear the global registry."""
     PERF.reset()
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process tree, in bytes.
+
+    Covers both the parent and its reaped pool workers (``RUSAGE_SELF``
+    vs ``RUSAGE_CHILDREN``, whichever peaked higher) — the number the
+    runtime benchmark reports next to speedup, so a transport that
+    trades wall-clock for duplicated memory shows up.  ``ru_maxrss`` is
+    kilobytes on Linux and bytes on macOS; normalized here.
+    Deliberately *not* part of :class:`PerfSnapshot`: it is a one-shot
+    host measurement, not a mergeable per-task statistic.
+    """
+    import resource
+    import sys
+
+    scale = 1 if sys.platform == "darwin" else 1024
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    return int(peak) * scale

@@ -16,7 +16,11 @@ while preserving **byte-identical** results:
 * :func:`run_sweep` executes a :class:`SweepPlan` task graph with the
   same engine contract;
 * :class:`RunDirectory` checkpoints completed shards/tasks so an
-  interrupted run resumes with only the unfinished pieces.
+  interrupted run resumes with only the unfinished pieces;
+* :mod:`repro.runtime.shm` moves the columnar payloads through
+  ``multiprocessing.shared_memory`` — published once per run by a
+  :class:`SegmentSet`, sliced by row range in the workers — so nothing
+  heavier than an :class:`ShmHandle` crosses the pool boundary.
 
 Determinism rests on two invariants: named RNG streams are derived by
 content (``RandomStreams.child`` is stable across processes), and every
@@ -27,14 +31,22 @@ shard of one run samples on the same :class:`ReplayWindow` grid.  See
 from repro.runtime.checkpoint import RunDirectory
 from repro.runtime.engine import replay, replay_process, replay_serial
 from repro.runtime.options import RuntimeOptions
-from repro.runtime.resilience import TaskFailure
+from repro.runtime.resilience import TaskFailure, shutdown_pools
 from repro.runtime.shards import ReplayShard, ShardPlan, plan_replay_shards
+from repro.runtime.shm import (
+    SegmentSet,
+    ShmHandle,
+    ShmSlice,
+    attach_arrays,
+    reap_orphans,
+)
 from repro.runtime.sweep import (
     SweepPlan,
     SweepTask,
     run_sweep,
     run_sweep_process,
     run_sweep_serial,
+    with_attachments,
 )
 from repro.wlan.replay import ReplayWindow
 
@@ -43,15 +55,22 @@ __all__ = [
     "ReplayWindow",
     "RunDirectory",
     "RuntimeOptions",
+    "SegmentSet",
     "ShardPlan",
+    "ShmHandle",
+    "ShmSlice",
     "SweepPlan",
     "SweepTask",
     "TaskFailure",
+    "attach_arrays",
     "plan_replay_shards",
+    "reap_orphans",
     "replay",
     "replay_process",
     "replay_serial",
     "run_sweep",
     "run_sweep_process",
     "run_sweep_serial",
+    "shutdown_pools",
+    "with_attachments",
 ]

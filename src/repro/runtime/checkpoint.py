@@ -35,6 +35,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import perf
+
 _META_NAME = "meta.json"
 
 _LOG = logging.getLogger(__name__)
@@ -165,8 +167,9 @@ class RunDirectory:
         if not target.exists():
             return False, None
         try:
-            with target.open("rb") as handle:
-                return True, pickle.load(handle)
+            with perf.timer("checkpoint.load"):
+                with target.open("rb") as handle:
+                    return True, pickle.load(handle)
         except _CORRUPT_ERRORS as exc:
             quarantined = self._quarantine(target)
             _LOG.warning(
@@ -197,9 +200,10 @@ class RunDirectory:
         """
         target = self._task_path(task_id)
         tmp = target.with_suffix(".tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, target)
+        with perf.timer("checkpoint.store"):
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, target)
         failure = self._failure_path(task_id)
         if failure.exists():
             failure.unlink()

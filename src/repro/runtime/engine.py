@@ -31,12 +31,14 @@ from repro.runtime.checkpoint import RunDirectory
 from repro.runtime.merge import merge_journal_fragments, merge_shard_results
 from repro.runtime.resilience import journal_failure, run_pool_with_retries
 from repro.runtime.shards import ShardPlan, plan_replay_shards
+from repro.runtime.shm import SegmentSet, ShmSlice, reap_orphans
 from repro.runtime.workers import (
     ShardOutcome,
     ShardTask,
     init_worker,  # noqa: F401  (re-exported for pool users/tests)
     run_replay_shard,
 )
+from repro.trace.columnar import DemandArrays
 from repro.trace.records import DemandSession
 from repro.trace.social import CampusLayout
 from repro.wlan.replay import ReplayConfig, ReplayEngine, ReplayResult
@@ -112,6 +114,9 @@ def replay_process(
         # Nothing to shard; keep the serial engine's empty-result shape.
         return replay_serial(layout, strategy, demands, config, fault_plan=fault_plan)
     plan = plan_replay_shards(layout, demands, config)
+    # Quarantine segments a hard-killed earlier run may have left behind
+    # before publishing our own.
+    reap_orphans()
     tracer = get_tracer()
     with perf.timer(f"replay.run.{strategy.name}"):
         with tracer.span(
@@ -120,21 +125,44 @@ def replay_process(
             demands=len(demands),
         ) as span:
             span.sim_start = plan.window.start
-            tasks = [
-                ShardTask(
-                    shard=shard,
-                    layout=layout,
-                    strategy=strategy,
-                    config=config,
-                    window=plan.window,
-                    trace=tracer.enabled,
-                    fault_plan=fault_plan,
+            ordered, ranges = plan.demand_layout()
+            with SegmentSet() as segments:
+                with perf.timer("shm.publish"):
+                    handle = segments.publish_demands(
+                        DemandArrays.from_demands(ordered)
+                    )
+                # One task per pool worker, not per controller: a
+                # worker replays its whole (contiguous) shard group in
+                # a single simulator pass, so the periodic sampler and
+                # poller grids — which every per-controller shard would
+                # otherwise duplicate — run once per worker.
+                groups = plan.worker_groups(
+                    resolve_workers(workers, len(plan.shards))
                 )
-                for shard in plan.shards
-            ]
-            outcomes = _execute_shards(
-                plan, tasks, workers, run_dir, max_task_retries
-            )
+                tasks = [
+                    ShardTask(
+                        shard_id="+".join(s.shard_id for s in group),
+                        controller_id=group[0].controller_id,
+                        controller_ids=tuple(
+                            s.controller_id for s in group
+                        ),
+                        demands=ShmSlice(
+                            handle,
+                            ranges[group[0].shard_id][0],
+                            ranges[group[-1].shard_id][1],
+                        ),
+                        layout=layout,
+                        strategy=strategy,
+                        config=config,
+                        window=plan.window,
+                        trace=tracer.enabled,
+                        fault_plan=fault_plan,
+                    )
+                    for group in groups
+                ]
+                outcomes = _execute_shards(
+                    plan, tasks, workers, run_dir, max_task_retries
+                )
             for outcome in outcomes:
                 perf.merge(outcome.perf)
             result = merge_shard_results(plan, outcomes, strategy.name)
@@ -198,22 +226,22 @@ def _execute_shards(
         hit = False
         value: Optional[ShardOutcome] = None
         if store is not None:
-            hit, value = store.try_load(task.shard.shard_id)
+            hit, value = store.try_load(task.shard_id)
         if hit and value is not None:
-            outcomes[task.shard.shard_id] = value
+            outcomes[task.shard_id] = value
         else:
             pending.append(task)
     if pending:
 
         def record(task: ShardTask, outcome: ShardOutcome) -> None:
-            outcomes[task.shard.shard_id] = outcome
+            outcomes[task.shard_id] = outcome
             if store is not None:
-                store.store(task.shard.shard_id, outcome)
+                store.store(task.shard_id, outcome)
 
         failures, first_error = run_pool_with_retries(
             pending,
             run_replay_shard,
-            lambda task: task.shard.shard_id,
+            lambda task: task.shard_id,
             record,
             workers=workers,
             max_retries=max_task_retries,
@@ -229,16 +257,27 @@ def _execute_shards(
                     )
             assert first_error is not None
             raise first_error
-    return [outcomes[task.shard.shard_id] for task in tasks]
+    return [outcomes[task.shard_id] for task in tasks]
 
 
 def _fingerprint(plan: ShardPlan, tasks: List[ShardTask]) -> str:
-    """Checkpoint fingerprint: plan shape, strategy/config/trace, faults."""
+    """Checkpoint fingerprint: plan shape, strategy/config/trace, faults.
+
+    The ``transport=`` tag versions the :class:`ShardOutcome` pickle
+    shape — a run directory checkpointed before the shared-memory
+    transport landed fails the fingerprint guard loudly instead of
+    crashing at merge time with half-loaded outcomes.  The ``groups=``
+    tag pins the worker-group shape: checkpoints are keyed by group id,
+    so a directory written at one worker count refuses to half-resume
+    at another instead of silently recomputing under different keys.
+    """
     first = tasks[0]
     faults = (
         "none" if first.fault_plan is None else first.fault_plan.fingerprint()
     )
+    groups = ",".join(task.shard_id for task in tasks)
     return (
         f"{plan.fingerprint()}|{first.strategy.name}|{first.config!r}"
-        f"|trace={first.trace}|faults={faults}"
+        f"|trace={first.trace}|faults={faults}|transport=shm-v1"
+        f"|groups={groups}"
     )

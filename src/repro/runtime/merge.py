@@ -5,12 +5,13 @@ serial engine's output exactly:
 
 **Results.**  Sessions concatenate and re-sort by ``(connect, user_id)``
 — the serial engine's own output order.  Per-controller series are
-disjoint across shards (each worker samples only its own controller on
-the shared :class:`~repro.wlan.replay.ReplayWindow` grid), so the series
-dict is a keyed union.  Event counts need one correction: every shard
-processes its *own* copy of the periodic sampler/poller ticks, which the
-serial run processes exactly once, so the merged count subtracts the
-``(k - 1)`` duplicate tick sets.
+disjoint across outcomes (each worker samples only its own controller
+group on the shared :class:`~repro.wlan.replay.ReplayWindow` grid), so
+the series dict is a keyed union.  Event counts need one correction:
+every worker group processes its *own* copy of the periodic
+sampler/poller ticks, which the serial run processes exactly once, so
+the merged count subtracts the ``(k - 1)`` duplicate tick sets for
+``k`` outcomes.
 
 **Journal fragments.**  The serial engine emits records in event order:
 at one instant, flush-phase records (decisions, then the closing
@@ -38,6 +39,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.obs.records import (
     DecisionRecord,
     FaultRecord,
@@ -46,7 +49,8 @@ from repro.obs.records import (
 )
 from repro.obs.tracer import TracedRecord
 from repro.runtime.shards import ShardPlan
-from repro.runtime.workers import ShardOutcome
+from repro.runtime.workers import SessionColumns, ShardOutcome
+from repro.trace.records import SessionRecord
 from repro.wlan.metrics import ControllerSeries
 from repro.wlan.replay import ReplayResult
 
@@ -67,18 +71,23 @@ def merge_shard_results(
     outcomes: Sequence[ShardOutcome],
     strategy_name: str,
 ) -> ReplayResult:
-    """Reassemble per-shard results into the serial engine's output."""
-    if len(outcomes) != len(plan.shards):
+    """Reassemble per-shard (or per-group) results into the serial output.
+
+    Outcomes may carry one controller each or a whole worker group's;
+    what must hold is that together they cover every controller of the
+    plan exactly once.
+    """
+    expected = {shard.controller_id for shard in plan.shards}
+    covered = {cid for outcome in outcomes for cid in outcome.series}
+    if covered != expected:
         raise ValueError(
-            f"expected {len(plan.shards)} shard outcomes, got {len(outcomes)}"
+            f"outcomes cover controllers {sorted(covered)}, "
+            f"plan expects {sorted(expected)}"
         )
-    sessions = sorted(
-        (s for outcome in outcomes for s in outcome.result.sessions),
-        key=lambda s: (s.connect, s.user_id),
-    )
+    sessions = merge_session_columns([outcome.sessions for outcome in outcomes])
     series: Dict[str, ControllerSeries] = {}
     for outcome in sorted(outcomes, key=lambda o: o.controller_id):
-        for controller_id, controller_series in outcome.result.series.items():
+        for controller_id, controller_series in outcome.series.items():
             if controller_id in series:
                 raise ValueError(
                     f"controller {controller_id!r} sampled by two shards"
@@ -92,13 +101,89 @@ def merge_shard_results(
         )
     sampler_ticks, poller_ticks = next(iter(tick_sets))
     duplicates = (len(outcomes) - 1) * (sampler_ticks + poller_ticks)
-    events = sum(o.result.events_processed for o in outcomes) - duplicates
+    events = sum(o.events_processed for o in outcomes) - duplicates
     return ReplayResult(
         strategy_name=strategy_name,
         sessions=sessions,
         series=series,
         events_processed=events,
     )
+
+
+def _remap(table: List[str], local: Sequence[str]) -> np.ndarray:
+    """local code -> union code, for one sorted union ``table``."""
+    return np.searchsorted(
+        np.asarray(table, dtype=object), np.asarray(local, dtype=object)
+    )
+
+
+def merge_session_columns(
+    columns: Sequence[SessionColumns],
+) -> List[SessionRecord]:
+    """Fold per-shard session columns into the serial output order.
+
+    The serial engine emits sessions sorted by ``(connect, user_id)``.
+    Reassembling that from columns is three array ops: remap each
+    shard's codes onto union id tables (sorted union, so code order is
+    still lexicographic id order), concatenate in shard-plan order, and
+    stable-lexsort by ``(connect, user)``.  Stability makes full-key
+    ties keep concatenation order — exactly what ``sorted`` over the
+    chained per-shard lists (the previous implementation) produced.
+    """
+    total = sum(len(c) for c in columns)
+    if total == 0:
+        return []
+    user_ids = sorted(set().union(*(c.user_ids for c in columns)))
+    ap_ids = sorted(set().union(*(c.ap_ids for c in columns)))
+    controller_ids = sorted(set().union(*(c.controller_ids for c in columns)))
+    user_parts: List[np.ndarray] = []
+    ap_parts: List[np.ndarray] = []
+    controller_parts: List[np.ndarray] = []
+    for c in columns:
+        if not len(c):
+            continue
+        # searchsorted over the union table maps each shard-local table
+        # entry to its global code; indexing by the shard's code column
+        # then remaps every row at once.
+        user_parts.append(_remap(user_ids, c.user_ids)[c.user])
+        ap_parts.append(_remap(ap_ids, c.ap_ids)[c.ap])
+        controller_parts.append(
+            _remap(controller_ids, c.controller_ids)[c.controller]
+        )
+    user = np.concatenate(user_parts)
+    ap = np.concatenate(ap_parts)
+    controller = np.concatenate(controller_parts)
+    connect = np.concatenate([c.connect for c in columns if len(c)])
+    disconnect = np.concatenate([c.disconnect for c in columns if len(c)])
+    bytes_total = np.concatenate([c.bytes_total for c in columns if len(c)])
+    order = np.lexsort((user, connect))
+    # Materialize on the post-merge hot path the same way the workers do
+    # (see DemandArrays.to_demands): batch-decode the columns with
+    # ``tolist`` and build each record via ``__new__`` plus a direct
+    # ``__dict__`` assignment.  ``__post_init__`` validation is safely
+    # skipped — every row came from a SessionRecord the worker engine
+    # already validated at construction.
+    user_l = user[order].tolist()
+    ap_l = ap[order].tolist()
+    controller_l = controller[order].tolist()
+    connect_l = connect[order].tolist()
+    disconnect_l = disconnect[order].tolist()
+    bytes_l = bytes_total[order].tolist()
+    new = SessionRecord.__new__
+    out: List[SessionRecord] = []
+    append = out.append
+    for i in range(len(user_l)):
+        record = new(SessionRecord)
+        record.__dict__.update({
+            "user_id": user_ids[user_l[i]],
+            "ap_id": ap_ids[ap_l[i]],
+            "controller_id": controller_ids[controller_l[i]],
+            "connect": connect_l[i],
+            "disconnect": disconnect_l[i],
+            "bytes_total": bytes_l[i],
+        })
+        append(record)
+    return out
 
 
 def _fragment_units(

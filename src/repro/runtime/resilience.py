@@ -18,11 +18,26 @@ One failure policy shared by the replay dispatcher
 Nothing here is silent: every failed attempt logs a warning, and a
 quarantined task is visible in the run journal, the run directory and
 the returned values.
+
+Pool reuse: starting a :class:`ProcessPoolExecutor` costs tens of
+milliseconds to seconds (workers are spawned from clean interpreters,
+see :func:`_acquire_pool`) — enough to dominate small parallel replays.
+A round that
+completes **fully clean** (every task succeeded, no exception escaped)
+returns its pool to a per-size cache for the next call to reuse; any
+failure discards the pool, preserving the fresh-pool-per-retry-round
+semantics the recovery path depends on (a broken executor cannot be
+reused, and a retried task must not see state a crashed sibling left in
+a worker).  :func:`shutdown_pools` drains the cache — it runs at
+interpreter exit, and tests call it for isolation (a cached pool's
+workers were started under an earlier test's environment).
 """
 
 from __future__ import annotations
 
+import atexit
 import logging
+import multiprocessing
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (
@@ -42,8 +57,74 @@ from repro.runtime.workers import init_worker
 
 _LOG = logging.getLogger(__name__)
 
+#: Idle, known-clean pools keyed by worker count.
+_POOL_CACHE: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _acquire_pool(size: int) -> ProcessPoolExecutor:
+    """A cached pool of ``size`` workers, or a fresh one.
+
+    Workers are *spawned*, not forked, on every platform.  A forked
+    worker inherits the parent's full heap image copy-on-write: its
+    first write to any inherited page takes a COW fault, and every
+    cyclic-GC pass walks the parent's objects — measurably slowing the
+    replay loop itself (~5% on the benchmark campus) on top of the
+    fork-inheritance hazards ``init_worker`` exists to defuse.  A
+    spawned worker starts from a clean interpreter: its heap holds only
+    what the task unpickles.  The higher start-up cost (a fresh
+    interpreter imports :mod:`repro`) is paid once per pool and
+    amortized by the pool cache.
+    """
+    pool = _POOL_CACHE.pop(size, None)
+    if pool is not None:
+        return pool
+    return ProcessPoolExecutor(
+        max_workers=size,
+        mp_context=multiprocessing.get_context("spawn"),
+        initializer=init_worker,
+    )
+
+
+def _release_pool(size: int, pool: ProcessPoolExecutor) -> None:
+    """Cache one clean pool for reuse (or shut it down if the slot is full)."""
+    if size in _POOL_CACHE:
+        pool.shutdown(wait=True)
+    else:
+        _POOL_CACHE[size] = pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached worker pool (idempotent)."""
+    while _POOL_CACHE:
+        _, pool = _POOL_CACHE.popitem()
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pools)
+
 TaskT = TypeVar("TaskT")
 OutcomeT = TypeVar("OutcomeT")
+
+
+def _run_task_chunk(
+    runner: Callable[[Any], Any], tasks: Sequence[Any]
+) -> List[Tuple[bool, Any]]:
+    """Worker-side chunk body: run tasks sequentially, isolate soft failures.
+
+    Returns one ``(ok, value)`` pair per task — the outcome on success,
+    the exception object on failure — so a raising task does not abort
+    its chunk-mates and the parent keeps per-task retry accounting.  A
+    *hard* death (``os._exit``, OOM, SIGKILL) still takes the whole
+    chunk down with the worker, exactly as it takes down every in-flight
+    future of a per-task pool.
+    """
+    results: List[Tuple[bool, Any]] = []
+    for task in tasks:
+        try:
+            results.append((True, runner(task)))
+        except Exception as exc:
+            results.append((False, exc))
+    return results
 
 
 @dataclass(frozen=True)
@@ -94,6 +175,7 @@ def run_pool_with_retries(
     on_result: Callable[[TaskT, OutcomeT], None],
     workers: Optional[int] = None,
     max_retries: int = 0,
+    chunk_size: int = 1,
 ) -> Tuple[Dict[str, TaskFailure], Optional[BaseException]]:
     """Execute ``tasks`` on process pools with bounded per-task retries.
 
@@ -106,9 +188,21 @@ def run_pool_with_retries(
     Each retry round gets a fresh :class:`ProcessPoolExecutor`: a worker
     killed hard (``os._exit``, OOM, SIGKILL) breaks the pool for every
     in-flight future, so survivors of the round are retried on a new one.
+
+    ``chunk_size`` groups that many tasks into one submission
+    (:func:`_run_task_chunk`), cutting pool round-trips when tasks are
+    few and short — each handoff costs wakeups through the executor's
+    management thread, which dominates small replays.  Failure semantics
+    are unchanged: soft failures are caught per-task inside the chunk,
+    and a hard-killed worker burns one attempt for every task of its
+    chunk — just as it breaks every in-flight future today.  The one
+    trade: a chunk's finished outcomes ride home with the chunk, so a
+    crash mid-chunk re-runs its already-completed tasks on retry.
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     # Imported lazily to keep the one-way dependency engine -> resilience.
     from repro.runtime.engine import resolve_workers
 
@@ -119,23 +213,37 @@ def run_pool_with_retries(
     while pending:
         pool_size = resolve_workers(workers, len(pending))
         retry: List[TaskT] = []
-        with ProcessPoolExecutor(
-            max_workers=pool_size, initializer=init_worker
-        ) as pool:
-            futures: Dict[Future[OutcomeT], TaskT] = {
-                pool.submit(runner, task): task for task in pending
+        pool = _acquire_pool(pool_size)
+        round_clean = True
+        try:
+            chunks = [
+                list(pending[i : i + chunk_size])
+                for i in range(0, len(pending), chunk_size)
+            ]
+            futures: Dict[Future[List[Tuple[bool, Any]]], List[TaskT]] = {
+                pool.submit(_run_task_chunk, runner, chunk): chunk
+                for chunk in chunks
             }
             for future in as_completed(futures):
-                task = futures[future]
-                task_id = task_id_of(task)
+                chunk = futures[future]
                 try:
-                    outcome = future.result()
+                    items = future.result()
                 except Exception as exc:
+                    # The chunk died with its worker: every task in it
+                    # burns one attempt, like every in-flight future of
+                    # a broken per-task pool.
+                    items = [(False, exc)] * len(chunk)
+                for task, (ok, value) in zip(chunk, items):
+                    if ok:
+                        on_result(task, value)
+                        continue
+                    task_id = task_id_of(task)
+                    round_clean = False
                     if first_error is None:
-                        first_error = exc
+                        first_error = value
                     count = attempts.get(task_id, 0) + 1
                     attempts[task_id] = count
-                    error = f"{type(exc).__name__}: {exc}"
+                    error = f"{type(value).__name__}: {value}"
                     if count <= max_retries:
                         _LOG.warning(
                             "task %s failed attempt %d/%d, retrying: %s",
@@ -149,8 +257,17 @@ def run_pool_with_retries(
                         failures[task_id] = TaskFailure(
                             task_id=task_id, error=error, attempts=count
                         )
-                    continue
-                on_result(task, outcome)
+        except BaseException:
+            round_clean = False
+            raise
+        finally:
+            if round_clean:
+                _release_pool(pool_size, pool)
+            else:
+                # A failed round's pool may be broken, and even a merely
+                # task-failed one could carry poisoned worker state —
+                # discard without waiting, the next round starts fresh.
+                pool.shutdown(wait=False, cancel_futures=True)
         pending = retry
     return failures, first_error
 

@@ -58,6 +58,61 @@ class ShardPlan:
         """Shards that actually carry demands."""
         return sum(1 for shard in self.shards if shard.demands)
 
+    def demand_layout(
+        self,
+    ) -> Tuple[List[DemandSession], Dict[str, Tuple[int, int]]]:
+        """The plan's demands flattened shard-by-shard, plus row ranges.
+
+        This is the shape the zero-copy transport wants: one flat list
+        to publish once, and a half-open ``[start, stop)`` row range per
+        ``shard_id`` for the workers to slice.  Within each range the
+        demands keep their shard order (sorted ``(arrival, user_id)``).
+        """
+        ordered: List[DemandSession] = []
+        ranges: Dict[str, Tuple[int, int]] = {}
+        for shard in self.shards:
+            start = len(ordered)
+            ordered.extend(shard.demands)
+            ranges[shard.shard_id] = (start, len(ordered))
+        return ordered, ranges
+
+    def worker_groups(self, n: int) -> List[Tuple[ReplayShard, ...]]:
+        """Partition the shards into at most ``n`` contiguous groups.
+
+        One group per pool worker: a worker replays its whole group in
+        a *single* simulator pass (``run_window`` with the group's
+        controller list), so one periodic sampler/poller grid serves
+        every controller of the group instead of one duplicated grid
+        per controller — the dominant decomposition overhead when
+        workers are few.  Groups are contiguous in plan order, so each
+        group's rows stay one half-open range of the published demand
+        layout, and are balanced by demand count (a group closes once
+        it reaches its fair share of the rows).
+
+        The grouping never changes the merged result: the merge layer
+        reassembles outcomes by controller and canonical sort keys, not
+        by group shape.
+        """
+        count = max(1, min(n, len(self.shards)))
+        total = self.n_demands
+        groups: List[Tuple[ReplayShard, ...]] = []
+        current: List[ReplayShard] = []
+        cum = 0
+        for i, shard in enumerate(self.shards):
+            current.append(shard)
+            cum += len(shard.demands)
+            remaining = len(self.shards) - i - 1
+            open_slots = count - len(groups) - 1
+            if open_slots and (
+                cum * count >= (len(groups) + 1) * total
+                or remaining == open_slots
+            ):
+                groups.append(tuple(current))
+                current = []
+        if current:
+            groups.append(tuple(current))
+        return groups
+
     def fingerprint(self) -> str:
         """A stable digest of the plan's shape, for checkpoint metadata.
 

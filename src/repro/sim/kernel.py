@@ -20,7 +20,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.obs.tracer import get_tracer
 
@@ -59,14 +59,21 @@ class Event:
 
 
 class EventQueue:
-    """A stable min-heap of :class:`Event` objects."""
+    """A stable min-heap of :class:`Event` objects.
+
+    Entries are stored as ``(time, priority, seq, event)`` tuples so every
+    heap comparison is a C-level tuple comparison — ``seq`` is unique, so
+    the ordering never falls through to the event itself.  At replay scale
+    the Python-level ``Event.__lt__`` calls this avoids are a measurable
+    slice of the whole run.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
     def push(
         self,
@@ -76,14 +83,21 @@ class EventQueue:
         name: str = "",
     ) -> Event:
         """Insert an event and return the handle (usable for cancellation)."""
-        event = Event(
+        seq = next(self._counter)
+        # Replay-scale hot path (one push per arrival, departure, flush
+        # and periodic tick): build the event without the generated
+        # dataclass ``__init__`` — six ``__setattr__`` calls — by filling
+        # the instance dict directly.
+        event = Event.__new__(Event)
+        event.__dict__.update(
             time=time,
             priority=priority,
-            seq=next(self._counter),
+            seq=seq,
             action=action,
             name=name,
+            cancelled=False,
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         return event
 
     def pop(self) -> Event:
@@ -92,18 +106,18 @@ class EventQueue:
         Raises :class:`SimulationError` when the queue holds no live events.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if not event.cancelled:
                 return event
         raise SimulationError("pop from an empty event queue")
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def clear(self) -> None:
         """Drop every queued event."""
@@ -111,7 +125,7 @@ class EventQueue:
 
     def __iter__(self) -> Iterator[Event]:
         """Iterate over live events in heap (not chronological) order."""
-        return (event for event in self._heap if not event.cancelled)
+        return (entry[3] for entry in self._heap if not entry[3].cancelled)
 
 
 class Simulator:
@@ -185,13 +199,17 @@ class Simulator:
         if interval <= 0:
             raise SimulationError(f"non-positive interval {interval!r}")
         state = {"event": None, "stopped": False}
+        push = self._queue.push
 
         def fire() -> None:
             if state["stopped"]:
                 return
             action()
-            state["event"] = self.schedule_after(
-                interval, fire, priority=priority, name=name
+            # Reschedule straight onto the queue: ``interval`` is
+            # validated positive above, so ``schedule_after``'s delay
+            # check is redundant on this per-tick path.
+            state["event"] = push(
+                self._now + interval, fire, priority=priority, name=name
             )
 
         first = self._now + interval if start is None else start
@@ -228,16 +246,27 @@ class Simulator:
             "sim.run", sim_time=self._now, clock=lambda: self._now
         ) as span:
             try:
+                # The dispatch loop touches the queue's heap directly:
+                # at replay scale the ``peek_time()``/``pop()`` method
+                # pair costs a measurable slice of every run, and the
+                # sharded engine pays it once per shard for the same
+                # periodic grid.  Semantics are identical — drop
+                # cancelled heads lazily, stop at the horizon, pop and
+                # dispatch.
+                heap = self._queue._heap
+                heappop = heapq.heappop
                 while not self._stopped:
-                    next_time = self._queue.peek_time()
-                    if next_time is None:
+                    while heap and heap[0][3].cancelled:
+                        heappop(heap)
+                    if not heap:
                         break
-                    if until is not None and next_time > until:
+                    entry = heap[0]
+                    if until is not None and entry[0] > until:
                         break
-                    event = self._queue.pop()
-                    self._now = event.time
+                    heappop(heap)
+                    self._now = entry[0]
                     self.events_processed += 1
-                    event.action()
+                    entry[3].action()
                 if until is not None and until > self._now and not self._stopped:
                     self._now = until
             finally:

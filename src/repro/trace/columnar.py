@@ -21,15 +21,34 @@ with integer comparisons and still produce the reference implementation's
 Build the arrays once per trace (``TraceBundle.columns()`` memoizes) and
 share them between ``extract_churn``, ``coleaving_fraction_per_user`` and
 any future vectorized consumer.
+
+:class:`DemandArrays` and :class:`FlowArrays` are the matching columnar
+transposes of the other two record families.  They exist for transport:
+the sharded runtime (:mod:`repro.runtime.shm`) publishes a run's demand
+stream into shared memory once as flat columns, and each worker slices
+its controller-domain rows by index range (:meth:`DemandArrays.slice_rows`)
+instead of unpickling a list of record objects.  Both round-trip exactly
+— ``to_demands()`` / ``to_flows()`` reproduce the original records, field
+for field (float64 round-trips through numpy losslessly).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.trace.records import SessionRecord
+from repro.trace.records import DemandSession, FlowRecord, SessionRecord
+
+#: Row selectors accepted by the ``slice_rows`` helpers: a ``slice``, an
+#: integer index array, or a boolean mask.
+RowSelector = Union[slice, np.ndarray]
+
+
+def _encode_table(values: Sequence[str]) -> Tuple[List[str], Dict[str, int]]:
+    """A sorted id table plus the id -> code lookup for it."""
+    table = sorted(set(values))
+    return table, {value: code for code, value in enumerate(table)}
 
 #: ``(order, starts, ends)`` — a permutation of the session indices plus
 #: the half-open ``[starts[g], ends[g])`` slice of each AP group inside it.
@@ -177,7 +196,370 @@ class SessionArrays:
 
     def group_ap_ids(self, starts: np.ndarray, order: np.ndarray) -> List[str]:
         """The AP id of each group in a :data:`GroupedOrder`."""
-        return [self.ap_ids[int(self.ap[order[s]])] for s in starts]
+        # One fancy-index per level instead of a Python loop over groups.
+        codes = self.ap[order[np.asarray(starts, dtype=np.intp)]]
+        table = np.asarray(self.ap_ids, dtype=object)
+        return list(table[codes])
+
+    # ---------------------------------------------------------------- slicing
+
+    def slice_rows(self, rows: RowSelector) -> "SessionArrays":
+        """A row-subset view sharing this instance's id tables.
+
+        ``rows`` is a ``slice`` (a zero-copy view of the columns), an
+        integer index array or a boolean mask.  Codes keep referring to
+        the full tables, so sliced views compare and join consistently
+        with the parent.
+        """
+        return SessionArrays(
+            self.user_ids,
+            self.ap_ids,
+            self.user[rows],
+            self.ap[rows],
+            self.connect[rows],
+            self.disconnect[rows],
+        )
+
+
+class DemandArrays:
+    """A columnar transpose of a demand stream, built for transport.
+
+    Codes are ``int64`` against sorted id tables (like
+    :class:`SessionArrays`); ``group`` uses ``-1`` for demands without a
+    ground-truth group.  ``realm_bytes`` is an ``(n, N_REALMS)`` float64
+    matrix in :class:`~repro.trace.apps.AppRealm` order.
+    ``to_demands()`` reproduces the original records field for field.
+    """
+
+    __slots__ = (
+        "user_ids",
+        "building_ids",
+        "group_ids",
+        "user",
+        "building",
+        "group",
+        "arrival",
+        "departure",
+        "realm_bytes",
+    )
+
+    def __init__(
+        self,
+        user_ids: Sequence[str],
+        building_ids: Sequence[str],
+        group_ids: Sequence[str],
+        user: np.ndarray,
+        building: np.ndarray,
+        group: np.ndarray,
+        arrival: np.ndarray,
+        departure: np.ndarray,
+        realm_bytes: np.ndarray,
+    ) -> None:
+        self.user_ids: List[str] = list(user_ids)
+        self.building_ids: List[str] = list(building_ids)
+        self.group_ids: List[str] = list(group_ids)
+        self.user = np.asarray(user, dtype=np.int64)
+        self.building = np.asarray(building, dtype=np.int64)
+        self.group = np.asarray(group, dtype=np.int64)
+        self.arrival = np.asarray(arrival, dtype=np.float64)
+        self.departure = np.asarray(departure, dtype=np.float64)
+        self.realm_bytes = np.asarray(realm_bytes, dtype=np.float64)
+        n = self.user.shape[0]
+        if not (
+            self.building.shape[0] == self.group.shape[0]
+            == self.arrival.shape[0] == self.departure.shape[0]
+            == self.realm_bytes.shape[0] == n
+        ):
+            raise ValueError("column lengths disagree")
+        if self.realm_bytes.ndim != 2:
+            raise ValueError("realm_bytes must be a 2-d matrix")
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def from_demands(cls, demands: Sequence[DemandSession]) -> "DemandArrays":
+        """Transpose a demand stream into columns."""
+        from repro.trace.apps import N_REALMS
+
+        n = len(demands)
+        user_ids, user_code = _encode_table([d.user_id for d in demands])
+        building_ids, building_code = _encode_table(
+            [d.building_id for d in demands]
+        )
+        group_ids, group_code = _encode_table(
+            [d.group_id for d in demands if d.group_id is not None]
+        )
+        # Encode column-at-a-time: one list comprehension per column
+        # plus a single C-level ``np.array`` conversion beats per-row
+        # scattered stores (``realm_bytes[i] = ...`` pays a numpy
+        # assignment per demand).  This runs on the publish path of
+        # every sharded replay.
+        user = np.array([user_code[d.user_id] for d in demands], dtype=np.int64)
+        building = np.array(
+            [building_code[d.building_id] for d in demands], dtype=np.int64
+        )
+        group = np.array(
+            [
+                -1 if d.group_id is None else group_code[d.group_id]
+                for d in demands
+            ],
+            dtype=np.int64,
+        )
+        arrival = np.array([d.arrival for d in demands], dtype=np.float64)
+        departure = np.array([d.departure for d in demands], dtype=np.float64)
+        if n:
+            realm_bytes = np.array(
+                [d.realm_bytes for d in demands], dtype=np.float64
+            )
+        else:
+            realm_bytes = np.empty((0, N_REALMS), dtype=np.float64)
+        return cls(
+            user_ids, building_ids, group_ids,
+            user, building, group, arrival, departure, realm_bytes,
+        )
+
+    # -------------------------------------------------------------- basic API
+
+    @property
+    def n_rows(self) -> int:
+        """Number of demand rows."""
+        return int(self.user.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"DemandArrays(demands={self.n_rows}, users={len(self.user_ids)}, "
+            f"buildings={len(self.building_ids)})"
+        )
+
+    # ---------------------------------------------------------------- slicing
+
+    def slice_rows(self, rows: RowSelector) -> "DemandArrays":
+        """A row subset sharing this instance's id tables."""
+        return DemandArrays(
+            self.user_ids,
+            self.building_ids,
+            self.group_ids,
+            self.user[rows],
+            self.building[rows],
+            self.group[rows],
+            self.arrival[rows],
+            self.departure[rows],
+            self.realm_bytes[rows],
+        )
+
+    def copy(self) -> "DemandArrays":
+        """An owned deep copy (fresh arrays, no shared buffers).
+
+        The worker attach path slices its rows out of a shared-memory
+        segment and copies them, so the segment can be closed while the
+        demand columns stay alive.  ``ndarray.copy()`` is unconditional —
+        ``ascontiguousarray`` would pass a contiguous view through and
+        leave it dangling once the segment unmaps.
+        """
+        return DemandArrays(
+            list(self.user_ids),
+            list(self.building_ids),
+            list(self.group_ids),
+            self.user.copy(),
+            self.building.copy(),
+            self.group.copy(),
+            self.arrival.copy(),
+            self.departure.copy(),
+            self.realm_bytes.copy(),
+        )
+
+    # --------------------------------------------------------------- decoding
+
+    def to_demands(self) -> List[DemandSession]:
+        """Materialize the rows back into :class:`DemandSession` records.
+
+        This is the worker-side hot path of the shared-memory transport
+        (every shard materializes its row range once per run), so the
+        decode is batched — ``tolist()`` converts each column to plain
+        Python values in one C call — and records are built by direct
+        ``__dict__`` assignment.  Skipping the frozen dataclass
+        ``__init__`` also skips ``__post_init__`` validation, which is
+        sound here: the columns came from records that were validated
+        when they were first constructed.
+        """
+        user_ids = self.user_ids
+        building_ids = self.building_ids
+        group_ids = self.group_ids
+        users = self.user.tolist()
+        buildings = self.building.tolist()
+        groups = self.group.tolist()
+        arrivals = self.arrival.tolist()
+        departures = self.departure.tolist()
+        realms = self.realm_bytes.tolist()
+        new = DemandSession.__new__
+        out: List[DemandSession] = []
+        append = out.append
+        for i in range(self.n_rows):
+            g = groups[i]
+            record = new(DemandSession)
+            record.__dict__.update({
+                "user_id": user_ids[users[i]],
+                "building_id": building_ids[buildings[i]],
+                "arrival": arrivals[i],
+                "departure": departures[i],
+                "realm_bytes": tuple(realms[i]),
+                "group_id": None if g < 0 else group_ids[g],
+            })
+            append(record)
+        return out
+
+
+#: protocol codes used by :class:`FlowArrays` (index == code).
+FLOW_PROTOCOLS: Tuple[str, ...] = ("tcp", "udp")
+
+
+class FlowArrays:
+    """A columnar transpose of a flow log, built for transport.
+
+    String ids (user, endpoint IPs) become ``int64`` codes against sorted
+    tables; ``protocol`` is ``uint8`` against :data:`FLOW_PROTOCOLS`.
+    ``to_flows()`` reproduces the original records field for field.
+    """
+
+    __slots__ = (
+        "user_ids",
+        "src_ips",
+        "dst_ips",
+        "user",
+        "src_ip",
+        "dst_ip",
+        "protocol",
+        "src_port",
+        "dst_port",
+        "start",
+        "end",
+        "bytes_total",
+    )
+
+    def __init__(
+        self,
+        user_ids: Sequence[str],
+        src_ips: Sequence[str],
+        dst_ips: Sequence[str],
+        user: np.ndarray,
+        src_ip: np.ndarray,
+        dst_ip: np.ndarray,
+        protocol: np.ndarray,
+        src_port: np.ndarray,
+        dst_port: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+        bytes_total: np.ndarray,
+    ) -> None:
+        self.user_ids: List[str] = list(user_ids)
+        self.src_ips: List[str] = list(src_ips)
+        self.dst_ips: List[str] = list(dst_ips)
+        self.user = np.asarray(user, dtype=np.int64)
+        self.src_ip = np.asarray(src_ip, dtype=np.int64)
+        self.dst_ip = np.asarray(dst_ip, dtype=np.int64)
+        self.protocol = np.asarray(protocol, dtype=np.uint8)
+        self.src_port = np.asarray(src_port, dtype=np.int64)
+        self.dst_port = np.asarray(dst_port, dtype=np.int64)
+        self.start = np.asarray(start, dtype=np.float64)
+        self.end = np.asarray(end, dtype=np.float64)
+        self.bytes_total = np.asarray(bytes_total, dtype=np.float64)
+        n = self.user.shape[0]
+        columns = (
+            self.src_ip, self.dst_ip, self.protocol, self.src_port,
+            self.dst_port, self.start, self.end, self.bytes_total,
+        )
+        if any(col.shape[0] != n for col in columns):
+            raise ValueError("column lengths disagree")
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def from_flows(cls, flows: Sequence[FlowRecord]) -> "FlowArrays":
+        """Transpose a flow log into columns."""
+        n = len(flows)
+        user_ids, user_code = _encode_table([f.user_id for f in flows])
+        src_ips, src_code = _encode_table([f.src_ip for f in flows])
+        dst_ips, dst_code = _encode_table([f.dst_ip for f in flows])
+        user = np.empty(n, dtype=np.int64)
+        src_ip = np.empty(n, dtype=np.int64)
+        dst_ip = np.empty(n, dtype=np.int64)
+        protocol = np.empty(n, dtype=np.uint8)
+        src_port = np.empty(n, dtype=np.int64)
+        dst_port = np.empty(n, dtype=np.int64)
+        start = np.empty(n, dtype=np.float64)
+        end = np.empty(n, dtype=np.float64)
+        bytes_total = np.empty(n, dtype=np.float64)
+        for i, flow in enumerate(flows):
+            user[i] = user_code[flow.user_id]
+            src_ip[i] = src_code[flow.src_ip]
+            dst_ip[i] = dst_code[flow.dst_ip]
+            protocol[i] = FLOW_PROTOCOLS.index(flow.protocol)
+            src_port[i] = flow.src_port
+            dst_port[i] = flow.dst_port
+            start[i] = flow.start
+            end[i] = flow.end
+            bytes_total[i] = flow.bytes_total
+        return cls(
+            user_ids, src_ips, dst_ips,
+            user, src_ip, dst_ip, protocol, src_port, dst_port,
+            start, end, bytes_total,
+        )
+
+    # -------------------------------------------------------------- basic API
+
+    @property
+    def n_rows(self) -> int:
+        """Number of flow rows."""
+        return int(self.user.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return f"FlowArrays(flows={self.n_rows}, users={len(self.user_ids)})"
+
+    # ---------------------------------------------------------------- slicing
+
+    def slice_rows(self, rows: RowSelector) -> "FlowArrays":
+        """A row subset sharing this instance's id tables."""
+        return FlowArrays(
+            self.user_ids,
+            self.src_ips,
+            self.dst_ips,
+            self.user[rows],
+            self.src_ip[rows],
+            self.dst_ip[rows],
+            self.protocol[rows],
+            self.src_port[rows],
+            self.dst_port[rows],
+            self.start[rows],
+            self.end[rows],
+            self.bytes_total[rows],
+        )
+
+    # --------------------------------------------------------------- decoding
+
+    def to_flows(self) -> List[FlowRecord]:
+        """Materialize the rows back into :class:`FlowRecord` records."""
+        out: List[FlowRecord] = []
+        for i in range(self.n_rows):
+            out.append(
+                FlowRecord(
+                    user_id=self.user_ids[int(self.user[i])],
+                    start=float(self.start[i]),
+                    end=float(self.end[i]),
+                    src_ip=self.src_ips[int(self.src_ip[i])],
+                    dst_ip=self.dst_ips[int(self.dst_ip[i])],
+                    protocol=FLOW_PROTOCOLS[int(self.protocol[i])],
+                    src_port=int(self.src_port[i]),
+                    dst_port=int(self.dst_port[i]),
+                    bytes_total=float(self.bytes_total[i]),
+                )
+            )
+        return out
 
 
 def as_session_arrays(

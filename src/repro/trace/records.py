@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (columnar imports us)
-    from repro.trace.columnar import SessionArrays
+    from repro.trace.columnar import DemandArrays, FlowArrays, SessionArrays
 
 import numpy as np
 
@@ -183,6 +183,8 @@ class TraceBundle:
         self._sessions_by_ap: Optional[Dict[str, List[SessionRecord]]] = None
         self._flows_by_user: Optional[Dict[str, List[FlowRecord]]] = None
         self._columns: Optional["SessionArrays"] = None
+        self._demand_columns: Optional["DemandArrays"] = None
+        self._flow_columns: Optional["FlowArrays"] = None
 
     # ------------------------------------------------------------------ ids
 
@@ -237,6 +239,26 @@ class TraceBundle:
 
             self._columns = SessionArrays.from_sessions(self.sessions)
         return self._columns
+
+    def demand_columns(self) -> "DemandArrays":
+        """The demand stream as cached :class:`~repro.trace.columnar.DemandArrays`.
+
+        This is the transport form the sharded runtime publishes into
+        shared memory; like :meth:`columns` it is built once and shared.
+        """
+        if self._demand_columns is None:
+            from repro.trace.columnar import DemandArrays
+
+            self._demand_columns = DemandArrays.from_demands(self.demands)
+        return self._demand_columns
+
+    def flow_columns(self) -> "FlowArrays":
+        """The flow log as cached :class:`~repro.trace.columnar.FlowArrays`."""
+        if self._flow_columns is None:
+            from repro.trace.columnar import FlowArrays
+
+            self._flow_columns = FlowArrays.from_flows(self.flows)
+        return self._flow_columns
 
     def flows_by_user(self) -> Dict[str, List[FlowRecord]]:
         """user id -> that user's flows (built lazily)."""

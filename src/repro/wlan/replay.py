@@ -65,6 +65,7 @@ from repro.obs.tracer import NULL_SPAN, AnySpan, get_tracer
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.timeline import MINUTE
+from repro.trace.columnar import DemandArrays
 from repro.trace.records import DemandSession, SessionRecord, TraceBundle
 from repro.trace.social import CampusLayout
 from repro.wlan.entities import CampusRuntime, ControllerRuntime
@@ -249,7 +250,7 @@ class ReplayEngine:
 
     def run_window(
         self,
-        demands: Sequence[DemandSession],
+        demands: "Sequence[DemandSession] | DemandArrays",
         window: ReplayWindow,
         controllers: Optional[Sequence[str]] = None,
     ) -> ShardRun:
@@ -262,17 +263,22 @@ class ReplayEngine:
         the shard's controller domain(s).  Unlike :meth:`run`, no outer
         span or perf wrapper is opened — the parent process owns those —
         and the raw :class:`ShardRun` bookkeeping is returned for the
-        deterministic merge.
+        deterministic merge.  ``demands`` may arrive in columnar form
+        (the shared-memory transport hands workers
+        :class:`~repro.trace.columnar.DemandArrays`); the engine
+        materializes the records itself.
         """
         return self._run(demands, window=window, controllers=controllers)
 
     def _run(
         self,
-        demands: Sequence[DemandSession],
+        demands: "Sequence[DemandSession] | DemandArrays",
         span: Optional[AnySpan] = None,
         window: Optional[ReplayWindow] = None,
         controllers: Optional[Sequence[str]] = None,
     ) -> ShardRun:
+        if isinstance(demands, DemandArrays):
+            demands = demands.to_demands()
         demands = sorted(demands, key=lambda d: (d.arrival, d.user_id))
         if not demands and window is None:
             return ShardRun(

@@ -11,6 +11,19 @@ import pytest
 
 from repro.experiments.config import SMALL, TINY
 from repro.experiments.workload import build_workload, trained_model
+from repro.runtime.resilience import shutdown_pools
+
+
+@pytest.fixture(autouse=True)
+def _drain_worker_pools():
+    """Shut cached worker pools down after every test.
+
+    The resilience layer keeps clean pools warm between runs; across
+    *tests* that reuse would leak one test's forked environment
+    (monkeypatched module globals, env vars) into the next.
+    """
+    yield
+    shutdown_pools()
 
 
 @pytest.fixture(scope="session")

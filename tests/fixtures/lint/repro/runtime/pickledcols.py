@@ -1,0 +1,43 @@
+"""Fixture: columnar payloads pickled across a pool in ``repro.runtime``.
+
+The no-pickled-columns rule must flag lines 17, 26, 30 and 35 (a banned
+dataclass field, a constructor argument, a ``.demand_columns()``
+argument, and a local bound to an accessor result) while allowing the
+``ShmSlice`` field and plain small-task hand-offs."""
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.trace.columnar import DemandArrays
+from repro.runtime.shm import ShmSlice
+
+
+@dataclass(frozen=True)
+class BadTask:
+    demands: DemandArrays  # line 17: columnar field rides the task pickle
+
+
+@dataclass(frozen=True)
+class GoodTask:
+    demands: ShmSlice
+
+
+def bad_submit_constructor(pool: Any, sessions: Any) -> None:
+    pool.submit(run, DemandArrays.from_demands(sessions))  # line 26
+
+
+def bad_submit_accessor(pool: Any, bundle: Any) -> None:
+    pool.submit(run, bundle.demand_columns())  # line 30
+
+
+def bad_submit_local(pool: Any, bundle: Any) -> None:
+    columns = bundle.columns()
+    pool.submit(run, columns)  # line 35: name bound from an accessor
+
+
+def good_submit_handle(pool: Any, task: GoodTask) -> None:
+    pool.submit(run, task)
+
+
+def run(payload: Any) -> None:
+    del payload

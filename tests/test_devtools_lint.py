@@ -38,6 +38,7 @@ EXPECTED_RULES = {
     "fault-determinism",
     "fork-safe-rng",
     "mutable-default",
+    "no-pickled-columns",
     "no-unseeded-rng",
     "no-wallclock",
     "ordered-iteration",
@@ -133,6 +134,19 @@ def test_fork_safe_rng_fixture_scoped_by_module_name():
     # the same code outside repro.runtime is not flagged
     relaxed = lint_module(parse_module(path, module="repro.wlan.forkrng"))
     assert lines_by_rule(relaxed, "fork-safe-rng") == []
+
+
+def test_no_pickled_columns_fixture_scoped_by_module_name():
+    path = FIXTURES / "repro" / "runtime" / "pickledcols.py"
+    assert module_name_for(path) == "repro.runtime.pickledcols"
+    findings = lint_module(parse_module(path))
+    assert lines_by_rule(findings, "no-pickled-columns") == [17, 26, 30, 35]
+    messages = "\n".join(f.message for f in findings)
+    assert "repro.trace.columnar.DemandArrays" in messages
+    assert "demand_columns" in messages
+    # the same code outside repro.runtime is not flagged
+    relaxed = lint_module(parse_module(path, module="repro.wlan.pickledcols"))
+    assert lines_by_rule(relaxed, "no-pickled-columns") == []
 
 
 def test_fault_determinism_fixture_scoped_by_module_name():

@@ -55,17 +55,17 @@ def _square_task(x: int, name: str, fail_first: bool = False) -> int:
 
 def _failing_shard_body(task):
     """Replay-shard body that dies (once per pool) on one chosen shard."""
-    _mark(task.shard.controller_id)
-    if task.shard.controller_id == os.environ[_FAIL_SHARD]:
-        raise RuntimeError(f"injected failure in {task.shard.shard_id}")
+    _mark(task.controller_id)
+    if task.controller_id == os.environ[_FAIL_SHARD]:
+        raise RuntimeError(f"injected failure in {task.shard_id}")
     return run_replay_shard(task)
 
 
 def _fail_once_shard_body(task):
     """Replay-shard body that raises only on the chosen shard's first try."""
-    count = _mark(task.shard.controller_id)
-    if task.shard.controller_id == os.environ[_FAIL_SHARD] and count == 1:
-        raise RuntimeError(f"injected failure in {task.shard.shard_id}")
+    count = _mark(task.controller_id)
+    if task.controller_id == os.environ[_FAIL_SHARD] and count == 1:
+        raise RuntimeError(f"injected failure in {task.shard_id}")
     return run_replay_shard(task)
 
 

@@ -64,6 +64,45 @@ def test_fingerprint_stable_and_shape_sensitive(small_workload):
     assert plan.fingerprint().startswith(f"shards:{len(plan.shards)}:")
 
 
+def test_worker_groups_partition_contiguously(small_workload):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    plan = plan_replay_shards(layout, demands, small_workload.config.replay)
+    for n in range(1, len(plan.shards) + 2):
+        groups = plan.worker_groups(n)
+        assert 1 <= len(groups) <= min(n, len(plan.shards))
+        # contiguous in plan order, covering every shard exactly once
+        flattened = [shard for group in groups for shard in group]
+        assert flattened == list(plan.shards)
+        assert all(group for group in groups)
+    # the degenerate bounds
+    assert plan.worker_groups(0) == [plan.shards]
+    assert plan.worker_groups(1) == [plan.shards]
+    many = plan.worker_groups(len(plan.shards))
+    assert [g for g in many] == [(s,) for s in plan.shards]
+
+
+def test_worker_groups_balance_by_demand_count(small_workload):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    plan = plan_replay_shards(layout, demands, small_workload.config.replay)
+    groups = plan.worker_groups(2)
+    assert len(groups) == 2
+    counts = [sum(len(s.demands) for s in group) for group in groups]
+    # a contiguous split cannot always be even, but neither side may be
+    # starved while a single-shard move could improve the balance: the
+    # first group stops at its fair share of the rows
+    assert sum(counts) == plan.n_demands
+    first_without_last = counts[0] - len(groups[0][-1].demands)
+    assert first_without_last * 2 < plan.n_demands
+    # ... and it only stops short of the fair share when forced to leave
+    # one shard for the second group
+    assert (
+        counts[0] * 2 >= plan.n_demands
+        or len(groups[0]) == len(plan.shards) - 1
+    )
+
+
 def test_empty_demand_stream_is_rejected(small_workload):
     layout = small_workload.world.layout
     with pytest.raises(ValueError, match="empty demand stream"):
