@@ -17,7 +17,7 @@ export PYTHONPATH
 failed=0
 
 echo "== repro.devtools.lint =="
-python -m repro.devtools.lint src || failed=1
+python -m repro.devtools.lint src benchmarks examples scripts || failed=1
 
 if python -c "import mypy" 2>/dev/null; then
     echo "== mypy --strict =="

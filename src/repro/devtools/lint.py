@@ -49,11 +49,15 @@ def lint_module(
 ) -> List[Finding]:
     """Run module-level checks (suppression-filtered) on one parsed file."""
     rules = rules if rules is not None else all_rules()
-    findings: List[Finding] = []
+    raw: List[Finding] = []
     for rule in rules:
-        findings.extend(rule.check_module(module))
-    filtered = apply_suppressions(findings, module.suppressions)
-    return sorted(filtered, key=lambda f: f.sort_key)
+        raw.extend(rule.check_module(module))
+    findings = list(apply_suppressions(raw, module.suppressions))
+    for rule in rules:
+        # Suppression audits (stale-noqa) see the raw findings and are
+        # not themselves suppressible.
+        findings.extend(rule.check_suppressions(module, raw))
+    return sorted(findings, key=lambda f: f.sort_key)
 
 
 def lint_paths(
@@ -101,6 +105,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--list-rules", action="store_true", help="print the rule suite and exit"
     )
     parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="with --list-rules, emit a markdown table (docs are generated "
+        "from this)",
+    )
+    parser.add_argument(
         "--no-project",
         action="store_true",
         help="skip cross-file checks (parity-registry staleness)",
@@ -109,9 +119,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     rules = all_rules()
     if options.list_rules:
-        width = max(len(rule.id) for rule in rules)
-        for rule in rules:
-            print(f"{rule.id.ljust(width)}  {rule.description}")
+        if options.markdown:
+            print("| rule | invariant |")
+            print("| --- | --- |")
+            for rule in rules:
+                print(f"| `{rule.id}` | {rule.description} |")
+        else:
+            width = max(len(rule.id) for rule in rules)
+            for rule in rules:
+                print(f"{rule.id.ljust(width)}  {rule.description}")
         return 0
 
     paths = [Path(p) for p in options.paths]

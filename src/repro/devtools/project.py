@@ -14,9 +14,12 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from repro.devtools.suppress import SuppressionMap, suppression_map
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (flow imports us)
+    from repro.devtools.flow import FlowAnalysis
 
 
 @dataclass
@@ -48,6 +51,10 @@ class Project:
     src_root: Path
     tests_root: Path
     modules: List[LintModule] = field(default_factory=list)
+    #: Lazily-built whole-program analysis (see :mod:`repro.devtools.flow`);
+    #: populated by :func:`repro.devtools.flow.universe` so the flow rules
+    #: share one symbol/call index per lint invocation.
+    flow: Optional["FlowAnalysis"] = field(default=None, repr=False)
 
 
 def default_repo_root() -> Path:

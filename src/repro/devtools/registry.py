@@ -8,7 +8,7 @@ reduced suites by instantiating rule classes directly.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Type, TypeVar
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Type, TypeVar
 
 from repro.devtools.findings import Finding
 
@@ -35,6 +35,18 @@ class Rule:
 
     def check_project(self, project: "Project") -> Iterator[Finding]:
         """Yield findings for cross-file invariants."""
+        return iter(())
+
+    def check_suppressions(
+        self, module: "LintModule", findings: Sequence[Finding]
+    ) -> Iterator[Finding]:
+        """Yield findings about the module's suppression comments.
+
+        ``findings`` are the *raw* (pre-suppression) module-check
+        findings, so a rule can judge whether each ``# repro: noqa``
+        actually silences something.  Findings yielded here bypass
+        suppression filtering — a stale noqa cannot excuse itself.
+        """
         return iter(())
 
 

@@ -36,18 +36,44 @@ no-pickled-columns code under ``repro.runtime`` may not pickle
                    ``TraceBundle`` across a process pool — columnar
                    payloads travel through ``repro.runtime.shm``
 ================== ====================================================
+
+Whole-program (flow) rules — these build the shared import/symbol/call
+index from :mod:`repro.devtools.flow` and check cross-module invariants
+no single file can witness:
+
+=================== ===================================================
+rule id             invariant
+=================== ===================================================
+rng-stream-registry every ``RandomStreams.get/child`` name (and every
+                    seeded ``default_rng`` fallback site) matches
+                    :mod:`repro.devtools.stream_registry`, checked
+                    against call sites in **both** directions
+import-contract     package imports follow the layering table in
+                    :mod:`repro.devtools.rules.import_contract`;
+                    private modules stay package-internal; no
+                    top-level import cycles
+boundary-purity     code reachable from the worker boundary must not
+                    read ``os.environ``, mutate module-level state, or
+                    draw hidden-global RNG
+stale-noqa          a ``# repro: noqa[...]`` that suppresses no current
+                    finding is itself a finding
+=================== ===================================================
 """
 
 from __future__ import annotations
 
 from repro.devtools.rules import (  # noqa: F401  (registration side effects)
     basics,
+    boundary_purity,
     cache_invalidation,
     engine_parity,
     fault_determinism,
     fork_safe_rng,
+    import_contract,
     no_pickled_columns,
     ordered_iteration,
     rng,
+    rng_streams,
+    stale_noqa,
     wallclock,
 )

@@ -1,0 +1,257 @@
+"""import-contract: the layering table, private modules, and cycles.
+
+The package layering that keeps the reproduction auditable is implicit
+in the code; this rule makes it an explicit, machine-checked table.
+Three invariants over the whole-program import graph
+(:mod:`repro.devtools.flow`):
+
+* **layering** — each ``repro.*`` package may import only the packages
+  listed for it in :data:`ALLOWED_IMPORTS` (plus itself and non-repro
+  modules).  The generative core (``sim``/``trace``/``graph``) must
+  never depend on the execution layers (``wlan``/``runtime``/
+  ``prototype``); module-level waivers live in :data:`EXCEPTIONS`;
+* **private modules** — a module with a leading-underscore component
+  (e.g. ``repro.obs._clock``) may be imported only from inside its
+  parent package: the wall-clock funnel stays a funnel;
+* **cycles** — no cycle among *top-level* imports (``TYPE_CHECKING``
+  blocks excluded).  Function-body imports are the sanctioned lazy
+  cycle-breaker (``runtime`` <-> ``experiments``) and are exempt from
+  the cycle check, though still subject to layering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.flow import FlowAnalysis, ImportEdge, universe
+from repro.devtools.project import Project
+from repro.devtools.registry import Rule, register
+
+#: package (the component after ``repro.``) -> packages it may import.
+#: Importing within your own package and importing non-repro modules is
+#: always allowed; everything else must be listed here.
+ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
+    "perf": frozenset(),
+    "graph": frozenset(),
+    "cluster": frozenset(),
+    "obs": frozenset({"perf"}),
+    "sim": frozenset({"obs", "perf"}),
+    "trace": frozenset({"obs", "perf", "sim"}),
+    "faults": frozenset({"perf", "sim", "trace"}),
+    "analysis": frozenset({"obs", "perf", "sim", "trace"}),
+    "core": frozenset(
+        {"analysis", "cluster", "graph", "obs", "perf", "sim", "trace"}
+    ),
+    "wlan": frozenset(
+        {"analysis", "core", "faults", "obs", "perf", "sim", "trace"}
+    ),
+    "runtime": frozenset(
+        {"experiments", "faults", "obs", "perf", "sim", "trace", "wlan"}
+    ),
+    "experiments": frozenset(
+        {
+            "analysis",
+            "cluster",
+            "core",
+            "faults",
+            "graph",
+            "obs",
+            "perf",
+            "runtime",
+            "sim",
+            "trace",
+            "wlan",
+        }
+    ),
+    "prototype": frozenset(
+        {"analysis", "core", "faults", "obs", "perf", "sim", "trace", "wlan"}
+    ),
+    "cli": frozenset(
+        {
+            "analysis",
+            "core",
+            "experiments",
+            "obs",
+            "perf",
+            "sim",
+            "trace",
+            "wlan",
+        }
+    ),
+    "devtools": frozenset({"obs"}),
+    "__main__": frozenset({"cli"}),
+}
+
+#: Module-level waivers: (importer module, imported module).  Each one
+#: is a deliberate, documented hole in the layering table.
+EXCEPTIONS: FrozenSet[Tuple[str, str]] = frozenset(
+    {
+        # The online-learning pipeline wraps a wlan strategy; the waiver
+        # keeps the rest of core honest about not knowing the simulator.
+        ("repro.core.online", "repro.wlan.strategies"),
+    }
+)
+
+
+def _package_of(module_name: str) -> str:
+    """The layer component after ``repro.`` (``""`` for the root)."""
+    parts = module_name.split(".")
+    return parts[1] if len(parts) > 1 else ""
+
+
+def _private_parent(module_name: str) -> str:
+    """Parent package of the first private component, or ``""``."""
+    parts = module_name.split(".")
+    for index, part in enumerate(parts[1:], start=1):
+        if part.startswith("_") and not (
+            part.startswith("__") and part.endswith("__")
+        ):
+            return ".".join(parts[:index])
+    return ""
+
+
+@register
+class ImportContract(Rule):
+    """Keep the package layering explicit and cycle-free."""
+
+    id = "import-contract"
+    description = (
+        "repro.* imports must follow the layering table in "
+        "repro/devtools/rules/import_contract.py; private modules stay "
+        "package-internal; no top-level import cycles"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        flow = universe(project)
+        linted = {m.module for m in project.modules}
+        for edge in flow.import_edges:
+            if edge.importer not in linted:
+                continue
+            yield from self._check_edge(flow, edge)
+        yield from self._check_cycles(flow)
+
+    # -------------------------------------------------------------- layering
+
+    def _check_edge(
+        self, flow: FlowAnalysis, edge: ImportEdge
+    ) -> Iterator[Finding]:
+        importer, imported = edge.importer, edge.imported
+        if not importer.startswith("repro.") or not imported.startswith(
+            "repro"
+        ):
+            return
+        if imported == "repro" or importer == imported:
+            return
+        if (importer, imported) in EXCEPTIONS:
+            return
+        src_pkg = _package_of(importer)
+        dst_pkg = _package_of(imported)
+        module = flow.modules.get(importer)
+        if module is None:
+            return
+        if src_pkg != dst_pkg:
+            allowed = ALLOWED_IMPORTS.get(src_pkg)
+            if allowed is not None and dst_pkg not in allowed:
+                yield Finding(
+                    path=module.display_path,
+                    line=edge.lineno,
+                    column=edge.column,
+                    rule=self.id,
+                    message=(
+                        f"layer {src_pkg!r} may not import {imported} "
+                        f"(layer {dst_pkg!r} is not in its contract)"
+                    ),
+                    hint=(
+                        "invert the dependency, or extend ALLOWED_IMPORTS/"
+                        "EXCEPTIONS in repro/devtools/rules/import_contract.py"
+                    ),
+                )
+        parent = _private_parent(imported)
+        if parent and not (
+            importer == parent or importer.startswith(parent + ".")
+        ):
+            yield Finding(
+                path=module.display_path,
+                line=edge.lineno,
+                column=edge.column,
+                rule=self.id,
+                message=(
+                    f"{imported} is private to {parent}; only {parent}.* "
+                    "may import it"
+                ),
+                hint=f"go through {parent}'s public API instead",
+            )
+
+    # ---------------------------------------------------------------- cycles
+
+    def _check_cycles(self, flow: FlowAnalysis) -> Iterator[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for edge in flow.import_edges:
+            if not edge.top_level or edge.type_only:
+                continue
+            if not edge.importer.startswith("repro"):
+                continue
+            if edge.imported not in flow.modules:
+                continue
+            if edge.imported == edge.importer:
+                continue
+            graph.setdefault(edge.importer, set()).add(edge.imported)
+        for cycle in _strongly_connected(graph):
+            anchor = flow.modules.get(cycle[0])
+            yield Finding(
+                path=(
+                    anchor.display_path
+                    if anchor is not None
+                    else "src/repro/devtools/rules/import_contract.py"
+                ),
+                line=1,
+                column=0,
+                rule=self.id,
+                message=(
+                    "top-level import cycle: " + " -> ".join(cycle + [cycle[0]])
+                ),
+                hint=(
+                    "break the cycle with a function-body (lazy) import on "
+                    "one edge"
+                ),
+            )
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """SCCs of size > 1, each sorted, in deterministic order (Tarjan)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def visit(node: str) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for successor in sorted(graph.get(node, ())):
+            if successor not in index:
+                visit(successor)
+                lowlink[node] = min(lowlink[node], lowlink[successor])
+            elif successor in on_stack:
+                lowlink[node] = min(lowlink[node], index[successor])
+        if lowlink[node] == index[node]:
+            component: List[str] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1:
+                cycles.append(sorted(component))
+
+    # Iterative depth is fine here: the graph is ~100 nodes and visit
+    # recursion depth is bounded by the longest import chain.
+    for node in sorted(graph):
+        if node not in index:
+            visit(node)
+    return sorted(cycles)

@@ -1,0 +1,71 @@
+"""stale-noqa: every suppression must still be earning its keep.
+
+A ``# repro: noqa[rule]`` is a standing exemption from an invariant; once
+the offending code is fixed or deleted, the comment outlives its reason
+and silently licenses a *future* violation on that line.  This rule runs
+against the raw (pre-suppression) findings of each module: a bare noqa
+that suppresses nothing, or a named rule id with no matching finding on
+its line, is itself a finding.  Stale-noqa findings bypass suppression —
+a noqa cannot excuse itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Set
+
+from repro.devtools.findings import Finding
+from repro.devtools.project import LintModule
+from repro.devtools.registry import Rule, register
+from repro.devtools.suppress import suppression_comments
+
+
+@register
+class StaleNoqa(Rule):
+    """Flag ``# repro: noqa`` comments that suppress no finding."""
+
+    id = "stale-noqa"
+    description = (
+        "a `# repro: noqa[...]` must suppress at least one current "
+        "finding on its line; stale suppressions are findings themselves"
+    )
+
+    def check_suppressions(
+        self, module: LintModule, findings: Sequence[Finding]
+    ) -> Iterator[Finding]:
+        by_line: Dict[int, Set[str]] = {}
+        for finding in findings:
+            by_line.setdefault(finding.line, set()).add(finding.rule)
+        for comment in suppression_comments(module.source):
+            rules_here = by_line.get(comment.line, set())
+            if not comment.rules:
+                if not rules_here:
+                    yield self._finding(
+                        module,
+                        comment.line,
+                        comment.column,
+                        "bare `# repro: noqa` suppresses no finding on "
+                        "this line",
+                    )
+                continue
+            stale = [r for r in comment.rules if r not in rules_here]
+            if stale:
+                yield self._finding(
+                    module,
+                    comment.line,
+                    comment.column,
+                    f"`# repro: noqa[{', '.join(stale)}]` suppresses no "
+                    f"{'finding' if len(stale) == 1 else 'findings'} on "
+                    "this line",
+                )
+
+    def _finding(
+        self, module: LintModule, line: int, column: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.display_path,
+            line=line,
+            column=column,
+            rule=self.id,
+            message=message,
+            hint="delete the suppression (or narrow it to rules that fire)",
+        )

@@ -2,20 +2,26 @@
 
 A finding is suppressed when the physical line it points at carries a
 suppression comment naming its rule (or naming no rule, which suppresses
-every rule on that line):
+every rule on that line)::
 
     t = time.time()          # repro: noqa[no-wallclock]
     for u in set(users):     # repro: noqa[ordered-iteration,no-wallclock]
     x = legacy_call()        # repro: noqa
 
 Suppressions are deliberately per-line (no file- or block-scoped form):
-every exemption stays visible next to the code it excuses.
+every exemption stays visible next to the code it excuses.  Comments are
+found with :mod:`tokenize`, so the marker inside a string literal (like
+the examples above) is *not* a suppression — which also lets the
+``stale-noqa`` rule treat every real comment as a claim to be checked.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from typing import Dict, FrozenSet, Iterable, Optional
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.devtools.findings import Finding
 
@@ -26,25 +32,71 @@ _NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\- ]+)\])?")
 SuppressionMap = Dict[int, FrozenSet[str]]
 
 
-def suppression_map(source: str) -> SuppressionMap:
-    """Scan ``source`` for per-line suppression comments.
+@dataclass(frozen=True)
+class NoqaComment:
+    """One suppression comment, located precisely.
 
-    A plain string scan (rather than :mod:`tokenize`) is enough here: a
-    false positive requires the literal marker inside a string on a line
-    that also triggers a rule, which the fixture suite would catch.
+    ``rules`` is empty for the bare ``# repro: noqa`` form (suppress
+    every rule on the line).
     """
-    table: SuppressionMap = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _NOQA.search(text)
-        if match is None:
-            continue
-        rules = match.group(1)
-        if rules is None:
-            table[lineno] = frozenset()
-        else:
-            table[lineno] = frozenset(
-                name.strip() for name in rules.split(",") if name.strip()
+
+    line: int
+    column: int
+    rules: Tuple[str, ...]
+
+
+def suppression_comments(source: str) -> List[NoqaComment]:
+    """Every real suppression comment in ``source``, in line order.
+
+    Tokenizing (rather than a string scan) pins each suppression to an
+    actual ``COMMENT`` token — the marker inside a string literal or
+    docstring does not count.  Comments on a continuation line apply to
+    that physical line, same as before.
+    """
+    comments: List[NoqaComment] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            # Anchored at the start of the comment token: a comment that
+            # merely *mentions* the marker mid-text is not a suppression.
+            match = _NOQA.match(token.string)
+            if match is None:
+                continue
+            rules = match.group(1)
+            names: Tuple[str, ...] = (
+                tuple(
+                    name.strip() for name in rules.split(",") if name.strip()
+                )
+                if rules is not None
+                else ()
             )
+            comments.append(
+                NoqaComment(
+                    line=token.start[0],
+                    column=token.start[1] + match.start(),
+                    rules=names,
+                )
+            )
+    except (tokenize.TokenError, IndentationError):
+        # Unparseable tails never reach the rules either (parse_module
+        # has already ast.parse()d the file); fail open.
+        pass
+    return comments
+
+
+def suppression_map(source: str) -> SuppressionMap:
+    """Per-line suppression table derived from the real comments."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for comment in suppression_comments(source):
+        existing = table.get(comment.line)
+        if comment.rules and existing is None:
+            table[comment.line] = frozenset(comment.rules)
+        elif comment.rules and existing:
+            table[comment.line] = existing | frozenset(comment.rules)
+        else:
+            # A bare noqa (or one merged with a bare one) blankets the line.
+            table[comment.line] = frozenset()
     return table
 
 

@@ -15,9 +15,34 @@ properties a single shared generator cannot:
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
+
+#: Optional introspection hook: called with ``(kind, name)`` on every
+#: first materialization of a stream (``"get"``) and every sub-factory
+#: derivation (``"child"``).  Used by the devtools to cross-check the
+#: static stream registry against the names a run actually derives;
+#: ``None`` (the default) costs one ``is None`` test per derivation.
+_OBSERVER: Optional[Callable[[str, str], None]] = None
+
+
+@contextmanager
+def observe_streams(callback: Callable[[str, str], None]) -> Iterator[None]:
+    """Report every stream derivation to ``callback`` while active.
+
+    ``callback(kind, name)`` fires on first ``get(name)`` per factory and
+    on every ``child(name)``.  Observation is process-global and not
+    reentrant — it is a devtools/testing hook, not a runtime feature.
+    """
+    global _OBSERVER
+    previous = _OBSERVER
+    _OBSERVER = callback
+    try:
+        yield
+    finally:
+        _OBSERVER = previous
 
 
 class RandomStreams:
@@ -49,10 +74,16 @@ class RandomStreams:
         versions (unlike ``hash``, which is salted).
         """
         if name not in self._streams:
+            if _OBSERVER is not None:
+                _OBSERVER("get", name)
             tag = zlib.crc32(name.encode("utf-8"))
             sequence = np.random.SeedSequence(entropy=self._seed, spawn_key=(tag,))
             self._streams[name] = np.random.Generator(np.random.PCG64(sequence))
         return self._streams[name]
+
+    def stream_names(self) -> List[str]:
+        """The names materialized so far on this factory, sorted."""
+        return sorted(self._streams)
 
     def child(self, name: str) -> "RandomStreams":
         """Derive a whole sub-factory, e.g. one per simulated building.
@@ -66,6 +97,8 @@ class RandomStreams:
         never the root factory itself (enforced by the ``fork-safe-rng``
         lint rule).
         """
+        if _OBSERVER is not None:
+            _OBSERVER("child", name)
         tag = zlib.crc32(name.encode("utf-8"))
         return RandomStreams(seed=(self._seed * 1_000_003 + tag) % (2**63))
 

@@ -1,0 +1,30 @@
+"""Fixture: a leaky task callable reachable from the worker boundary.
+
+Parsed (never imported) as ``repro.runtime.boundary``.  ``leaky_task``
+becomes a boundary entry because it is passed as the ``runner`` to
+``run_pool_with_retries``; everything it touches is ambient state.
+"""
+
+import os
+from typing import Callable, Dict, List
+
+from repro.runtime.resilience import run_pool_with_retries
+
+_SEEN: Dict[str, int] = {}
+_TOTAL = 0
+
+
+def _bump() -> int:
+    # `global` in worker-reachable code diverges between engines.
+    global _TOTAL
+    _TOTAL += 1
+    return _TOTAL
+
+
+def leaky_task(task: object) -> str:
+    _SEEN[str(task)] = _bump()  # module-level container mutation
+    return os.environ.get("REPRO_MODE", "unset")  # ambient environment
+
+
+def run_all(tasks: List[object], on_result: Callable[[str], None]) -> None:
+    run_pool_with_retries(tasks, leaky_task, str, on_result)

@@ -1,0 +1,1 @@
+"""Fixture package shadowing the ``repro.trace`` module namespace."""

@@ -1,0 +1,27 @@
+"""Fixture: import-contract violations from inside the trace layer.
+
+Parsed (never imported) as ``repro.trace.contract``.  The imports are
+lazy so the file stays importable in principle; layering applies to lazy
+imports too — only the *cycle* check exempts them.
+"""
+
+
+def leak_into_wlan() -> object:
+    # trace must not depend on the execution layer.
+    from repro.wlan import replay
+
+    return replay
+
+
+def peek_private_clock() -> object:
+    # repro.obs._clock is private to repro.obs.
+    from repro.obs import _clock
+
+    return _clock
+
+
+def touch_runtime() -> object:
+    # trace must not depend on the process engine either.
+    import repro.runtime.workers as workers
+
+    return workers

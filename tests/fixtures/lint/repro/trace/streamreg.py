@@ -1,0 +1,53 @@
+"""Fixture: stream derivations that violate the stream registry.
+
+Parsed (never imported) by the flow-rule tests with the module name
+``repro.trace.streamreg``; every ``streams.get/child`` call here is a
+deliberate rng-stream-registry violation except the last two.
+"""
+
+from typing import Dict
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+def unregistered_literal(streams: RandomStreams) -> np.random.Generator:
+    # "rogue" matches no StreamEntry at all.
+    return streams.get("rogue")
+
+
+def owner_mismatch(streams: RandomStreams) -> RandomStreams:
+    # "faults" is registered, but owned by repro.faults.schedule.
+    return streams.child("faults")
+
+
+def unregistered_prefix(streams: RandomStreams, day: int) -> np.random.Generator:
+    # f-string whose leading literal matches no registered prefix family.
+    return streams.get(f"rogue-{day}")
+
+
+def owner_mismatch_prefix(streams: RandomStreams, day: int) -> np.random.Generator:
+    # "day-" is a registered family, but owned by repro.trace.generator.
+    return streams.get(f"day-{day}")
+
+
+def _make_name(day: int) -> str:
+    return f"rogue-{day}"
+
+
+def unregistered_deriver(streams: RandomStreams, day: int) -> np.random.Generator:
+    # the name is computed by a function that is not a registered deriver.
+    return streams.get(_make_name(day))
+
+
+def local_literal_is_propagated(streams: RandomStreams) -> np.random.Generator:
+    # constant propagation resolves the single local binding; "world" is
+    # owned by repro.trace.social, so this fires as an owner mismatch.
+    name = "world"
+    return streams.get(name)
+
+
+def dict_get_is_not_a_derivation(table: Dict[str, int]) -> int:
+    # `.get` on a non-RandomStreams receiver must not be flagged.
+    return table.get("rogue", 0)

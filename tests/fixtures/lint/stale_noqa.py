@@ -1,0 +1,21 @@
+"""Fixture: suppression comments that no longer suppress anything."""
+
+import time
+
+
+def fresh() -> float:
+    # a live suppression: no-wallclock really fires on this line
+    return time.time()  # repro: noqa[no-wallclock]
+
+
+def stale_named() -> int:
+    return 1  # repro: noqa[no-wallclock]
+
+
+def stale_bare() -> int:
+    return 2  # repro: noqa
+
+
+def half_stale() -> float:
+    # one named rule fires, the other does not
+    return time.time()  # repro: noqa[no-wallclock,bare-except]

@@ -6,8 +6,8 @@ import random  # repro: noqa[no-unseeded-rng]
 
 def stamp():
     started = time.time()  # repro: noqa[no-wallclock]
-    jitter = random.random()  # repro: noqa
-    return started, jitter
+    jitter = time.monotonic()  # repro: noqa
+    return started, jitter, random.seed
 
 
 def wrong_rule():

@@ -33,15 +33,19 @@ FIXTURES = REPO / "tests" / "fixtures" / "lint"
 
 EXPECTED_RULES = {
     "bare-except",
+    "boundary-purity",
     "cache-invalidation",
     "engine-parity",
     "fault-determinism",
     "fork-safe-rng",
+    "import-contract",
     "mutable-default",
     "no-pickled-columns",
     "no-unseeded-rng",
     "no-wallclock",
     "ordered-iteration",
+    "rng-stream-registry",
+    "stale-noqa",
 }
 
 
@@ -179,8 +183,71 @@ def test_clean_fixture_has_no_findings():
 def test_suppressions_silence_matching_rules_only():
     findings = findings_for("suppressed.py")
     # lines 3 (import time is not a call), 8, 9 suppressed; 15 names the
-    # wrong rule so the wallclock finding survives
-    assert [(f.line, f.rule) for f in findings] == [(15, "no-wallclock")]
+    # wrong rule so the wallclock finding survives — and the suppression
+    # that silenced nothing is itself a stale-noqa finding
+    assert [(f.line, f.rule) for f in findings] == [
+        (15, "no-wallclock"),
+        (15, "stale-noqa"),
+    ]
+
+
+def test_multi_rule_noqa_suppresses_each_named_rule(tmp_path):
+    bad = tmp_path / "multi.py"
+    bad.write_text(
+        "import time\n"
+        "def f(xs=[]): return time.time()"
+        "  # repro: noqa[mutable-default,no-wallclock]\n"
+    )
+    # both named rules fire on line 2 and both are suppressed; the
+    # comment is therefore live, so no stale-noqa either
+    assert lint_module(parse_module(bad)) == []
+    # narrowing to one rule leaves the other finding standing
+    bad.write_text(
+        "import time\n"
+        "def f(xs=[]): return time.time()  # repro: noqa[mutable-default]\n"
+    )
+    findings = lint_module(parse_module(bad))
+    assert [(f.line, f.rule) for f in findings] == [(2, "no-wallclock")]
+
+
+def test_noqa_on_continuation_line_suppresses_that_physical_line(tmp_path):
+    bad = tmp_path / "continued.py"
+    bad.write_text(
+        "import time\n"
+        "x = (\n"
+        "    time.time()  # repro: noqa[no-wallclock]\n"
+        ")\n"
+    )
+    # the finding anchors to line 3, where the comment also lives
+    assert lint_module(parse_module(bad)) == []
+
+
+def test_noqa_inside_a_string_literal_is_not_a_suppression(tmp_path):
+    from repro.devtools.suppress import suppression_comments, suppression_map
+
+    source = 'MARKER = "x  # repro: noqa[no-wallclock]"\n'
+    assert suppression_comments(source) == []
+    assert suppression_map(source) == {}
+    # ... and therefore it cannot be stale either
+    bad = tmp_path / "stringed.py"
+    bad.write_text(source)
+    assert lint_module(parse_module(bad)) == []
+
+
+def test_suppression_comments_report_rules_and_position():
+    from repro.devtools.suppress import suppression_comments
+
+    source = (
+        "a = 1  # repro: noqa[rule-one, rule-two]\n"
+        "b = 2  # repro: noqa\n"
+        "c = 3  # unrelated comment\n"
+    )
+    comments = suppression_comments(source)
+    assert [(c.line, c.rules) for c in comments] == [
+        (1, ("rule-one", "rule-two")),
+        (2, ()),
+    ]
+    assert all(c.column == 7 for c in comments)
 
 
 # ------------------------------------------------------------------ engine

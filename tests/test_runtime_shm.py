@@ -236,6 +236,44 @@ def test_reap_orphans_collects_dead_creators_only(caplog):
             assert attached.to_demands() == _demands()
 
 
+def test_reap_orphans_mixed_live_and_orphaned_population():
+    # several orphans (distinct dead creator pids) among several live
+    # segments: one reap sweep collects exactly the orphans
+    probes = []
+    for _ in range(2):
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        probes.append(probe)
+    orphans = [
+        f"repro-shm-{probe.pid}-{index}"
+        for index, probe in enumerate(probes)
+    ]
+    for name in orphans:
+        Path("/dev/shm", name).write_bytes(b"\x00")
+    with SegmentSet() as segments:
+        live_demands = segments.publish_demands(
+            DemandArrays.from_demands(_demands())
+        )
+        live_sessions = segments.publish_sessions(
+            SessionArrays.from_sessions(_sessions())
+        )
+        reaped = reap_orphans()
+        assert set(orphans) <= set(reaped)
+        remaining = list_segments()
+        for name in orphans:
+            assert name not in remaining
+        assert live_demands.segment in remaining
+        assert live_sessions.segment in remaining
+        # both live families still attach and round-trip after the sweep
+        with attach_demands(live_demands) as attached:
+            assert attached.to_demands() == _demands()
+        expected = SessionArrays.from_sessions(_sessions())
+        with attach_sessions(live_sessions) as attached:
+            assert np.array_equal(attached.connect, expected.connect)
+    assert live_demands.segment not in list_segments()
+    assert live_sessions.segment not in list_segments()
+
+
 # -------------------------------------------------- engine-level lifecycle
 
 
