@@ -12,9 +12,11 @@ pays generation and training once.
 
 Besides the human-readable ``out/<name>.txt`` report, every bench writes a
 machine-readable ``out/<name>.json`` companion — benchmark name, seed,
-pytest-benchmark timings (``null`` under ``--benchmark-disable``) and the
-bench's key metrics — so CI can archive and diff reproduction results
-across commits.
+pytest-benchmark timings (``null`` under ``--benchmark-disable``), the
+process tree's peak RSS, and the bench's key metrics — so CI can archive
+and diff reproduction results across commits, and
+``scripts/bench_check.py`` can gate timing regressions against the
+committed baselines in ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Any, Dict, Optional
 
 import pytest
 
+from repro import perf
 from repro.experiments.config import PAPER
 from repro.experiments.workload import build_workload, trained_model
 
@@ -75,6 +78,10 @@ def report_writer():
             "name": name,
             "seed": PAPER.seed,
             "timings": _timings(benchmark) if benchmark is not None else None,
+            # Peak RSS of the whole process tree at write time: a bench
+            # that trades wall-clock for duplicated memory shows up in
+            # every companion JSON, not just the runtime bench's.
+            "peak_rss_bytes": perf.peak_rss_bytes(),
             "metrics": dict(metrics or {}),
         }
         (OUT_DIR / f"{name}.json").write_text(

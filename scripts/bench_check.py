@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Gate benchmark timings against the committed baselines.
+
+Every bench under ``benchmarks/`` writes a machine-readable JSON
+companion to ``benchmarks/out/`` (see ``benchmarks/conftest.py``); the
+pytest-benchmark timings inside are the regression surface.  This script
+compares one timing statistic (default ``min_s`` — the least noisy of
+the recorded stats) for every bench that has both a fresh result and a
+committed baseline under ``benchmarks/baselines/``:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_micro.py
+    python scripts/bench_check.py                 # gate at +25%
+    python scripts/bench_check.py --tolerance 2.0 # shared-CI slack
+    python scripts/bench_check.py --update        # adopt current timings
+
+A bench whose current timing exceeds ``baseline * (1 + tolerance)`` is a
+regression: the script prints every comparison, marks regressions, and
+exits 1 if there was at least one.  Benches missing a baseline (new
+benches) or missing timings (``--benchmark-disable`` runs) are reported
+and skipped — the gate only ever compares real pairs.  Exit codes: 0
+clean, 1 regression, 2 usage error.
+
+Baselines are one JSON file per bench, holding the timings dict the
+bench reported when ``--update`` adopted it — regenerate them on the
+reference machine after a deliberate performance change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out"
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+#: Statistics the bench JSONs record (see benchmarks/conftest.py).
+KNOWN_STATS = ("min_s", "mean_s", "max_s")
+
+
+def read_timings(path: Path) -> Optional[Dict[str, float]]:
+    """The ``timings`` dict of one bench/baseline JSON, if present."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench-check: unreadable {path}: {exc}", file=sys.stderr)
+        return None
+    timings = data.get("timings")
+    if not isinstance(timings, dict):
+        return None
+    return {key: float(value) for key, value in timings.items()}
+
+
+def update_baselines(out_dir: Path, baseline_dir: Path) -> int:
+    """Adopt every fresh timed result as the new baseline."""
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    adopted = 0
+    for path in sorted(out_dir.glob("*.json")):
+        timings = read_timings(path)
+        if timings is None:
+            print(f"  skip  {path.stem} (no timings recorded)")
+            continue
+        (baseline_dir / path.name).write_text(
+            json.dumps(
+                {"name": path.stem, "timings": timings},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"  adopt {path.stem}")
+        adopted += 1
+    print(f"bench-check: adopted {adopted} baseline(s) in {baseline_dir}")
+    return 0
+
+
+def check(
+    out_dir: Path, baseline_dir: Path, stat: str, tolerance: float
+) -> int:
+    """Compare fresh results against baselines; 0 clean, 1 regression."""
+    current = sorted(out_dir.glob("*.json"))
+    if not current:
+        print(
+            f"bench-check: no bench results in {out_dir} "
+            "(run the benchmarks first)",
+            file=sys.stderr,
+        )
+        return 2
+    regressions: List[str] = []
+    compared = 0
+    for path in current:
+        timings = read_timings(path)
+        if timings is None or stat not in timings:
+            print(f"  skip  {path.stem} (no {stat} recorded)")
+            continue
+        baseline_path = baseline_dir / path.name
+        if not baseline_path.exists():
+            print(f"  new   {path.stem} (no baseline; --update to adopt)")
+            continue
+        baseline = read_timings(baseline_path)
+        if baseline is None or stat not in baseline:
+            print(f"  skip  {path.stem} (baseline has no {stat})")
+            continue
+        compared += 1
+        before, after = baseline[stat], timings[stat]
+        limit = before * (1.0 + tolerance)
+        ratio = after / before if before > 0 else float("inf")
+        verdict = "ok   " if after <= limit else "SLOW "
+        print(
+            f"  {verdict} {path.stem}: {stat} {after:.6f}s vs "
+            f"baseline {before:.6f}s ({ratio:.2f}x, limit {1 + tolerance:.2f}x)"
+        )
+        if after > limit:
+            regressions.append(path.stem)
+    if not compared:
+        print("bench-check: nothing to compare (no baseline/result pairs)")
+        return 0
+    if regressions:
+        print(
+            f"bench-check: {len(regressions)} regression(s): "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench-check: {compared} comparison(s) within tolerance")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate bench timings against committed baselines"
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=DEFAULT_OUT,
+        help="directory of fresh bench JSONs (default benchmarks/out)",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=DEFAULT_BASELINES,
+        help="directory of committed baselines (default benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--stat", default="min_s", choices=KNOWN_STATS,
+        help="which timing statistic to compare (default min_s)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="adopt the current timings as the new baselines",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    if not args.out_dir.is_dir():
+        print(
+            f"bench-check: out dir {args.out_dir} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update:
+        return update_baselines(args.out_dir, args.baseline_dir)
+    return check(args.out_dir, args.baseline_dir, args.stat, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

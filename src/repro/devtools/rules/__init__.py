@@ -48,6 +48,10 @@ rng-stream-registry every ``RandomStreams.get/child`` name (and every
                     seeded ``default_rng`` fallback site) matches
                     :mod:`repro.devtools.stream_registry`, checked
                     against call sites in **both** directions
+metric-name-registry every metric recorded via ``repro.obs.metrics``
+                    matches a :class:`MetricSpec` in
+                    :mod:`repro.obs.metric_registry` — registered,
+                    owned, kind-consistent, checked in both directions
 import-contract     package imports follow the layering table in
                     :mod:`repro.devtools.rules.import_contract`;
                     private modules stay package-internal; no
@@ -70,6 +74,7 @@ from repro.devtools.rules import (  # noqa: F401  (registration side effects)
     fault_determinism,
     fork_safe_rng,
     import_contract,
+    metric_names,
     no_pickled_columns,
     ordered_iteration,
     rng,

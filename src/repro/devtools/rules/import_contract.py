@@ -38,7 +38,7 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "obs": frozenset({"perf"}),
     "sim": frozenset({"obs", "perf"}),
     "trace": frozenset({"obs", "perf", "sim"}),
-    "faults": frozenset({"perf", "sim", "trace"}),
+    "faults": frozenset({"obs", "perf", "sim", "trace"}),
     "analysis": frozenset({"obs", "perf", "sim", "trace"}),
     "core": frozenset(
         {"analysis", "cluster", "graph", "obs", "perf", "sim", "trace"}

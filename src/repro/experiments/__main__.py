@@ -1,7 +1,7 @@
 """Run every experiment and print its rendered report.
 
     python -m repro.experiments [paper|small|tiny] [--perf] [--trace]
-                                [--journal PATH] [--workers N]
+                                [--journal PATH] [--metrics] [--workers N]
                                 [fig2 fig5 ...]
 
 Without experiment names, all twelve run in paper order.  ``--workers N``
@@ -15,7 +15,10 @@ in-process workload cache means only the first experiment pays generation
 and training).  ``--journal PATH`` enables the :mod:`repro.obs` tracer
 and writes the whole run's structured journal — spans, association
 decisions, balance samples, perf footer — to ``PATH`` (render it with
-``python -m repro.obs.report PATH``).  ``--trace`` enables the tracer
+``python -m repro.obs.report PATH``).  ``--metrics`` additionally turns
+on the :mod:`repro.obs.metrics` registry, so the journal carries the
+windowed metric series and rollup (export them with ``python -m
+repro.obs.metrics PATH``).  ``--trace`` enables the tracer
 and prints the aggregated span table instead of persisting it.  With
 either flag the perf registry is reset once up front rather than between
 experiments, so the journal footer covers the full run.  This is the
@@ -110,6 +113,9 @@ def main(argv: Sequence[str]) -> int:
     show_trace = "--trace" in args
     if show_trace:
         args.remove("--trace")
+    with_metrics = "--metrics" in args
+    if with_metrics:
+        args.remove("--metrics")
     journal_path: Optional[str] = None
     if "--journal" in args:
         index = args.index("--journal")
@@ -142,6 +148,9 @@ def main(argv: Sequence[str]) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
         return 2
+    if with_metrics and journal_path is None:
+        print("--metrics requires --journal (metrics land in the journal)")
+        return 2
     if workers is not None and workers > 1:
         if show_trace or journal_path is not None:
             print(
@@ -157,6 +166,8 @@ def main(argv: Sequence[str]) -> int:
     if observing:
         obs.enable(reset=True)
         perf.reset()
+    if with_metrics:
+        obs.metrics.enable(reset=True)
     try:
         for name in names:
             if not observing:
@@ -182,10 +193,14 @@ def main(argv: Sequence[str]) -> int:
                     "experiments": list(names),
                 },
             )
+            metric_windows = (
+                len(obs.metrics.metric_records()) if with_metrics else 0
+            )
             print(
                 f"\njournal: {journal_path} ({len(tracer.spans())} spans, "
                 f"{len(tracer.decisions())} decisions, "
-                f"{len(tracer.samples())} samples)"
+                f"{len(tracer.samples())} samples, "
+                f"{metric_windows} metric windows)"
             )
         if show_trace:
             print()
@@ -194,6 +209,8 @@ def main(argv: Sequence[str]) -> int:
     finally:
         if observing:
             obs.disable()
+        if with_metrics:
+            obs.metrics.disable()
     return 0
 
 

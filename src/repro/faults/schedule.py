@@ -27,6 +27,7 @@ from repro.faults.model import (
     FrameLoss,
     StaleLoadReport,
 )
+from repro.obs import metrics as obs_metrics
 from repro.sim.rng import RandomStreams
 from repro.trace.social import CampusLayout
 
@@ -114,6 +115,9 @@ def generate_plan(
             )
         )
 
+    # Plan generation runs once, parent-side, under both engines, so
+    # this run-scoped count is identical whichever engine replays it.
+    obs_metrics.inc("faults.planned_events", float(len(events)), start)
     return FaultPlan(tuple(events))
 
 

@@ -28,7 +28,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.obs import metrics as metrics_module
 
 from repro import perf as perf_module
 from repro.obs.records import (
@@ -36,6 +39,8 @@ from repro.obs.records import (
     FaultRecord,
     JournalRecord,
     MetaRecord,
+    MetricRecord,
+    MetricsRollupRecord,
     PerfRecord,
     SampleRecord,
     SpanRecord,
@@ -81,15 +86,29 @@ def write_journal(
     tracer: Optional[Tracer] = None,
     perf_registry: Optional[perf_module.PerfRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
+    metrics_registry: Optional["metrics_module.MetricsRegistry"] = None,
 ) -> Path:
-    """Write header + tracer records + perf footer to ``path``.
+    """Write header + tracer records + metric windows + footers to ``path``.
 
-    Defaults to the global tracer and the global perf registry; returns
-    the path written.
+    Defaults to the global tracer, metrics registry and perf registry;
+    returns the path written.  The metric block (per-window records
+    sorted by name/labels/window, then the ``metrics`` rollup) only
+    appears when the registry holds series, so metrics-off journals keep
+    their existing byte layout.
     """
+    from repro.obs import metrics as metrics_module
+
     tracer = tracer if tracer is not None else TRACER
+    registry = (
+        metrics_registry
+        if metrics_registry is not None
+        else metrics_module.REGISTRY
+    )
     records: List[JournalRecord] = [MetaRecord(fields=dict(meta or {}))]
     records.extend(tracer.records)
+    if registry:
+        records.extend(metrics_module.metric_records(registry))
+        records.append(metrics_module.metrics_rollup(registry))
     records.append(perf_snapshot(perf_registry))
     path = Path(path)
     path.write_text(render_journal(records), encoding="utf-8")
@@ -106,6 +125,8 @@ class Journal:
     decisions: List[DecisionRecord] = field(default_factory=list)
     samples: List[SampleRecord] = field(default_factory=list)
     faults: List[FaultRecord] = field(default_factory=list)
+    metrics: List[MetricRecord] = field(default_factory=list)
+    metrics_rollup: Optional[MetricsRollupRecord] = None
     perf: Optional[PerfRecord] = None
 
 
@@ -130,6 +151,10 @@ def parse_journal(text: str) -> Journal:
             journal.samples.append(record)
         elif isinstance(record, FaultRecord):
             journal.faults.append(record)
+        elif isinstance(record, MetricRecord):
+            journal.metrics.append(record)
+        elif isinstance(record, MetricsRollupRecord):
+            journal.metrics_rollup = record
         elif isinstance(record, PerfRecord):
             journal.perf = record
     return journal
@@ -152,5 +177,9 @@ def strip_wall(text: str) -> str:
             continue
         obj = json.loads(line)
         obj.pop("wall", None)
+        if obj.get("type") == "metric" and not obj.get("data"):
+            # A host-scoped metric window lived entirely under "wall";
+            # nothing deterministic remains, so the line itself goes.
+            continue
         lines.append(json.dumps(obj, separators=_SEPARATORS))
     return "".join(line + "\n" for line in lines)

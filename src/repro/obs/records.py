@@ -30,6 +30,15 @@ kinds:
 ``perf``
     The journal footer: :mod:`repro.perf` counters (deterministic, under
     ``data``) and timers (wall durations, under ``"wall"``).
+``metric``
+    One :mod:`repro.obs.metrics` series window.  Run-scoped series
+    serialize under ``data`` (part of the ``strip_wall`` byte contract);
+    host-scoped series serialize under ``"wall"`` only, leaving ``data``
+    empty — :func:`repro.obs.journal.strip_wall` drops such lines
+    entirely.
+``metrics``
+    The whole-run metrics rollup footer: per-series totals split by
+    determinism scope the same way.
 """
 
 from __future__ import annotations
@@ -39,7 +48,8 @@ from typing import Any, Dict, Optional, Protocol, Sequence, Tuple, Union
 
 #: Journal schema version, bumped on any breaking layout change.
 #: v2: ``fault`` records and the optional ``note`` key on decisions.
-SCHEMA_VERSION = 2
+#: v3: ``metric`` window records and the ``metrics`` rollup footer.
+SCHEMA_VERSION = 3
 
 Payload = Tuple[str, Dict[str, Any], Dict[str, Any]]
 
@@ -263,8 +273,107 @@ class PerfRecord:
         return "perf", data, wall
 
 
+@dataclass
+class MetricRecord:
+    """One metric series window (see :mod:`repro.obs.metrics`).
+
+    ``scope`` picks the serialization side: ``"run"`` windows are
+    deterministic and live under ``data``; ``"host"`` windows (wall
+    durations, RSS, engine-shape-dependent counts) live under ``"wall"``
+    with an empty ``data``, so :func:`repro.obs.journal.strip_wall`
+    removes them without disturbing the run-scoped stream.
+    """
+
+    name: str
+    #: ``"counter"``, ``"gauge"`` or ``"histogram"``.
+    kind: str
+    #: ``"run"`` (under ``data``) or ``"host"`` (under ``"wall"``).
+    scope: str
+    #: Window index: ``floor(sim_time / window_seconds)``.
+    window: int
+    #: Sim time at which the window opens.
+    window_start: float
+    labels: Tuple[Tuple[str, str], ...] = ()
+    #: Counter: amount accumulated in the window.  Gauge: last value.
+    value: Optional[float] = None
+    #: Gauge only: sim time of the last set in the window.
+    at: Optional[float] = None
+    #: Histogram only: bucket upper bounds (``le``), +Inf implicit.
+    buckets: Tuple[float, ...] = ()
+    #: Histogram only: per-bucket counts, the +Inf bucket last.
+    counts: Tuple[int, ...] = ()
+    #: Histogram only: sum of observed values in the window.
+    total: Optional[float] = None
+    #: Histogram only: number of observations in the window.
+    count: Optional[int] = None
+
+    def payload(self) -> Payload:
+        body: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": {key: value for key, value in self.labels},
+            "window": self.window,
+            "start": self.window_start,
+        }
+        if self.kind == "counter":
+            body["value"] = self.value
+        elif self.kind == "gauge":
+            body["value"] = self.value
+            body["at"] = self.at
+        else:
+            body["buckets"] = list(self.buckets)
+            body["counts"] = list(self.counts)
+            body["sum"] = self.total
+            body["count"] = self.count
+        if self.scope == "run":
+            return "metric", body, {}
+        return "metric", {}, body
+
+
+@dataclass
+class MetricsRollupRecord:
+    """The metrics footer: whole-run per-series totals.
+
+    Series keys are rendered ``name`` or ``name{k=v,...}``; run-scoped
+    totals live under ``data`` and host-scoped ones under ``"wall"``.
+    """
+
+    window_seconds: float = 0.0
+    run_series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    host_series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def payload(self) -> Payload:
+        data: Dict[str, Any] = {
+            "window_seconds": self.window_seconds,
+            "series": {
+                key: {
+                    name: self.run_series[key][name]
+                    for name in sorted(self.run_series[key])
+                }
+                for key in sorted(self.run_series)
+            },
+        }
+        wall: Dict[str, Any] = {}
+        if self.host_series:
+            wall["series"] = {
+                key: {
+                    name: self.host_series[key][name]
+                    for name in sorted(self.host_series[key])
+                }
+                for key in sorted(self.host_series)
+            }
+        return "metrics", data, wall
+
+
 JournalRecord = Union[
-    MetaRecord, SpanRecord, DecisionRecord, SampleRecord, FaultRecord, PerfRecord
+    MetaRecord,
+    SpanRecord,
+    DecisionRecord,
+    SampleRecord,
+    FaultRecord,
+    PerfRecord,
+    MetricRecord,
+    MetricsRollupRecord,
 ]
 
 
@@ -332,6 +441,42 @@ def record_from_payload(
             timers={
                 name: dict(stats)
                 for name, stats in wall.get("timers", {}).items()
+            },
+        )
+    if kind == "metric":
+        scope = "run" if data else "host"
+        body = data if data else wall
+        record = MetricRecord(
+            name=str(body["name"]),
+            kind=str(body["kind"]),
+            scope=scope,
+            window=int(body["window"]),
+            window_start=float(body["start"]),
+            labels=tuple(sorted(
+                (str(key), str(value))
+                for key, value in body.get("labels", {}).items()
+            )),
+        )
+        if record.kind == "histogram":
+            record.buckets = tuple(float(b) for b in body["buckets"])
+            record.counts = tuple(int(c) for c in body["counts"])
+            record.total = float(body["sum"])
+            record.count = int(body["count"])
+        else:
+            record.value = float(body["value"])
+            if record.kind == "gauge":
+                record.at = float(body["at"])
+        return record
+    if kind == "metrics":
+        return MetricsRollupRecord(
+            window_seconds=float(data.get("window_seconds", 0.0)),
+            run_series={
+                key: dict(fields)
+                for key, fields in data.get("series", {}).items()
+            },
+            host_series={
+                key: dict(fields)
+                for key, fields in wall.get("series", {}).items()
             },
         )
     raise ValueError(f"unknown journal record type {kind!r}")

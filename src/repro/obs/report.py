@@ -23,6 +23,7 @@ from repro.obs.journal import Journal, read_journal, strip_wall
 from repro.obs.records import (
     DecisionRecord,
     FaultRecord,
+    MetricRecord,
     SampleRecord,
     SpanRecord,
 )
@@ -41,6 +42,8 @@ def format_top_spans(spans: Sequence[SpanRecord], limit: int = 12) -> str:
             sim + (span.sim_elapsed or 0.0),
         )
     rows = sorted(totals.items(), key=lambda item: (-item[1][1], item[0]))[:limit]
+    if not rows:
+        return "(no spans recorded)"
     width = max(len(name) for name, _ in rows)
     lines = [
         f"{'span'.ljust(width)}  {'calls':>7}  {'wall_total':>11}  {'sim_total':>12}"
@@ -55,12 +58,20 @@ def format_top_spans(spans: Sequence[SpanRecord], limit: int = 12) -> str:
 def format_balance_timelines(
     samples: Sequence[SampleRecord], buckets: int = 12
 ) -> str:
-    """Per-controller mean balance index over equal time buckets."""
+    """Per-controller mean balance index over equal time buckets.
+
+    Total on empty input: a run that never sampled (e.g. zero decisions
+    and no sampler ticks) renders a placeholder instead of assuming at
+    least one controller appears.
+    """
     if not samples:
         return "(no balance samples recorded)"
+    buckets = max(buckets, 1)
     by_controller: Dict[str, List[SampleRecord]] = {}
     for sample in samples:
         by_controller.setdefault(sample.controller_id, []).append(sample)
+    if not by_controller:
+        return "(no balance samples recorded)"
     t_lo = min(s.sim_time for s in samples)
     t_hi = max(s.sim_time for s in samples)
     span = max(t_hi - t_lo, 1.0)
@@ -140,8 +151,61 @@ def format_faults(faults: Sequence[FaultRecord]) -> str:
     return "\n".join(lines)
 
 
+def format_metrics(journal: Journal) -> str:
+    """One line per metric series: kind, scope, windows, run totals."""
+    if not journal.metrics:
+        return "(no metric records; run with metrics enabled)"
+    from repro.obs.metrics import series_key
+
+    by_series: Dict[str, List[MetricRecord]] = {}
+    for record in journal.metrics:
+        by_series.setdefault(series_key(record.name, record.labels), []).append(
+            record
+        )
+    rollup = journal.metrics_rollup
+    window = "?" if rollup is None else f"{rollup.window_seconds:.0f}s"
+    width = max(len(key) for key in by_series)
+    lines = [f"{len(by_series)} series, sim-time window {window}"]
+    for key in sorted(by_series):
+        windows = by_series[key]
+        first = windows[0]
+        if first.kind == "counter":
+            total = sum(record.value or 0.0 for record in windows)
+            detail = f"total={total:g}"
+        elif first.kind == "gauge":
+            last = max(windows, key=lambda record: record.window)
+            detail = (
+                f"last={last.value or 0.0:g} @t={last.at or 0.0:.0f}s"
+            )
+        else:
+            count = sum(record.count or 0 for record in windows)
+            total = sum(record.total or 0.0 for record in windows)
+            mean = total / count if count else 0.0
+            detail = f"count={count} sum={total:g} mean={mean:g}"
+        lines.append(
+            f"{key.ljust(width)}  {first.kind:<9}  {first.scope:<4}  "
+            f"windows={len(windows):<3d}  {detail}"
+        )
+    return "\n".join(lines)
+
+
+def _sim_span_seconds(journal: Journal) -> Optional[float]:
+    """The simulated span the journal's spans cover, if any."""
+    starts = [s.sim_start for s in journal.spans if s.sim_start is not None]
+    ends = [s.sim_end for s in journal.spans if s.sim_end is not None]
+    if not starts or not ends:
+        return None
+    span = max(ends) - min(starts)
+    return span if span > 0 else None
+
+
 def format_perf_footer(journal: Journal) -> str:
-    """The perf footer: counters, then wall timers."""
+    """The perf footer: counters, then wall timers.
+
+    When the journal's spans cover a simulated interval, each timer also
+    gets a ``calls/simh`` rate (calls per simulated hour) — the
+    preset-independent view of how hot a path is.
+    """
     perf = journal.perf
     if perf is None or not (perf.counters or perf.timers):
         return "(no perf footer)"
@@ -153,20 +217,28 @@ def format_perf_footer(journal: Journal) -> str:
             rendered = f"{int(value)}" if value == int(value) else f"{value:.3f}"
             lines.append(f"{name.ljust(width)}  {rendered:>12}")
     if perf.timers:
+        sim_seconds = _sim_span_seconds(journal)
         width = max(len(name) for name in perf.timers)
-        lines.append(
+        header = (
             f"{'timer'.ljust(width)}  {'calls':>7}  {'total':>10}  "
             f"{'mean':>10}  {'min':>10}  {'max':>10}"
         )
+        if sim_seconds is not None:
+            header += f"  {'calls/simh':>11}"
+        lines.append(header)
         ordered = sorted(
             perf.timers.items(), key=lambda item: -item[1].get("total", 0.0)
         )
         for name, stats in ordered:
-            lines.append(
+            row = (
                 f"{name.ljust(width)}  {int(stats.get('calls', 0)):>7d}  "
                 f"{stats.get('total', 0.0):>9.3f}s  {stats.get('mean', 0.0):>9.4f}s  "
                 f"{stats.get('min', 0.0):>9.4f}s  {stats.get('max', 0.0):>9.4f}s"
             )
+            if sim_seconds is not None:
+                rate = int(stats.get("calls", 0)) * 3600.0 / sim_seconds
+                row += f"  {rate:>11.2f}"
+            lines.append(row)
     return "\n".join(lines)
 
 
@@ -175,6 +247,7 @@ def render_report(
     spans: int = 12,
     decisions: int = 10,
     title: Optional[str] = None,
+    metrics: bool = False,
 ) -> str:
     """The full human-readable report for a parsed journal."""
     meta = " ".join(f"{k}={journal.meta[k]}" for k in sorted(journal.meta))
@@ -183,7 +256,8 @@ def render_report(
         f"meta: {meta or '(none)'}",
         f"records: {len(journal.spans)} spans, {len(journal.decisions)} "
         f"decisions, {len(journal.samples)} samples, "
-        f"{len(journal.faults)} faults",
+        f"{len(journal.faults)} faults, {len(journal.metrics)} metric "
+        f"windows",
         "",
         "-- top spans --",
         format_top_spans(journal.spans, limit=spans),
@@ -196,10 +270,10 @@ def render_report(
         "",
         f"-- decision audit (first {decisions}) --",
         format_decisions(journal.decisions, limit=decisions),
-        "",
-        "-- perf footer --",
-        format_perf_footer(journal),
     ]
+    if metrics:
+        lines.extend(["", "-- metrics --", format_metrics(journal)])
+    lines.extend(["", "-- perf footer --", format_perf_footer(journal)])
     return "\n".join(lines)
 
 
@@ -224,6 +298,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="emit the wall-stripped journal instead of the report",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="include the windowed-metrics section in the report",
+    )
     options = parser.parse_args(argv)
     path = Path(options.journal)
     if not path.exists():
@@ -240,6 +319,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 spans=options.spans,
                 decisions=options.decisions,
                 title=path.name,
+                metrics=options.metrics,
             )
         )
     except BrokenPipeError:

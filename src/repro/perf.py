@@ -163,30 +163,48 @@ class PerfRegistry:
 
     # ------------------------------------------------------------- reporting
 
-    def report(self, title: Optional[str] = None) -> str:
+    def report(
+        self, title: Optional[str] = None, sim_seconds: Optional[float] = None
+    ) -> str:
         """A fixed-width text table of timers (by total, descending) and
-        counters (alphabetical)."""
+        counters (alphabetical).
+
+        ``sim_seconds`` — the simulated span the samples cover — adds a
+        ``calls/simh`` column (calls per simulated hour), turning raw
+        call counts into a rate that is comparable across presets: the
+        hot-path profile of a tiny 8-day campus and the paper campus
+        line up once normalized by simulated time.
+        """
         lines: List[str] = []
         if title:
             lines.append(title)
+        with_rate = sim_seconds is not None and sim_seconds > 0
         if self._timers:
             rows = sorted(
                 self._timers.items(), key=lambda item: -item[1].total
             )
             width = max(len(name) for name, _ in rows)
-            lines.append(
+            header = (
                 f"{'timer'.ljust(width)}  {'calls':>7}  {'total':>10}  "
                 f"{'mean':>10}  {'min':>10}  {'max':>10}"
             )
+            if with_rate:
+                header += f"  {'calls/simh':>11}"
+            lines.append(header)
             for name, stat in rows:
                 # A zero-call stat still carries the inf sentinel in
                 # ``minimum``; render 0 so the table stays finite.
                 minimum = stat.minimum if stat.calls else 0.0
-                lines.append(
+                row = (
                     f"{name.ljust(width)}  {stat.calls:>7d}  "
                     f"{stat.total:>9.3f}s  {stat.mean:>9.4f}s  "
                     f"{minimum:>9.4f}s  {stat.maximum:>9.4f}s"
                 )
+                if with_rate:
+                    assert sim_seconds is not None
+                    rate = stat.calls * 3600.0 / sim_seconds
+                    row += f"  {rate:>11.2f}"
+                lines.append(row)
         if self._counters:
             rows = sorted(self._counters.items())
             width = max(len(name) for name, _ in rows)
@@ -233,9 +251,11 @@ def merge(snap: PerfSnapshot) -> None:
     PERF.merge(snap)
 
 
-def report(title: Optional[str] = None) -> str:
+def report(
+    title: Optional[str] = None, sim_seconds: Optional[float] = None
+) -> str:
     """Render the global registry."""
-    return PERF.report(title)
+    return PERF.report(title, sim_seconds=sim_seconds)
 
 
 def reset() -> None:

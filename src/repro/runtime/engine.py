@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro import perf
 from repro.faults.model import FaultPlan
+from repro.obs import metrics as obs_metrics
 from repro.obs.tracer import Span, get_tracer
 from repro.runtime.checkpoint import RunDirectory
 from repro.runtime.merge import merge_journal_fragments, merge_shard_results
@@ -118,6 +119,7 @@ def replay_process(
     # before publishing our own.
     reap_orphans()
     tracer = get_tracer()
+    metrics_registry = obs_metrics.get_metrics()
     with perf.timer(f"replay.run.{strategy.name}"):
         with tracer.span(
             "replay.run",
@@ -156,6 +158,8 @@ def replay_process(
                         config=config,
                         window=plan.window,
                         trace=tracer.enabled,
+                        metrics=metrics_registry.enabled,
+                        metrics_window=metrics_registry.window_seconds,
                         fault_plan=fault_plan,
                     )
                     for group in groups
@@ -165,6 +169,11 @@ def replay_process(
                 )
             for outcome in outcomes:
                 perf.merge(outcome.perf)
+                if metrics_registry.enabled and outcome.metrics:
+                    # Same contract as the journal fragments: the merged
+                    # run-scoped series are byte-identical to a serial
+                    # run's (order-independent fold, disjoint shards).
+                    metrics_registry.merge(outcome.metrics)
             result = merge_shard_results(plan, outcomes, strategy.name)
             final_now = {outcome.final_now for outcome in outcomes}
             if len(final_now) != 1:
@@ -278,6 +287,7 @@ def _fingerprint(plan: ShardPlan, tasks: List[ShardTask]) -> str:
     groups = ",".join(task.shard_id for task in tasks)
     return (
         f"{plan.fingerprint()}|{first.strategy.name}|{first.config!r}"
-        f"|trace={first.trace}|faults={faults}|transport=shm-v1"
+        f"|trace={first.trace}|metrics={first.metrics}"
+        f"|faults={faults}|transport=shm-v1"
         f"|groups={groups}"
     )

@@ -51,6 +51,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.obs import metrics as obs_metrics
 from repro.obs.records import FaultRecord
 from repro.obs.tracer import get_tracer
 from repro.runtime.workers import init_worker
@@ -211,6 +212,9 @@ def run_pool_with_retries(
     failures: Dict[str, TaskFailure] = {}
     first_error: Optional[BaseException] = None
     while pending:
+        # Host-scoped backpressure gauge: how deep the queue was when
+        # each round opened (retry rounds overwrite within the window).
+        obs_metrics.set_gauge("runtime.pool_pending", float(len(pending)))
         pool_size = resolve_workers(workers, len(pending))
         retry: List[TaskT] = []
         pool = _acquire_pool(pool_size)
@@ -252,6 +256,7 @@ def run_pool_with_retries(
                             max_retries + 1,
                             error,
                         )
+                        obs_metrics.inc("runtime.task_retries")
                         retry.append(task)
                     else:
                         failures[task_id] = TaskFailure(
@@ -305,6 +310,7 @@ def serial_with_retries(
                         max_retries + 1,
                         error,
                     )
+                    obs_metrics.inc("runtime.task_retries")
                     continue
                 failures[task_id] = TaskFailure(
                     task_id=task_id, error=error, attempts=attempt

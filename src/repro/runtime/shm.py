@@ -62,9 +62,19 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
 from repro.trace.columnar import DemandArrays, FlowArrays, SessionArrays
 
 _LOG = logging.getLogger(__name__)
+
+#: Live published segment bytes, parent-side only (a worker never
+#: publishes).  Read by the ``mem.shm_bytes`` memory-probe source.
+_SHM_BYTES: Dict[str, int] = {"published": 0}
+
+
+def published_bytes() -> float:
+    """Bytes currently published in this process's live segments."""
+    return float(_SHM_BYTES["published"])
 
 #: Segment names are ``repro-shm-<creator pid>-<seq>``; the pid is what
 #: lets :func:`reap_orphans` tell a live run's segments from a dead one's.
@@ -328,6 +338,7 @@ class SegmentSet:
     def __init__(self) -> None:
         self._segments: List[shared_memory.SharedMemory] = []
         self._released = False
+        self._nbytes = 0
 
     def publish(self, kind: str, arrays: ColumnArrays) -> ShmHandle:
         """Copy one column family into a fresh segment; returns its handle."""
@@ -340,6 +351,8 @@ class SegmentSet:
         specs, nbytes, digest = _pack(kind, columns)
         segment = _create_segment(nbytes)
         self._segments.append(segment)
+        self._nbytes += nbytes
+        _SHM_BYTES["published"] += nbytes
         for spec, (_, array) in zip(specs, columns):
             if not array.size:
                 continue
@@ -387,6 +400,10 @@ class SegmentSet:
         if self._released:
             return
         self._released = True
+        _SHM_BYTES["published"] = max(
+            0, _SHM_BYTES["published"] - self._nbytes
+        )
+        self._nbytes = 0
         for segment in self._segments:
             _close_quietly(segment)
             try:
@@ -528,3 +545,8 @@ def reap_orphans() -> List[str]:
         )
         reaped.append(name)
     return reaped
+
+
+# Window-boundary memory probes include live segment bytes: shm usage is
+# the scale knob the ROADMAP's peak-RSS target actually turns on.
+obs_metrics.register_memory_source("mem.shm_bytes", published_bytes)

@@ -43,6 +43,8 @@ import numpy as np
 
 from repro import perf
 from repro.faults.model import FaultPlan
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsSnapshot
 from repro.obs.tracer import TracedRecord, get_tracer
 from repro.perf import PerfSnapshot
 from repro.runtime.shm import ShmHandle, ShmSlice, attach_arrays, fetch_demands
@@ -71,6 +73,11 @@ class ShardTask:
     #: Whether the worker should trace (journal fragments are collected
     #: only when the parent's tracer is enabled).
     trace: bool
+    #: Whether the worker should collect windowed metrics, and on what
+    #: sim-time window — mirrors the parent registry's settings so the
+    #: merged series line up window for window.
+    metrics: bool = False
+    metrics_window: float = obs_metrics.DEFAULT_WINDOW_SECONDS
     #: All controllers this task replays, in plan order.  The engine
     #: groups one task per pool worker so a worker runs its whole
     #: controller group in a single simulator pass — one periodic grid
@@ -201,6 +208,9 @@ class ShardOutcome:
     #: the worker's own ``sim.run`` span); empty when not tracing.
     records: List[TracedRecord]
     perf: PerfSnapshot
+    #: The worker's windowed-metrics snapshot; empty when metrics were
+    #: off.  Merged parent-side exactly like the journal fragments.
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
 
 def init_worker() -> None:
@@ -214,6 +224,9 @@ def init_worker() -> None:
     tracer = get_tracer()
     tracer.reset()
     tracer.enabled = False
+    registry = obs_metrics.get_metrics()
+    registry.reset()
+    registry.enabled = False
 
 
 def run_replay_shard(task: ShardTask) -> ShardOutcome:
@@ -222,6 +235,10 @@ def run_replay_shard(task: ShardTask) -> ShardOutcome:
     tracer.reset()
     tracer.enabled = task.trace
     perf.reset()
+    registry = obs_metrics.get_metrics()
+    registry.reset()
+    registry.window_seconds = task.metrics_window
+    registry.enabled = task.metrics
     with perf.timer("shm.attach"):
         demands = fetch_demands(task.demands)
     engine = ReplayEngine(
@@ -239,6 +256,18 @@ def run_replay_shard(task: ShardTask) -> ShardOutcome:
     records = list(tracer.records)
     tracer.reset()
     tracer.enabled = False
+    if task.metrics:
+        # The shard's wall latency, as a host-scoped histogram anchored
+        # at the shard window's start.  Read off the perf timer rather
+        # than a clock: the wall-time funnel stays in repro.perf.
+        obs_metrics.observe(
+            "runtime.task_seconds",
+            perf.PERF.total("shard.run"),
+            task.window.start,
+        )
+    metrics_snapshot = registry.snapshot() if task.metrics else MetricsSnapshot()
+    registry.reset()
+    registry.enabled = False
     return ShardOutcome(
         shard_id=task.shard_id,
         controller_id=task.controller_id,
@@ -250,6 +279,7 @@ def run_replay_shard(task: ShardTask) -> ShardOutcome:
         poller_ticks=run.poller_ticks,
         records=records,
         perf=perf.snapshot(),
+        metrics=metrics_snapshot,
     )
 
 

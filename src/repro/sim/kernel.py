@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.obs.tracer import get_tracer
 
 
@@ -255,6 +256,18 @@ class Simulator:
                 # dispatch.
                 heap = self._queue._heap
                 heappop = heapq.heappop
+                # Metrics are host-scoped here (worker shards replay the
+                # same periodic grid, so counts depend on engine shape).
+                # The series and the window boundary are bound before
+                # the loop: the disabled path pays one local bool test
+                # per event, nothing more.
+                registry = obs_metrics.REGISTRY
+                metrics_on = registry.enabled
+                if metrics_on:
+                    window = registry.window_seconds
+                    events_series = registry.counter("sim.events")
+                    depth_series = registry.gauge("sim.queue_depth")
+                    next_boundary = (self._now // window + 1.0) * window
                 while not self._stopped:
                     while heap and heap[0][3].cancelled:
                         heappop(heap)
@@ -266,6 +279,13 @@ class Simulator:
                     heappop(heap)
                     self._now = entry[0]
                     self.events_processed += 1
+                    if metrics_on:
+                        events_series.inc(1.0, entry[0])
+                        if entry[0] >= next_boundary:
+                            depth_series.set(float(len(heap)), entry[0])
+                            next_boundary = (
+                                entry[0] // window + 1.0
+                            ) * window
                     entry[3].action()
                 if until is not None and until > self._now and not self._stopped:
                     self._now = until

@@ -55,6 +55,7 @@ from repro.faults.model import (
     FaultPlan,
     StaleLoadReport,
 )
+from repro.obs import metrics as obs_metrics
 from repro.obs.records import (
     DecisionRecord,
     FaultRecord,
@@ -591,6 +592,9 @@ class ReplayEngine:
 
         def fire_fault(event: FaultEvent) -> None:
             perf.count(f"faults.{event.kind}")
+            # Run-scoped: _plan_events filtered the plan to this pass's
+            # controllers, so sharded counts merge to the serial totals.
+            obs_metrics.inc("faults.injected", 1.0, sim.now)
             if isinstance(event, ApDown):
                 fault_ap_down(event)
             elif isinstance(event, ApUp):
@@ -616,19 +620,29 @@ class ReplayEngine:
         def take_sample() -> None:
             ticks["sample"] += 1
             collector.sample(sim.now, campus, controller_ids=sampled)
-            if tracer.enabled:
+            metrics_on = obs_metrics.REGISTRY.enabled
+            if tracer.enabled or metrics_on:
                 for controller_id in sampled:
                     controller = campus.controllers[controller_id]
                     loads = controller.loads()
-                    tracer.sample(
-                        SampleRecord(
-                            sim_time=sim.now,
-                            controller_id=controller_id,
-                            balance=normalized_balance_index(loads),
-                            total_load=float(sum(loads)),
-                            users=int(sum(controller.user_counts())),
+                    total_load = float(sum(loads))
+                    if metrics_on:
+                        obs_metrics.set_gauge(
+                            "replay.controller_load",
+                            total_load,
+                            sim.now,
+                            (("controller", controller_id),),
                         )
-                    )
+                    if tracer.enabled:
+                        tracer.sample(
+                            SampleRecord(
+                                sim_time=sim.now,
+                                controller_id=controller_id,
+                                balance=normalized_balance_index(loads),
+                                total_load=total_load,
+                                users=int(sum(controller.user_counts())),
+                            )
+                        )
 
         stop_sampler = sim.every(
             self.config.sample_interval,
@@ -757,6 +771,7 @@ class ReplayEngine:
         user_ids = [d.user_id for d in batch]
         snapshots = self._candidate_states(controller, down)
         perf.count("replay.batches")
+        obs_metrics.inc("replay.batches", 1.0, sim.now)
         # Build the span args only when tracing: this runs once per flush,
         # and the disabled path must stay near-free.
         span = (
@@ -786,6 +801,10 @@ class ReplayEngine:
                         demand.user_id,
                         states,
                         rssi=rssi_by_user[demand.user_id],
+                    )
+                    self._observe_decision(
+                        sim.now, len(states),
+                        "fallback:rssi:controller-outage",
                     )
                     if tracer.enabled:
                         scores = self._rssi_fallback.score_candidates(
@@ -825,6 +844,7 @@ class ReplayEngine:
                         rssi=rssi_by_user[demand.user_id],
                     )
                     note = self.strategy.consume_degradation()
+                    self._observe_decision(sim.now, len(states), note)
                     if tracer.enabled:
                         tracer.decision(
                             self._decision(
@@ -845,6 +865,7 @@ class ReplayEngine:
                         f"strategy {self.strategy.name} returned no AP "
                         f"for user {demand.user_id}"
                     )
+                self._observe_decision(sim.now, len(snapshots), note)
                 if tracer.enabled:
                     # Candidates are the pre-batch snapshots: the state the
                     # batch strategy actually scored against.
@@ -857,6 +878,37 @@ class ReplayEngine:
                         )
                     )
                 place(demand, ap_id, controller_id)
+
+    def _observe_decision(
+        self, sim_time: float, candidates: int, note: Optional[str]
+    ) -> None:
+        """Record one decision's run-scoped metrics (no-op when disabled).
+
+        ``fallback_depth`` is the position in the strategy's declared
+        ``fallback_chain`` that produced the decision: 0 for the primary
+        path (``note`` absent), the chain index of the noted fallback
+        strategy, or one past the chain for last resorts the chain does
+        not name.
+        """
+        registry = obs_metrics.REGISTRY
+        if not registry.enabled:
+            return
+        registry.counter("replay.decisions").inc(1.0, sim_time)
+        registry.histogram("replay.candidate_set_size").observe(
+            float(candidates), sim_time
+        )
+        chain: Tuple[str, ...] = getattr(self.strategy, "fallback_chain", ())
+        if note is None:
+            depth = 0.0
+        else:
+            parts = note.split(":")
+            name = parts[1] if len(parts) > 1 else ""
+            depth = (
+                float(chain.index(name))
+                if name in chain
+                else float(len(chain) or 1)
+            )
+        registry.histogram("replay.fallback_depth").observe(depth, sim_time)
 
     def _decision(
         self,

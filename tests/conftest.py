@@ -11,6 +11,7 @@ import pytest
 
 from repro.experiments.config import SMALL, TINY
 from repro.experiments.workload import build_workload, trained_model
+from repro.obs import metrics as obs_metrics
 from repro.runtime.resilience import shutdown_pools
 
 
@@ -24,6 +25,20 @@ def _drain_worker_pools():
     """
     yield
     shutdown_pools()
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics_registry():
+    """Disable and empty the global metrics registry after every test.
+
+    ``write_journal`` reads the process-global registry, so one test's
+    leftover series would otherwise change another test's journal bytes.
+    """
+    yield
+    registry = obs_metrics.get_metrics()
+    registry.reset()
+    registry.enabled = False
+    registry.window_seconds = obs_metrics.DEFAULT_WINDOW_SECONDS
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,126 @@
+"""The bench regression gate (``scripts/bench_check.py``).
+
+Exercised through a subprocess so the exit codes — the CI contract — are
+what is under test: 0 clean, 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_CHECK = REPO_ROOT / "scripts" / "bench_check.py"
+
+
+def write_bench(directory: Path, name: str, min_s: float) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": name,
+                "timings": {
+                    "rounds": 3.0,
+                    "mean_s": min_s * 1.1,
+                    "min_s": min_s,
+                    "max_s": min_s * 1.2,
+                },
+            }
+        )
+        + "\n"
+    )
+    return path
+
+
+def run_gate(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(BENCH_CHECK), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRegressionGate:
+    def test_injected_20pct_regression_fails(self, tmp_path):
+        out, base = tmp_path / "out", tmp_path / "baselines"
+        write_bench(base, "replay", min_s=1.0)
+        write_bench(out, "replay", min_s=1.2)  # +20%, above the +10% gate
+        proc = run_gate(
+            "--out-dir", str(out), "--baseline-dir", str(base),
+            "--tolerance", "0.1",
+        )
+        assert proc.returncode == 1
+        assert "SLOW" in proc.stdout
+        assert "replay" in proc.stderr and "regression" in proc.stderr
+
+    def test_same_regression_passes_under_wider_tolerance(self, tmp_path):
+        out, base = tmp_path / "out", tmp_path / "baselines"
+        write_bench(base, "replay", min_s=1.0)
+        write_bench(out, "replay", min_s=1.2)
+        proc = run_gate(
+            "--out-dir", str(out), "--baseline-dir", str(base),
+            "--tolerance", "0.25",
+        )
+        assert proc.returncode == 0
+        assert "ok" in proc.stdout
+
+    def test_speedup_always_passes(self, tmp_path):
+        out, base = tmp_path / "out", tmp_path / "baselines"
+        write_bench(base, "replay", min_s=1.0)
+        write_bench(out, "replay", min_s=0.5)
+        proc = run_gate("--out-dir", str(out), "--baseline-dir", str(base))
+        assert proc.returncode == 0
+
+    def test_update_adopts_current_timings(self, tmp_path):
+        out, base = tmp_path / "out", tmp_path / "baselines"
+        write_bench(out, "replay", min_s=0.7)
+        proc = run_gate(
+            "--out-dir", str(out), "--baseline-dir", str(base), "--update"
+        )
+        assert proc.returncode == 0
+        assert "adopt" in proc.stdout
+        adopted = json.loads((base / "replay.json").read_text())
+        assert adopted["timings"]["min_s"] == 0.7
+        # The adopted baseline now gates: the same result passes clean.
+        assert run_gate(
+            "--out-dir", str(out), "--baseline-dir", str(base)
+        ).returncode == 0
+
+    def test_new_bench_without_baseline_is_not_a_failure(self, tmp_path):
+        out, base = tmp_path / "out", tmp_path / "baselines"
+        base.mkdir()
+        write_bench(out, "fresh", min_s=1.0)
+        proc = run_gate("--out-dir", str(out), "--baseline-dir", str(base))
+        assert proc.returncode == 0
+        assert "new" in proc.stdout and "--update" in proc.stdout
+
+    def test_untimed_result_is_skipped(self, tmp_path):
+        out, base = tmp_path / "out", tmp_path / "baselines"
+        write_bench(base, "replay", min_s=1.0)
+        (out / "replay.json").parent.mkdir(parents=True, exist_ok=True)
+        (out / "replay.json").write_text(
+            json.dumps({"name": "replay", "timings": None}) + "\n"
+        )
+        proc = run_gate("--out-dir", str(out), "--baseline-dir", str(base))
+        assert proc.returncode == 0
+        assert "skip" in proc.stdout
+
+    def test_missing_out_dir_is_a_usage_error(self, tmp_path):
+        proc = run_gate("--out-dir", str(tmp_path / "nope"))
+        assert proc.returncode == 2
+
+    def test_empty_out_dir_is_a_usage_error(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        proc = run_gate("--out-dir", str(out))
+        assert proc.returncode == 2
+        assert "no bench results" in proc.stderr
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        out = tmp_path / "out"
+        write_bench(out, "replay", min_s=1.0)
+        proc = run_gate("--out-dir", str(out), "--tolerance", "-0.5")
+        assert proc.returncode == 2

@@ -21,9 +21,11 @@ from typing import List, Tuple
 from repro.devtools.flow import universe
 from repro.devtools.lint import lint_paths
 from repro.devtools.project import Project, default_repo_root, parse_module
+from repro.devtools.rules import metric_names as metric_names_module
 from repro.devtools.rules import rng_streams as rng_streams_module
 from repro.devtools.rules.boundary_purity import BoundaryPurity
 from repro.devtools.rules.import_contract import ImportContract
+from repro.devtools.rules.metric_names import MetricNameRegistry
 from repro.devtools.rules.rng_streams import RngStreamRegistry
 from repro.devtools.stream_registry import (
     DERIVERS,
@@ -86,6 +88,23 @@ def test_rng_stream_registry_fixture():
     assert "owned by repro.trace.generator" in by_line[32]
     assert "not a registered deriver" in by_line[41]
     assert "owned by repro.trace.social" in by_line[48]  # local constant
+
+
+def test_metric_name_registry_fixture():
+    path = FIXTURES / "repro" / "obs" / "metricnames.py"
+    findings = _rule_findings(path, "metric-name-registry")
+    assert [line for line, _ in findings] == [16, 21, 26, 31, 36, 41, 47, 47]
+    by_line = dict(findings)
+    assert "not in the metric registry" in by_line[16]
+    assert "owned by repro.faults.schedule" in by_line[21]
+    assert "declared counter" in by_line[26]
+    assert "not a string literal" in by_line[31]
+    assert "not in the metric registry" in by_line[36]
+    assert "declared gauge" in by_line[41]
+    # line 47 fires twice: owner mismatch + run-scoped memory source
+    messages = "\n".join(m for line, m in findings if line == 47)
+    assert "owned by repro.wlan.replay" in messages
+    assert "host-scoped gauge" in messages
 
 
 def test_import_contract_fixture():
@@ -200,6 +219,34 @@ def test_stale_fallback_generators_are_findings(monkeypatch):
     assert any(
         "missing_fn does not resolve" in m for m in messages
     )
+
+
+def test_metric_registry_exactly_matches_src_in_both_directions():
+    """The shipped specs have no unused entry and src has no stray site."""
+    findings = list(MetricNameRegistry().check_project(_fresh_project()))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_unused_metric_spec_is_a_finding(monkeypatch):
+    from repro.obs.metric_registry import MetricSpec
+
+    extra = MetricSpec(
+        name="never.recorded",
+        kind="counter",
+        scope="run",
+        owner="repro.wlan.replay",
+        description="test-only spec with no call site",
+    )
+    monkeypatch.setattr(
+        metric_names_module,
+        "SPECS_BY_NAME",
+        {**metric_names_module.SPECS_BY_NAME, extra.name: extra},
+    )
+    findings = list(MetricNameRegistry().check_project(_fresh_project()))
+    assert len(findings) == 1
+    assert "matches no instrumentation call site" in findings[0].message
+    assert "never.recorded" in findings[0].message
+    assert findings[0].path == metric_names_module.REGISTRY_PATH
 
 
 # -------------------------------------------------------------- layering

@@ -39,6 +39,7 @@ EXPECTED_RULES = {
     "fault-determinism",
     "fork-safe-rng",
     "import-contract",
+    "metric-name-registry",
     "mutable-default",
     "no-pickled-columns",
     "no-unseeded-rng",

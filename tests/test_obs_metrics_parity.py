@@ -1,0 +1,118 @@
+"""Serial/process parity for the windowed metric series.
+
+The cross-worker aggregation contract: for a fixed seed (and a fixed
+fault plan — chaos stays armed here so the fault counters are covered
+too), the run-scoped metric series the process engine folds together
+from its worker snapshots are **byte-identical** to the serial engine's,
+after ``strip_wall``.  Host-scoped series (pool backpressure, per-shard
+task latencies, memory probes) are engine-shaped by design and live
+under the strippable ``"wall"`` key, so the byte comparison runs on the
+stripped journal — exactly the contract the journal fragments already
+honour.  This is the equivalence proof the parity registry lists for
+``repro.runtime.engine.replay`` metrics.
+"""
+
+from __future__ import annotations
+
+from repro.faults import ChaosConfig, generate_plan
+from repro.obs import metrics as obs_metrics
+from repro.obs.journal import render_journal, strip_wall
+from repro.obs.records import MetaRecord
+from repro.runtime import replay_process, replay_serial
+from repro.sim.rng import RandomStreams
+from repro.wlan.replay import window_for
+from repro.wlan.strategies import LeastLoadedFirst
+
+
+def chaos_plan(workload):
+    """A multi-kind plan drawn from a fixed seed over the test window."""
+    window = window_for(workload.test_demands, workload.config.replay)
+    return generate_plan(
+        workload.world.layout,
+        window.start,
+        window.horizon,
+        RandomStreams(7),
+        ChaosConfig(ap_outages=2, controller_outages=1, stale_reports=2),
+    )
+
+
+def metrics_journal_text() -> str:
+    registry = obs_metrics.get_metrics()
+    records = [MetaRecord(fields={"test": "metrics-parity"})]
+    records.extend(obs_metrics.metric_records(registry))
+    records.append(obs_metrics.metrics_rollup(registry))
+    return render_journal(records)
+
+
+def run_scoped_records():
+    return [
+        record
+        for record in obs_metrics.metric_records()
+        if record.scope == "run"
+    ]
+
+
+def test_metric_series_byte_identical_across_engines(small_workload):
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    config = small_workload.config.replay
+    plan = chaos_plan(small_workload)
+    assert not plan.is_empty
+    registry = obs_metrics.get_metrics()
+    try:
+        registry.reset()
+        registry.enabled = True
+        serial = replay_serial(
+            layout, LeastLoadedFirst(), demands, config, fault_plan=plan
+        )
+        serial_text = metrics_journal_text()
+        serial_run = run_scoped_records()
+
+        registry.reset()
+        registry.enabled = True
+        process = replay_process(
+            layout, LeastLoadedFirst(), demands, config, workers=2,
+            fault_plan=plan,
+        )
+        process_text = metrics_journal_text()
+        process_run = run_scoped_records()
+    finally:
+        registry.reset()
+        registry.enabled = False
+    assert process.sessions == serial.sessions
+    # The run-scoped series survive the fold bit-for-bit ...
+    assert serial_run, "the replay recorded no run-scoped metrics?"
+    assert process_run == serial_run
+    # ... and so does the journal byte stream once wall state is gone.
+    assert strip_wall(process_text) == strip_wall(serial_text)
+    # Chaos reached the metrics: the armed plan shows up as counters.
+    names = {record.name for record in serial_run}
+    assert "faults.injected" in names
+    assert "replay.decisions" in names
+
+
+def test_process_engine_records_host_scoped_runtime_series(small_workload):
+    """The worker-side latency histogram and retry/backpressure series
+    exist only under ``"wall"`` — present in the process run, absent
+    after ``strip_wall``, never part of the parity surface."""
+    layout = small_workload.world.layout
+    demands = small_workload.test_demands
+    config = small_workload.config.replay
+    registry = obs_metrics.get_metrics()
+    try:
+        registry.reset()
+        registry.enabled = True
+        replay_process(
+            layout, LeastLoadedFirst(), demands, config, workers=2
+        )
+        records = obs_metrics.metric_records()
+    finally:
+        registry.reset()
+        registry.enabled = False
+    host_names = {r.name for r in records if r.scope == "host"}
+    assert "runtime.task_seconds" in host_names
+    assert "runtime.pool_pending" in host_names
+    text = render_journal(list(records))
+    stripped = strip_wall(text)
+    assert "runtime.task_seconds" in text
+    assert "runtime.task_seconds" not in stripped

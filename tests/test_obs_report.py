@@ -7,9 +7,11 @@ import pytest
 from repro import obs, perf
 from repro.obs.journal import parse_journal, read_journal, strip_wall, write_journal
 from repro.obs.records import Candidate, DecisionRecord, SampleRecord, SpanRecord
+from repro.obs import metrics as obs_metrics
 from repro.obs.report import (
     format_balance_timelines,
     format_decisions,
+    format_metrics,
     format_perf_footer,
     format_top_spans,
     main,
@@ -117,6 +119,74 @@ class TestFormatters:
         journal = parse_journal('{"type":"meta","data":{"format":1},"wall":{}}\n')
         assert "no perf footer" in format_perf_footer(journal)
 
+    def test_perf_footer_rates_calls_by_sim_span(self, tmp_path):
+        # A journal whose spans cover a simulated interval gets the
+        # preset-independent calls/simh column: 9 calls over a half
+        # sim-hour is a rate of 18.
+        obs.enable(reset=True)
+        with obs.span("replay.run", sim_time=0.0) as span:
+            span.sim_end = 1800.0
+        perf.reset()
+        for _ in range(9):
+            with perf.timer("step"):
+                pass
+        path = write_journal(tmp_path / "rate.jsonl")
+        obs.disable()
+        text = format_perf_footer(read_journal(path))
+        header = next(line for line in text.splitlines() if "timer" in line)
+        assert header.split()[-1] == "calls/simh"
+        row = next(line for line in text.splitlines() if "step" in line)
+        assert row.split()[-1] == "18.00"
+
+    def test_zero_decision_run_renders_placeholders(self, tmp_path):
+        # Regression: a run with spans but neither decisions nor sampler
+        # ticks must render placeholders, not crash on an empty
+        # controller map or an unbounded bucket count.
+        obs.enable(reset=True)
+        with obs.span("replay.run", sim_time=0.0) as span:
+            span.sim_end = 60.0
+        path = write_journal(tmp_path / "idle.jsonl")
+        obs.disable()
+        journal = read_journal(path)
+        assert journal.decisions == [] and journal.samples == []
+        text = render_report(journal, spans=0)
+        assert "(no balance samples recorded)" in text
+        assert "(no decisions recorded)" in text
+        assert "(no spans recorded)" in text  # spans=0 clamps cleanly
+
+    def test_balance_timeline_clamps_bucket_count(self):
+        samples = [
+            SampleRecord(
+                sim_time=10.0, controller_id="c0", balance=1.0,
+                total_load=1.0, users=1,
+            )
+        ]
+        text = format_balance_timelines(samples, buckets=0)
+        assert "1 buckets" in text and "c0" in text
+
+    def test_metrics_section_summarizes_series(self, tmp_path):
+        obs.enable(reset=True)
+        obs_metrics.enable(reset=True)
+        obs_metrics.inc("replay.decisions", 2.0, 10.0)
+        obs_metrics.inc("replay.decisions", 3.0, 4000.0)
+        obs_metrics.observe("replay.candidate_set_size", 3.0, 10.0)
+        path = write_journal(tmp_path / "m.jsonl")
+        obs_metrics.disable()
+        obs.disable()
+        journal = read_journal(path)
+        text = format_metrics(journal)
+        assert "sim-time window 3600s" in text
+        decisions = next(
+            line for line in text.splitlines()
+            if line.startswith("replay.decisions")
+        )
+        assert "counter" in decisions and "windows=2" in decisions
+        assert "total=5" in decisions
+
+    def test_metrics_section_placeholder_without_records(self):
+        journal = parse_journal('{"type":"meta","data":{"format":1},"wall":{}}\n')
+        assert "no metric records" in format_metrics(journal)
+
 
 class TestRenderAndCli:
     def write_sample_journal(self, tmp_path):
@@ -143,7 +213,10 @@ class TestRenderAndCli:
         text = render_report(read_journal(path), title="run.jsonl")
         assert "=== run journal: run.jsonl ===" in text
         assert "meta: preset=tiny" in text
-        assert "records: 1 spans, 1 decisions, 1 samples, 0 faults" in text
+        assert (
+            "records: 1 spans, 1 decisions, 1 samples, 0 faults, "
+            "0 metric windows" in text
+        )
         for section in (
             "-- top spans --",
             "-- balance timelines --",
@@ -161,6 +234,19 @@ class TestRenderAndCli:
         out = capsys.readouterr().out
         assert "=== run journal: run.jsonl ===" in out
         assert "llf/single -> ap0" in out
+
+    def test_cli_metrics_flag_adds_section(self, tmp_path, capsys):
+        obs.enable(reset=True)
+        obs_metrics.enable(reset=True)
+        obs_metrics.inc("replay.decisions", 1.0, 5.0)
+        path = write_journal(tmp_path / "m.jsonl")
+        obs_metrics.disable()
+        obs.disable()
+        assert main([str(path)]) == 0
+        assert "-- metrics --" not in capsys.readouterr().out
+        assert main([str(path), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics --" in out and "replay.decisions" in out
 
     def test_cli_strip_emits_byte_stable_journal(self, tmp_path, capsys):
         path = self.write_sample_journal(tmp_path)

@@ -69,6 +69,23 @@ class TestReport:
     def test_empty_report_placeholder(self):
         assert "no perf samples" in PerfRegistry().report()
 
+    def test_report_rates_calls_by_sim_seconds(self):
+        registry = PerfRegistry()
+        for _ in range(9):
+            registry.record("step", 0.01)
+        text = registry.report(sim_seconds=1800.0)
+        header, row = text.splitlines()[:2]
+        assert header.split()[-1] == "calls/simh"
+        # 9 calls over half a simulated hour -> 18 calls per sim-hour.
+        assert row.split()[-1] == "18.00"
+
+    def test_report_omits_rate_without_sim_span(self):
+        registry = PerfRegistry()
+        registry.record("step", 0.01)
+        for sim_seconds in (None, 0.0):
+            text = registry.report(sim_seconds=sim_seconds)
+            assert "calls/simh" not in text
+
     def test_report_lists_counters(self):
         registry = PerfRegistry()
         registry.count("replay.events", 12)
