@@ -14,6 +14,8 @@ selection scheme S³ — together with every substrate its evaluation needs:
 ``repro.wlan``         enterprise WLAN simulator with pluggable strategies
 ``repro.experiments``  per-figure/table experiment runners
 ``repro.prototype``    message-level 802.11-style feasibility prototype
+``repro.service``      asyncio controller-as-a-service: event loop,
+                       micro-batched admission, online decision fast path
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
@@ -31,4 +33,5 @@ __all__ = [
     "wlan",
     "experiments",
     "prototype",
+    "service",
 ]

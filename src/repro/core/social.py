@@ -18,9 +18,10 @@ common events between the same pair of users."
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -81,13 +82,23 @@ class SocialModel:
         self.shrinkage = shrinkage
         # Indexed fast-path state: every structure below is a pure function
         # of (_pairs, type_model, alpha, min_encounters, shrinkage) at one
-        # generation; record_events bumps the generation to invalidate.
+        # generation.  Mutators bump the generation, then *patch* the
+        # structures in place and restamp them — a single co-leaving event
+        # touches one delta(u, v) entry, not the whole dense cache.
         self._generation = 0
         self._partners_generation = -1
         self._partners: Dict[str, List[Tuple[str, PairStats]]] = {}
+        self._adjacency_generation = -1
+        self._adjacency: Dict[str, Dict[str, float]] = {}
         self._delta_cache: "OrderedDict[Tuple[str, ...], Tuple[int, np.ndarray]]" = (
             OrderedDict()
         )
+        # Per-user fine-grained stamps: the generation at which a user was
+        # last touched by record_events / assign_user_type.  External
+        # per-user caches (e.g. the service's social-cost index) key on
+        # these instead of the global counter.
+        self._user_generation: Dict[str, int] = {}
+        self._extended: Optional[np.ndarray] = None
 
     # -------------------------------------------------------------- queries
 
@@ -123,8 +134,36 @@ class SocialModel:
 
     @property
     def generation(self) -> int:
-        """Bumped by :meth:`record_events`; stamps the fast-path caches."""
+        """Bumped by every mutator; stamps the fast-path caches."""
         return self._generation
+
+    def user_generation(self, user_id: str) -> int:
+        """The generation at which ``user_id`` was last touched (0 never).
+
+        This is the fine-grained counterpart of :attr:`generation`: a
+        consumer caching per-user derived state (partner lists, cost
+        aggregates) compares this stamp instead of the global counter, so
+        an event between ``(a, b)`` does not invalidate its view of ``c``.
+        """
+        return self._user_generation.get(user_id, 0)
+
+    def _extended_affinity(self) -> np.ndarray:
+        """The (k+1) x (k+1) affinity with the unknown-user mean appended.
+
+        Pure function of the fitted affinity table (which never changes
+        after construction), so it is computed once and shared by the
+        batch build and the incremental patches — bit-for-bit.
+        """
+        if self._extended is None:
+            k = self.type_model.k
+            affinity = np.asarray(self.type_model.affinity, dtype=np.float64)
+            extended = np.empty((k + 1, k + 1), dtype=np.float64)
+            extended[:k, :k] = affinity
+            mean = float(affinity.mean())
+            extended[k, :] = mean
+            extended[:, k] = mean
+            self._extended = extended
+        return self._extended
 
     def _partner_index(self) -> Dict[str, List[Tuple[str, PairStats]]]:
         """user -> [(partner, stats)] for pairs above the encounter floor.
@@ -156,12 +195,7 @@ class SocialModel:
             perf.count("social.delta.cache_hit")
             return cached[1]
         k = self.type_model.k
-        affinity = np.asarray(self.type_model.affinity, dtype=np.float64)
-        extended = np.empty((k + 1, k + 1), dtype=np.float64)
-        extended[:k, :k] = affinity
-        mean = float(affinity.mean())
-        extended[k, :] = mean
-        extended[:, k] = mean
+        extended = self._extended_affinity()
         assignments = self.type_model.assignments
         codes = np.fromiter(
             (assignments.get(user, k) for user in members),
@@ -229,6 +263,34 @@ class SocialModel:
         """Number of pairs with any recorded events."""
         return len(self._pairs)
 
+    def conditional_partners(self, user_id: str) -> Mapping[str, float]:
+        """partner -> conditional term, for pairs above the encounter floor.
+
+        Unlike :meth:`_partner_index` (canonical pairs, smaller id first)
+        this adjacency is bidirectional — the natural query shape for an
+        online controller asking "which residents does this arrival
+        co-leave with?".  Built lazily once, then patched in place by
+        :meth:`record_events`.  Treat the returned mapping as read-only.
+        """
+        self._adjacency_index()
+        return self._adjacency.get(user_id, {})
+
+    def _adjacency_index(self) -> Dict[str, Dict[str, float]]:
+        if self._adjacency_generation != self._generation:
+            index: Dict[str, Dict[str, float]] = {}
+            floor = self.min_encounters
+            shrinkage = self.shrinkage
+            for (user_a, user_b), stats in self._pairs.items():
+                if stats.encounters >= floor:
+                    conditional = min(
+                        1.0, stats.co_leavings / (stats.encounters + shrinkage)
+                    )
+                    index.setdefault(user_a, {})[user_b] = conditional
+                    index.setdefault(user_b, {})[user_a] = conditional
+            self._adjacency = index
+            self._adjacency_generation = self._generation
+        return self._adjacency
+
     # ------------------------------------------------------ online updates
 
     def record_events(
@@ -240,16 +302,156 @@ class SocialModel:
         (:mod:`repro.core.online`) uses: the controller observes
         encounters and co-leavings from the association stream it manages
         anyway, and keeps the model current without retraining.
+
+        The update is a true delta: the pair's entry in the partner and
+        adjacency indexes is patched in place, and every cached dense
+        delta matrix containing both users has exactly its ``(u, v)``
+        entries recomputed — in the same operation order as the batch
+        build, so patched matrices stay *byte-identical* to a from-scratch
+        rebuild (the equivalence the parity registry proves).  Everything
+        is restamped to the new generation; only the two touched users'
+        :meth:`user_generation` stamps move.
         """
         if encounters < 0 or co_leavings < 0:
             raise ValueError("event deltas must be non-negative")
         pair = make_pair(user_a, user_b)
         old = self._pairs.get(pair, PairStats(0, 0))
-        self._pairs[pair] = PairStats(
+        stats = PairStats(
             encounters=old.encounters + encounters,
             co_leavings=old.co_leavings + co_leavings,
         )
+        self._pairs[pair] = stats
         self._generation += 1
+        generation = self._generation
+        self._user_generation[pair[0]] = generation
+        self._user_generation[pair[1]] = generation
+
+        conditional = 0.0
+        above_floor = stats.encounters >= self.min_encounters
+        if above_floor:
+            conditional = min(
+                1.0, stats.co_leavings / (stats.encounters + self.shrinkage)
+            )
+
+        # Partner index: replace (or append) the pair's entry in place.
+        if self._partners_generation == generation - 1:
+            if above_floor:
+                bucket = self._partners.setdefault(pair[0], [])
+                for position, (partner, _) in enumerate(bucket):
+                    if partner == pair[1]:
+                        bucket[position] = (pair[1], stats)
+                        break
+                else:
+                    bucket.append((pair[1], stats))
+            self._partners_generation = generation
+
+        # Bidirectional adjacency: patch both directions.
+        if self._adjacency_generation == generation - 1:
+            if above_floor:
+                self._adjacency.setdefault(pair[0], {})[pair[1]] = conditional
+                self._adjacency.setdefault(pair[1], {})[pair[0]] = conditional
+            self._adjacency_generation = generation
+
+        if self._delta_cache:
+            self._patch_delta_cache(pair, conditional, generation)
+
+    def assign_user_type(self, user_id: str, type_index: int) -> None:
+        """Re-assign one user's type and patch the caches incrementally.
+
+        The online counterpart of re-running the k-means step for a user
+        whose profile drifted: the assignment map is updated, and every
+        cached delta matrix containing the user has exactly its row and
+        column recomputed (batch-build operation order, so the matrices
+        stay byte-identical to a rebuild).  The conditional terms are
+        untouched — only the type prior moves.
+        """
+        k = self.type_model.k
+        if not 0 <= type_index < k:
+            raise ValueError(
+                f"type index {type_index!r} out of range for k={k}"
+            )
+        if self.type_model.assignments.get(user_id) == type_index:
+            return
+        self.type_model.assignments[user_id] = type_index
+        self._generation += 1
+        generation = self._generation
+        self._user_generation[user_id] = generation
+        # The partner/adjacency indexes hold conditional terms only; a
+        # type change leaves them valid, so just restamp.
+        if self._partners_generation == generation - 1:
+            self._partners_generation = generation
+        if self._adjacency_generation == generation - 1:
+            self._adjacency_generation = generation
+        if self._delta_cache:
+            self._patch_delta_cache_user(user_id, generation)
+
+    def _patch_delta_cache(
+        self, pair: Pair, conditional: float, generation: int
+    ) -> None:
+        """Recompute the pair's entries in every current cached matrix.
+
+        A matrix not stamped ``generation - 1`` missed an earlier patch
+        (it can only happen through direct mutation of internals) and is
+        dropped rather than served stale.  The recomputed value follows
+        the batch build exactly — ``alpha * extended[ci, cj]`` first, the
+        conditional added second — because float addition does not
+        reassociate and byte-identity is the contract.
+        """
+        extended = self._extended_affinity()
+        k = self.type_model.k
+        assignments = self.type_model.assignments
+        code_a = assignments.get(pair[0], k)
+        code_b = assignments.get(pair[1], k)
+        value = self.alpha * extended[code_a, code_b] + conditional
+        stale: List[Tuple[str, ...]] = []
+        for members, (stamped, matrix) in self._delta_cache.items():
+            if stamped != generation - 1:
+                stale.append(members)
+                continue
+            i = bisect_left(members, pair[0])
+            j = bisect_left(members, pair[1])
+            if (
+                i < len(members)
+                and members[i] == pair[0]
+                and j < len(members)
+                and members[j] == pair[1]
+            ):
+                matrix[i, j] = value
+                matrix[j, i] = value
+            self._delta_cache[members] = (generation, matrix)
+        for members in stale:
+            del self._delta_cache[members]
+        perf.count("social.delta.patch")
+
+    def _patch_delta_cache_user(self, user_id: str, generation: int) -> None:
+        """Recompute one user's row/column in every current cached matrix."""
+        extended = self._extended_affinity()
+        k = self.type_model.k
+        assignments = self.type_model.assignments
+        code = assignments.get(user_id, k)
+        alpha = self.alpha
+        stale: List[Tuple[str, ...]] = []
+        for members, (stamped, matrix) in self._delta_cache.items():
+            if stamped != generation - 1:
+                stale.append(members)
+                continue
+            i = bisect_left(members, user_id)
+            if i < len(members) and members[i] == user_id:
+                for j, other in enumerate(members):
+                    if j == i:
+                        matrix[i, i] = alpha * extended[code, code]
+                        continue
+                    other_code = assignments.get(other, k)
+                    value = (
+                        alpha * extended[code, other_code]
+                        + self.conditional_term(user_id, other)
+                    )
+                    matrix[i, j] = value
+                    matrix[j, i] = value
+            self._delta_cache[members] = (generation, matrix)
+        for members in stale:
+            del self._delta_cache[members]
+        perf.count("social.delta.patch")
 
 
 def build_social_model(

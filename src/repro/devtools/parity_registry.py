@@ -60,6 +60,17 @@ PARITY_REGISTRY: Dict[str, ParityEntry] = {
             "tests/test_analysis_fastchurn.py::test_build_graph_cache_invalidated_by_record_events",
         ),
     ),
+    "repro.core.social.SocialModel.record_events": ParityEntry(
+        # Not an ``engine=`` dispatcher but the same contract: the
+        # incremental patch path must stay byte-identical to the batch
+        # rebuild it replaces (ISSUE 9 online-delta updates).
+        reference="repro.core.social.build_social_model",
+        tests=(
+            "tests/test_core_social_incremental.py::test_streamed_events_byte_identical_to_batch_rebuild",
+            "tests/test_core_social_incremental.py::test_assign_user_type_patches_rows_byte_identically",
+            "tests/test_core_social_incremental.py::test_streamed_model_matches_build_social_model",
+        ),
+    ),
     "repro.runtime.engine.replay": ParityEntry(
         reference="repro.runtime.engine.replay_serial",
         fast="repro.runtime.engine.replay_process",

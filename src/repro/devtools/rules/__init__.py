@@ -35,6 +35,9 @@ no-pickled-columns code under ``repro.runtime`` may not pickle
                    ``SessionArrays``/``DemandArrays``/``FlowArrays``/
                    ``TraceBundle`` across a process pool — columnar
                    payloads travel through ``repro.runtime.shm``
+shard-safe-note    a class setting ``shard_safe = False`` must declare
+                   a ``shard_safe_reason`` string naming the mutable
+                   cross-controller state that forbids sharding
 ================== ====================================================
 
 Whole-program (flow) rules — these build the shared import/symbol/call
@@ -79,6 +82,7 @@ from repro.devtools.rules import (  # noqa: F401  (registration side effects)
     ordered_iteration,
     rng,
     rng_streams,
+    shard_safe,
     stale_noqa,
     wallclock,
 )

@@ -46,6 +46,9 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "wlan": frozenset(
         {"analysis", "core", "faults", "obs", "perf", "sim", "trace"}
     ),
+    "service": frozenset(
+        {"analysis", "core", "obs", "perf", "sim", "wlan"}
+    ),
     "runtime": frozenset(
         {"experiments", "faults", "obs", "perf", "sim", "trace", "wlan"}
     ),

@@ -126,6 +126,12 @@ STREAM_REGISTRY: Tuple[StreamEntry, ...] = (
         owner="repro.wlan.replay",
         description="per-demand RSSI jitter (one stream per arrival)",
     ),
+    StreamEntry(
+        kind="get",
+        name="service",
+        owner="repro.service.workload",
+        description="synthetic service-session event stream draws",
+    ),
 )
 
 #: Functions allowed to compute stream names (prefix families).

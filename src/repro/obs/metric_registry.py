@@ -130,6 +130,67 @@ METRIC_REGISTRY: Tuple[MetricSpec, ...] = (
         description="fault events emitted by chaos-plan generation",
         unit="faults",
     ),
+    # ------------------------------------- service (run-scoped backpressure)
+    # The admission queue is driven by the sim clock and the event
+    # sequence alone, so its depth/batch/shed series are pure functions
+    # of the event stream — deterministic, diffable, run-scoped.
+    MetricSpec(
+        name="service.events",
+        kind="counter",
+        scope="run",
+        owner="repro.service.loop",
+        description="events dispatched by the controller service",
+        unit="events",
+    ),
+    MetricSpec(
+        name="service.decisions",
+        kind="counter",
+        scope="run",
+        owner="repro.service.admission",
+        description="association decisions committed by the service",
+        unit="decisions",
+    ),
+    MetricSpec(
+        name="service.queue_depth",
+        kind="gauge",
+        scope="run",
+        owner="repro.service.admission",
+        description="pending join queries after each enqueue",
+        unit="queries",
+    ),
+    MetricSpec(
+        name="service.batch_size",
+        kind="histogram",
+        scope="run",
+        owner="repro.service.admission",
+        description="join queries per admission flush",
+        unit="queries",
+        buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+    ),
+    MetricSpec(
+        name="service.shed",
+        kind="counter",
+        scope="run",
+        owner="repro.service.admission",
+        description=(
+            "join queries shed to the fallback chain by a saturated "
+            "admission queue"
+        ),
+        unit="queries",
+    ),
+    # ---------------------------------------------- service (host-scoped)
+    MetricSpec(
+        name="service.decision_latency",
+        kind="histogram",
+        scope="host",
+        owner="repro.service.admission",
+        description=(
+            "wall seconds from join enqueue to committed decision "
+            "(micro-batching delay included)"
+        ),
+        unit="s",
+        buckets=(0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0),
+    ),
     # ----------------------------------------------- kernel (host-scoped)
     # Engine-shape dependent: every worker of a sharded run replays the
     # full periodic grid, so summed event counts exceed the serial run's.

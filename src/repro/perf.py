@@ -263,6 +263,20 @@ def reset() -> None:
     PERF.reset()
 
 
+def wall_seconds() -> float:
+    """A monotonic wall-clock reading (seconds, arbitrary epoch).
+
+    The sanctioned funnel for code outside :mod:`repro.perf` /
+    :mod:`repro.prototype` that must measure real elapsed time — the
+    service admission layer times decision latency with it.  Keeping the
+    ``perf_counter`` call here keeps the **no-wallclock** lint rule's
+    allowlist honest: callers depend on wall time only through an
+    interface whose results are already quarantined as host-scoped
+    (never allowed into run-scoped journal data).
+    """
+    return time.perf_counter()
+
+
 def peak_rss_bytes() -> int:
     """Peak resident set size of this process tree, in bytes.
 

@@ -1,0 +1,69 @@
+"""``repro.service`` — the controller as a long-running asyncio service.
+
+The batch replay engine (:mod:`repro.runtime`) answers "what would S³
+have done over this trace"; this package answers the operational
+question the paper's controller actually faces: association queries
+arriving concurrently, a sociality model that must learn from the same
+event stream it serves, and load that can outrun the decision path.
+
+Three layers (see ``docs/service.md``):
+
+* :mod:`repro.service.loop` — a :class:`ControllerService` dispatching
+  ``station_join`` / ``station_leave`` / ``stats_report`` events to
+  controller apps in deterministic sim-clock order (a sequence-number
+  reorder buffer makes the journal independent of producer
+  interleaving);
+* :mod:`repro.service.admission` — micro-batching of join queries with
+  a bounded queue that sheds to the ``s3 -> llf -> rssi`` fallback
+  chain under saturation, emitting backpressure metrics;
+* :mod:`repro.service.fastpath` — an O(types + partners) incremental
+  social-cost index over the same :class:`~repro.core.social.SocialModel`
+  the batch selector uses, fed by the PR 9 online delta updates.
+
+Same-seed runs journal byte-identically after ``strip_wall`` whether
+events arrive from one producer or many — that contract is what makes a
+concurrent service auditable with the same tools as a batch replay.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import AdmissionConfig
+from repro.service.events import (
+    ServiceEvent,
+    StationJoin,
+    StationLeave,
+    StatsReport,
+)
+from repro.service.fastpath import ApRuntime, FastAssociator
+from repro.service.loop import (
+    BalanceMonitorApp,
+    ControllerService,
+    JoinTicket,
+    ServiceApp,
+    run_events,
+)
+from repro.service.workload import (
+    WorkloadSpec,
+    make_service,
+    run_journaled_service,
+    synthetic_events,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "ApRuntime",
+    "BalanceMonitorApp",
+    "ControllerService",
+    "FastAssociator",
+    "JoinTicket",
+    "ServiceApp",
+    "ServiceEvent",
+    "StationJoin",
+    "StationLeave",
+    "StatsReport",
+    "WorkloadSpec",
+    "make_service",
+    "run_events",
+    "run_journaled_service",
+    "synthetic_events",
+]

@@ -1,0 +1,255 @@
+"""The service's O(types + partners) association fast path.
+
+:meth:`repro.core.selection.S3Selector.select` recomputes the added
+social cost of an arrival against every resident of every AP — an
+O(APs x residents) walk that is fine for batch replay but not for a
+service gated at ten thousand decisions per second.  The
+:class:`FastAssociator` keeps the aggregate the walk recomputes:
+
+* per AP, a **type-count vector** (k+1 integers, the unknown bucket
+  last) updated O(1) on join/leave, so the type half of the cost is a
+  k-term dot product with the arrival's affinity row instead of a
+  per-resident table lookup;
+* per arrival, the sparse conditional half comes from
+  :meth:`~repro.core.social.SocialModel.conditional_partners` — the
+  bidirectional adjacency the PR 9 incremental updates patch in place —
+  intersected with the AP's resident set.
+
+Ranking then mirrors Algorithm 1's singleton form *exactly*: feasible
+APs by bandwidth, sort by ``(cost, load, ap_id)``, keep the cheapest
+30%, re-rank by predicted balance index.  The decisions match
+:class:`~repro.core.selection.S3Selector` whenever costs are not within
+float-roundoff of a tie (the aggregated sum associates differently than
+the per-resident walk); the fast path is the service's *own*
+deterministic s3 arm, proven choice-equivalent on non-degenerate
+scenarios by ``tests/test_service_fastpath.py``.
+
+Resident types are counted as of association time: a user retyped by
+:meth:`~repro.core.social.SocialModel.assign_user_type` *while
+associated* keeps their old bucket until they re-associate.  The
+controller's online learner never retypes mid-association, so the two
+views coincide in every service configuration shipped here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.demand import DemandEstimator
+from repro.core.selection import APState
+from repro.core.social import SocialModel
+
+
+class ApRuntime:
+    """Mutable per-AP state the service steers: load, residents, types."""
+
+    __slots__ = ("ap_id", "bandwidth", "load", "users", "type_counts")
+
+    def __init__(
+        self, ap_id: str, bandwidth: float, type_buckets: int
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"AP {ap_id}: non-positive bandwidth")
+        if type_buckets < 1:
+            raise ValueError(f"AP {ap_id}: need at least one type bucket")
+        self.ap_id = ap_id
+        self.bandwidth = bandwidth
+        self.load = 0.0
+        #: user -> (admitted rate, type code at association time).
+        self.users: Dict[str, Tuple[float, int]] = {}
+        #: Residents per type code, the unknown bucket last.
+        self.type_counts: List[int] = [0] * type_buckets
+
+    @property
+    def user_count(self) -> int:
+        return len(self.users)
+
+    def snapshot(self) -> APState:
+        """An immutable :class:`APState` view (provenance, parity tests)."""
+        return APState(
+            ap_id=self.ap_id,
+            bandwidth=self.bandwidth,
+            load=self.load,
+            users=tuple(self.users),
+        )
+
+
+class FastAssociator:
+    """Incremental social-cost index over live AP state."""
+
+    def __init__(
+        self,
+        social: SocialModel,
+        demand: DemandEstimator,
+        aps: Sequence[ApRuntime],
+        top_fraction: float = 0.3,
+    ) -> None:
+        if not aps:
+            raise ValueError("no APs configured")
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError("top_fraction must be in (0, 1]")
+        self.social = social
+        self.demand = demand
+        self.top_fraction = top_fraction
+        self.alpha = social.alpha
+        self._aps: Dict[str, ApRuntime] = {}
+        for ap in aps:
+            if ap.ap_id in self._aps:
+                raise ValueError(f"duplicate AP id {ap.ap_id!r}")
+            self._aps[ap.ap_id] = ap
+        #: Deterministic iteration order for ranking and balance vectors.
+        self._order: List[str] = sorted(self._aps)
+        self._user_ap: Dict[str, str] = {}
+        #: The extended affinity as plain float rows — scalar access in
+        #: the per-decision loop beats numpy indexing at this size.
+        k = social.type_model.k
+        affinity = np.asarray(social.type_model.affinity, dtype=np.float64)
+        mean = float(affinity.mean())
+        self._rows: List[List[float]] = [
+            [float(value) for value in affinity[code]] + [mean]
+            for code in range(k)
+        ]
+        self._rows.append([mean] * (k + 1))
+        self._unknown_code = k
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def ap_ids(self) -> List[str]:
+        """AP ids in the deterministic ranking order."""
+        return list(self._order)
+
+    def ap(self, ap_id: str) -> ApRuntime:
+        return self._aps[ap_id]
+
+    def ap_of(self, user_id: str) -> Optional[str]:
+        """The AP ``user_id`` is associated with, if any."""
+        return self._user_ap.get(user_id)
+
+    def loads(self) -> List[float]:
+        """Current loads, in ``ap_ids`` order."""
+        return [self._aps[ap_id].load for ap_id in self._order]
+
+    def total_users(self) -> int:
+        return len(self._user_ap)
+
+    def snapshots(self) -> List[APState]:
+        """Immutable AP snapshots in ranking order."""
+        return [self._aps[ap_id].snapshot() for ap_id in self._order]
+
+    def _code_of(self, user_id: str) -> int:
+        return self.social.type_model.assignments.get(
+            user_id, self._unknown_code
+        )
+
+    def added_cost(self, user_id: str, ap: ApRuntime) -> float:
+        """The C(AP) increment of adding ``user_id`` to ``ap``.
+
+        Type half from the count vector, conditional half from the
+        adjacency intersected with the resident set — never a walk over
+        residents' individual type lookups.
+        """
+        row = self._rows[self._code_of(user_id)]
+        type_sum = 0.0
+        for code, count in enumerate(ap.type_counts):
+            if count:
+                type_sum += row[code] * count
+        conditional = 0.0
+        partners = self.social.conditional_partners(user_id)
+        if partners:
+            residents = ap.users
+            if len(partners) <= len(residents):
+                for partner, value in partners.items():
+                    if partner in residents and partner != user_id:
+                        conditional += value
+            else:
+                for resident in residents:
+                    if resident != user_id:
+                        value = partners.get(resident)
+                        if value is not None:
+                            conditional += value
+        return self.alpha * type_sum + conditional
+
+    def score_candidates(self, user_id: str) -> Dict[str, float]:
+        """ap id -> added social cost, for decision provenance."""
+        return {
+            ap_id: self.added_cost(user_id, self._aps[ap_id])
+            for ap_id in self._order
+        }
+
+    # ------------------------------------------------------------ decisions
+
+    def least_loaded(self) -> str:
+        """LLF over live state: the shed path's choice."""
+        return min(
+            (self._aps[ap_id] for ap_id in self._order),
+            key=lambda ap: (ap.load, ap.user_count, ap.ap_id),
+        ).ap_id
+
+    def select(self, user_id: str) -> str:
+        """Algorithm 1 for a singleton clique, against live state.
+
+        Same ranking as ``S3Selector.select``: feasible APs sorted by
+        ``(added cost, load, ap_id)``, the cheapest ``top_fraction``
+        re-ranked by predicted balance — here reduced to its closed
+        form (see inline note).  Infeasible everywhere still admits at
+        the least-loaded AP.
+        """
+        rate = self.demand.estimate(user_id)
+        feasible = [
+            ap
+            for ap in (self._aps[ap_id] for ap_id in self._order)
+            if ap.load + rate <= ap.bandwidth
+        ]
+        if not feasible:
+            return self.least_loaded()
+        ranked = sorted(
+            feasible,
+            key=lambda ap: (self.added_cost(user_id, ap), ap.load, ap.ap_id),
+        )
+        keep = max(1, int(math.ceil(len(ranked) * self.top_fraction)))
+        top = ranked[:keep]
+        if len(top) == 1:
+            return top[0].ap_id
+        # Balance re-rank, solved in closed form.  Admitting one rate r
+        # at candidate c leaves the total load sum(L) + r identical for
+        # every candidate and changes the sum of squares by
+        # 2*r*L_c + r^2, so Jain's index after admission is strictly
+        # monotone *decreasing* in the candidate's current load L_c:
+        # maximizing balance-after is exactly minimizing L_c.  The
+        # selector's tie-break chain (load, user_count, ap_id) is
+        # preserved verbatim.
+        return min(
+            top, key=lambda ap: (ap.load, ap.user_count, ap.ap_id)
+        ).ap_id
+
+    # ------------------------------------------------------- state updates
+
+    def apply_join(self, user_id: str, ap_id: str) -> float:
+        """Associate ``user_id`` with ``ap_id``; returns the admitted rate."""
+        if user_id in self._user_ap:
+            raise ValueError(f"user {user_id!r} is already associated")
+        ap = self._aps[ap_id]
+        rate = self.demand.estimate(user_id)
+        code = self._code_of(user_id)
+        ap.users[user_id] = (rate, code)
+        ap.type_counts[code] += 1
+        ap.load += rate
+        self._user_ap[user_id] = ap_id
+        return rate
+
+    def apply_leave(self, user_id: str) -> Optional[str]:
+        """Disassociate ``user_id``; returns the AP left, if any."""
+        ap_id = self._user_ap.pop(user_id, None)
+        if ap_id is None:
+            return None
+        ap = self._aps[ap_id]
+        rate, code = ap.users.pop(user_id)
+        ap.type_counts[code] -= 1
+        ap.load -= rate
+        if ap.load < 0 and ap.load > -1e-9:
+            ap.load = 0.0
+        return ap_id

@@ -1,0 +1,193 @@
+"""Synthetic workloads and one-call journaled service sessions.
+
+:func:`synthetic_events` turns a seed into a join/leave/stats stream —
+a present-set state machine over the ``"service"`` RNG stream, so the
+same seed yields the same events in every process.  :func:`make_service`
+builds a cold-start controller (empty social model, deterministic type
+table, default demand EWMA) around that population, and
+:func:`run_journaled_service` runs the stream through it under the
+observability stack and writes the journal.
+
+The journal meta deliberately excludes the producer count: a journal
+must not reveal — and therefore must not depend on — how many asyncio
+producers raced to submit the stream.  ``tests/test_service_journal.py``
+byte-diffs serial against eight-producer runs on that basis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro import obs, perf
+from repro.core.demand import DemandEstimator
+from repro.core.online import OnlineConfig, OnlineLearner
+from repro.core.social import SocialModel
+from repro.core.typing import TypeModel
+from repro.service.admission import AdmissionConfig
+from repro.service.events import (
+    ServiceEvent,
+    StationJoin,
+    StationLeave,
+    StatsReport,
+)
+from repro.service.fastpath import ApRuntime, FastAssociator
+from repro.service.loop import BalanceMonitorApp, ControllerService, run_events
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one synthetic service session."""
+
+    users: int = 32
+    aps: int = 8
+    events: int = 600
+    seed: int = 7
+    #: Per-AP capacity (bytes/second).
+    bandwidth: float = 2.0e6
+    #: Mean simulated seconds between events (exponential gaps).
+    mean_gap: float = 1.0
+    #: Scale of reported mean rates (bytes/second, exponential).
+    stats_scale: float = 80e3
+    #: User types in the deterministic cold-start affinity table.
+    type_count: int = 3
+    #: Balance-sampling grid of the monitor app (sim seconds).
+    monitor_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.users < 1 or self.aps < 1 or self.events < 0:
+            raise ValueError("users/aps must be >= 1, events >= 0")
+        if self.bandwidth <= 0 or self.mean_gap <= 0:
+            raise ValueError("bandwidth and mean_gap must be positive")
+        if self.stats_scale <= 0 or self.monitor_interval <= 0:
+            raise ValueError("stats_scale/monitor_interval must be positive")
+        if self.type_count < 1:
+            raise ValueError("type_count must be >= 1")
+
+
+def synthetic_events(spec: WorkloadSpec) -> List[ServiceEvent]:
+    """A deterministic join/leave/stats stream for ``spec``.
+
+    Present/absent users are kept in lists mutated only by indexed pops
+    and appends, so every draw's choice set has one deterministic order
+    — no iteration over sets anywhere.
+    """
+    rng = RandomStreams(spec.seed).get("service")
+    absent = [f"u{i:03d}" for i in range(spec.users)]
+    present: List[str] = []
+    events: List[ServiceEvent] = []
+    time = 0.0
+    for seq in range(spec.events):
+        time += float(rng.exponential(spec.mean_gap))
+        roll = float(rng.random())
+        if absent and (not present or roll < 0.45):
+            user = absent.pop(int(rng.integers(len(absent))))
+            present.append(user)
+            events.append(StationJoin(seq=seq, time=time, user_id=user))
+        elif present and roll < 0.7:
+            user = present.pop(int(rng.integers(len(present))))
+            absent.append(user)
+            events.append(StationLeave(seq=seq, time=time, user_id=user))
+        else:
+            user = present[int(rng.integers(len(present)))]
+            rate = float(rng.exponential(spec.stats_scale))
+            events.append(
+                StatsReport(seq=seq, time=time, user_id=user, mean_rate=rate)
+            )
+    return events
+
+
+def _cold_start_model(spec: WorkloadSpec) -> SocialModel:
+    """An empty social model over a deterministic type table.
+
+    Three of every four users are typed round-robin; the fourth stays a
+    stranger so the unknown bucket is exercised.  The affinity table is
+    a fixed symmetric pattern (no RNG): the point of the service runs is
+    what the *online* learner adds on top.
+    """
+    k = spec.type_count
+    index = np.arange(k, dtype=np.float64)
+    affinity = 0.1 + 0.05 * ((index[:, None] + index[None, :]) % 3.0)
+    affinity = affinity + 0.5 * np.eye(k)
+    assignments = {
+        f"u{i:03d}": i % k for i in range(spec.users) if i % 4 != 3
+    }
+    type_model = TypeModel(
+        centroids=np.zeros((k, 6)), assignments=assignments, affinity=affinity
+    )
+    return SocialModel({}, type_model)
+
+
+def make_service(
+    spec: WorkloadSpec,
+    admission: Optional[AdmissionConfig] = None,
+    monitor: bool = True,
+    online: Optional[OnlineConfig] = None,
+) -> ControllerService:
+    """A cold-start controller service sized for ``spec``."""
+    social = _cold_start_model(spec)
+    demand = DemandEstimator()
+    aps = [
+        ApRuntime(f"ap{i:02d}", spec.bandwidth, spec.type_count + 1)
+        for i in range(spec.aps)
+    ]
+    associator = FastAssociator(social, demand, aps)
+    apps = (
+        [BalanceMonitorApp(interval=spec.monitor_interval)] if monitor else []
+    )
+    return ControllerService(
+        associator,
+        admission=admission,
+        apps=apps,
+        learner=OnlineLearner(social, online),
+    )
+
+
+def run_journaled_service(
+    spec: WorkloadSpec,
+    journal: Optional[Union[str, Path]] = None,
+    metrics: bool = False,
+    producers: int = 1,
+    admission: Optional[AdmissionConfig] = None,
+) -> Dict[str, Any]:
+    """Run one synthetic session; journal it; return a summary dict."""
+    if metrics and journal is None:
+        raise ValueError("metrics require a journal to land in")
+    events = synthetic_events(spec)
+    service = make_service(spec, admission)
+    if journal is not None:
+        obs.enable(reset=True)
+        perf.reset()
+    if metrics:
+        obs.metrics.enable(reset=True)
+    asyncio.run(run_events(service, events, producers=producers))
+    queue = service.admission
+    summary: Dict[str, Any] = {
+        "events": service.events_processed,
+        "decisions": queue.decisions,
+        "batches": queue.batches,
+        "sheds": queue.sheds,
+        "users_online": service.associator.total_users(),
+        "known_pairs": (
+            service.learner.social.known_pairs()
+            if service.learner is not None
+            else 0
+        ),
+    }
+    if journal is not None:
+        obs.write_journal(
+            Path(journal),
+            meta={
+                "component": "service",
+                "seed": spec.seed,
+                "events": spec.events,
+                "users": spec.users,
+                "aps": spec.aps,
+            },
+        )
+    return summary

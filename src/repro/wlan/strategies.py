@@ -46,6 +46,13 @@ class SelectionStrategy(abc.ABC):
     #: these and ``engine="auto"`` falls back to serial.
     shard_safe: bool = True
 
+    #: Why ``shard_safe`` is ``False`` — one sentence naming the mutable
+    #: cross-controller state.  The **shard-safe-note** lint rule
+    #: requires a non-empty value on every class that flips the flag
+    #: off, so the constraint stays greppable instead of living only in
+    #: a comment.  Empty for strategies keeping the default contract.
+    shard_safe_reason: str = ""
+
     #: Declared graceful-degradation order, most- to least-preferred
     #: strategy name.  Empty for strategies with no fallback logic.
     fallback_chain: Tuple[str, ...] = ()
@@ -201,6 +208,7 @@ class RandomSelection(SelectionStrategy):
     # One generator consumed in global arrival order: sharding reorders
     # the draws, so the serial and process engines would diverge.
     shard_safe = False
+    shard_safe_reason = "shared RNG consumed in global arrival order"
 
     def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -238,6 +246,12 @@ class S3Strategy(SelectionStrategy):
 
     name = "s3"
     fallback_chain = ("s3", "llf", "rssi")
+    # Only applies when ``model_max_age`` arms the staleness clock; the
+    # ageless configuration stays shard-safe (see ``__init__``).
+    shard_safe_reason = (
+        "staleness clock advanced by observe hooks is mutable "
+        "cross-controller state"
+    )
 
     def __init__(
         self,

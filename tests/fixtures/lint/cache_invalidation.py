@@ -32,3 +32,29 @@ class PlainModel:  # not flagged: mutation but nothing memoized
 
     def observe(self, amount):
         self.total += amount
+
+
+class PatchedModel:  # not flagged: fine-grained per-user generations
+    """The PR 9 contract: mutators patch the memo in place and stamp a
+    per-user generation instead of wiping the whole cache."""
+
+    def __init__(self):
+        self._delta_cache = {}
+        self._user_generation = {}
+        self.totals = {}
+
+    def observe(self, user, amount):
+        self.totals[user] = self.totals.get(user, 0) + amount
+        self._user_generation[user] = self._user_generation.get(user, 0) + 1
+        if user in self._delta_cache:
+            self._delta_cache[user] = self.totals[user]
+
+
+class WipedModel:  # line 53: mutates + memoizes, stamps nothing at all
+    def __init__(self):
+        self._delta_cache = {}
+        self.totals = {}
+
+    def observe(self, user, amount):
+        self.totals[user] = self.totals.get(user, 0) + amount
+        self._delta_cache.clear()  # a wipe is not a stamp

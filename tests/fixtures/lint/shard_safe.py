@@ -1,0 +1,36 @@
+"""Fixture: shard_safe = False needs a shard_safe_reason string."""
+
+
+class SilentOptOut:
+    shard_safe = False  # line 5: no reason declared
+
+    def select(self, user_id, aps):
+        return aps[0]
+
+
+class EmptyReason:
+    shard_safe = False  # line 12: reason present but blank
+    shard_safe_reason = "   "
+
+
+class ConditionalOptOut:
+    def __init__(self, max_age):
+        if max_age is not None:
+            self.shard_safe = False  # line 19: self-assign, no reason
+
+
+class Documented:  # not flagged: reason is a non-empty string
+    shard_safe = False
+    shard_safe_reason = "shared RNG consumed in global arrival order"
+
+
+class DocumentedConditional:  # not flagged: self-assign with class reason
+    shard_safe_reason = "staleness clock is cross-controller state"
+
+    def __init__(self, max_age):
+        if max_age is not None:
+            self.shard_safe = False
+
+
+class StillShardable:  # not flagged: True is the default contract
+    shard_safe = True

@@ -46,6 +46,7 @@ EXPECTED_RULES = {
     "no-wallclock",
     "ordered-iteration",
     "rng-stream-registry",
+    "shard-safe-note",
     "stale-noqa",
 }
 
@@ -117,8 +118,13 @@ def test_ordered_iteration_fixture_scoped_by_module_name():
 
 def test_cache_invalidation_fixture():
     findings = findings_for("cache_invalidation.py")
-    assert lines_by_rule(findings, "cache-invalidation") == [4]
+    assert lines_by_rule(findings, "cache-invalidation") == [4, 53]
     assert "StaleModel" in findings[0].message
+    # the fine-grained patch-in-place contract (PR 9) satisfies the rule:
+    # per-user generation stamps count as invalidation, a bare wipe does not
+    messages = "\n".join(f.message for f in findings)
+    assert "PatchedModel" not in messages
+    assert "WipedModel" in messages
 
 
 def test_engine_parity_fixture():
@@ -165,6 +171,16 @@ def test_fault_determinism_fixture_scoped_by_module_name():
     # the same code outside repro.faults is not flagged by this rule
     relaxed = lint_module(parse_module(path, module="repro.wlan.determinism"))
     assert lines_by_rule(relaxed, "fault-determinism") == []
+
+
+def test_shard_safe_fixture():
+    findings = findings_for("shard_safe.py")
+    assert lines_by_rule(findings, "shard-safe-note") == [5, 12, 19]
+    messages = "\n".join(f.message for f in findings)
+    assert "SilentOptOut" in messages
+    assert "EmptyReason" in messages
+    assert "ConditionalOptOut" in messages
+    assert "Documented" not in messages.replace("DocumentedConditional", "")
 
 
 def test_mutable_default_fixture():

@@ -1,0 +1,148 @@
+"""Micro-batching, horizon flushes, shedding and backpressure metrics."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandEstimator
+from repro.core.social import SocialModel
+from repro.core.typing import TypeModel
+from repro.obs import metrics as obs_metrics
+from repro.service.admission import (
+    FALLBACK_CHAIN,
+    SHED_NOTE,
+    AdmissionConfig,
+    AdmissionQueue,
+)
+from repro.service.events import StationJoin
+from repro.service.fastpath import ApRuntime, FastAssociator
+from repro.service.loop import JoinTicket
+
+
+def _associator(aps: int = 4) -> FastAssociator:
+    type_model = TypeModel(
+        centroids=np.zeros((2, 6)),
+        assignments={},
+        affinity=np.full((2, 2), 0.25),
+    )
+    return FastAssociator(
+        SocialModel({}, type_model),
+        DemandEstimator(),
+        [ApRuntime(f"ap{i}", 1e7, 3) for i in range(aps)],
+    )
+
+
+def _offer(queue: AdmissionQueue, seq: int, time: float) -> JoinTicket:
+    ticket = JoinTicket()
+    queue.offer(StationJoin(seq=seq, time=time, user_id=f"u{seq}"), ticket)
+    return ticket
+
+
+def test_flush_chunks_by_max_batch() -> None:
+    queue = AdmissionQueue(_associator(), AdmissionConfig(max_batch=2))
+    tickets = [_offer(queue, i, 0.1 * i) for i in range(5)]
+    assert queue.depth == 5
+    assert not any(t.done for t in tickets)
+    queue.flush(1.0)
+    assert queue.depth == 0
+    assert all(t.done for t in tickets)
+    assert queue.decisions == 5
+    assert queue.batches == 3  # chunks of 2, 2, 1
+
+
+def test_horizon_flush_on_clock_advance() -> None:
+    queue = AdmissionQueue(
+        _associator(), AdmissionConfig(max_batch=8, flush_horizon=1.0)
+    )
+    ticket = _offer(queue, 0, 10.0)
+    queue.maybe_flush(10.5)
+    assert not ticket.done
+    queue.maybe_flush(11.0)
+    assert ticket.done and queue.depth == 0
+
+
+def test_saturated_queue_sheds_to_llf() -> None:
+    commits: List[Tuple[str, str, Optional[str]]] = []
+    associator = _associator(aps=2)
+    queue = AdmissionQueue(
+        associator,
+        AdmissionConfig(max_batch=2, queue_capacity=2, flush_horizon=1e9),
+        on_commit=lambda e, ap, mode, note: commits.append((e.user_id, mode, note)),
+    )
+    # Fill one AP so LLF has a unique answer.
+    associator.ap("ap0").load = 5e6
+    queued = [_offer(queue, 0, 0.0), _offer(queue, 1, 0.0)]
+    assert queue.depth == 2 and not any(t.done for t in queued)
+    shed_ticket = _offer(queue, 2, 0.0)
+    assert shed_ticket.done  # answered immediately, out of band
+    assert shed_ticket.ap_id == "ap1"  # least loaded wins
+    assert queue.sheds == 1
+    assert queue.depth == 2  # pending batch untouched
+    assert commits == [("u2", "single", SHED_NOTE)]
+    queue.drain(0.0)
+    assert all(t.done for t in queued)
+    assert commits[0] == ("u2", "single", SHED_NOTE)
+    assert {c[1] for c in commits[1:]} == {"batch"}
+    assert {c[2] for c in commits[1:]} == {None}
+
+
+def test_shed_note_and_fallback_chain() -> None:
+    assert FALLBACK_CHAIN == ("s3", "llf", "rssi")
+    assert SHED_NOTE == "fallback:llf:admission-shed"
+
+
+def test_backpressure_metrics_recorded() -> None:
+    obs_metrics.enable(reset=True)
+    queue = AdmissionQueue(
+        _associator(),
+        AdmissionConfig(max_batch=2, queue_capacity=4, flush_horizon=1.5),
+    )
+    _offer(queue, 0, 1.0)
+    _offer(queue, 1, 2.0)
+    queue.maybe_flush(3.0)  # oldest aged 2.0 >= 1.5 -> batch of 2
+    _offer(queue, 2, 4.0)
+    _offer(queue, 3, 5.0)
+    queue.maybe_flush(6.0)  # second batch of 2
+    snapshot = {s.name: s for s in obs_metrics.REGISTRY.snapshot().series}
+    obs_metrics.disable()
+    assert sum(snapshot["service.decisions"].counter_windows.values()) == 4.0
+    batch_windows = snapshot["service.batch_size"].hist_windows.values()
+    assert sum(w.count for w in batch_windows) == 2  # two flushes...
+    assert sum(w.total for w in batch_windows) == 4.0  # ...of two joins each
+    depth_points = snapshot["service.queue_depth"].gauge_windows.values()
+    assert all(value == 0.0 for _, value in depth_points)  # reset by flushes
+    latency_windows = snapshot["service.decision_latency"].hist_windows.values()
+    assert sum(w.count for w in latency_windows) == 4
+
+
+def test_track_latency_collects_samples() -> None:
+    queue = AdmissionQueue(
+        _associator(), AdmissionConfig(max_batch=1, track_latency=True)
+    )
+    for i in range(5):
+        _offer(queue, i, float(i))
+    queue.drain(5.0)
+    assert len(queue.latencies) == 5
+    assert all(lat >= 0.0 for lat in queue.latencies)
+
+
+def test_drain_flushes_stragglers() -> None:
+    queue = AdmissionQueue(
+        _associator(), AdmissionConfig(max_batch=8, flush_horizon=1e9)
+    )
+    tickets = [_offer(queue, i, 0.0) for i in range(3)]
+    queue.drain(0.0)
+    assert all(t.done for t in tickets)
+    assert queue.batches == 1
+
+
+def test_config_validation() -> None:
+    with pytest.raises(ValueError, match="max_batch"):
+        AdmissionConfig(max_batch=0)
+    with pytest.raises(ValueError, match="flush_horizon"):
+        AdmissionConfig(flush_horizon=-1.0)
+    with pytest.raises(ValueError, match="queue_capacity"):
+        AdmissionConfig(max_batch=8, queue_capacity=4)

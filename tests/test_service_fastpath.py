@@ -1,0 +1,173 @@
+"""The incremental fast path against the reference selector.
+
+The contract (``repro/service/fastpath.py``): on scenarios where no two
+APs tie within float roundoff, :meth:`FastAssociator.select` picks the
+same AP as :meth:`S3Selector.select` over equivalent snapshots — the
+aggregated type-count cost and the closed-form balance re-rank change
+the arithmetic, not the ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.analysis.churn import make_pair
+from repro.core.demand import DemandEstimator
+from repro.core.selection import APState, S3Selector
+from repro.core.social import PairStats, SocialModel
+from repro.core.typing import TypeModel
+from repro.service.fastpath import ApRuntime, FastAssociator
+
+
+def _social_model(users: List[str], seed: int, k: int = 3) -> SocialModel:
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.05, 0.9, size=(k, k))
+    affinity = (base + base.T) / 2.0
+    assignments = {
+        user: int(rng.integers(k))
+        for user in users
+        if rng.random() < 0.8
+    }
+    pairs: Dict[Tuple[str, str], PairStats] = {}
+    for _ in range(len(users) * 2):
+        a, b = rng.choice(len(users), size=2, replace=False)
+        pair = make_pair(users[a], users[b])
+        old = pairs.get(pair, PairStats(0, 0))
+        pairs[pair] = PairStats(
+            old.encounters + int(rng.integers(1, 6)),
+            old.co_leavings + int(rng.integers(0, 4)),
+        )
+    return SocialModel(pairs, TypeModel(np.zeros((k, 6)), assignments, affinity))
+
+
+def _demand(users: List[str], seed: int) -> DemandEstimator:
+    rng = np.random.default_rng(seed + 1000)
+    demand = DemandEstimator()
+    for user in users:
+        demand.observe(user, float(rng.uniform(20e3, 400e3)))
+    return demand
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_select_matches_s3_selector_over_churn(seed: int) -> None:
+    """Replay joins/leaves; every decision must match the reference."""
+    users = [f"u{i:02d}" for i in range(40)]
+    social = _social_model(users, seed)
+    demand = _demand(users, seed)
+    aps = [ApRuntime(f"ap{i}", bandwidth=1.5e6, type_buckets=4) for i in range(6)]
+    # Distinct baseline loads (management traffic) keep the scenario off
+    # exact ties, where the reference itself ranks by float summation
+    # noise — the degenerate case the parity contract excludes.
+    for i, ap in enumerate(aps):
+        ap.load = 997.0 * (i + 1) + 131.0 * i
+    fast = FastAssociator(social, demand, aps)
+    selector = S3Selector(social, demand)
+
+    rng = np.random.default_rng(seed + 7)
+    absent, present = list(users), []
+    decisions = 0
+    for _ in range(300):
+        if absent and (not present or rng.random() < 0.55):
+            user = absent.pop(int(rng.integers(len(absent))))
+            reference = selector.select(user, fast.snapshots())
+            chosen = fast.select(user)
+            assert chosen == reference, f"user {user} diverged"
+            fast.apply_join(user, chosen)
+            present.append(user)
+            decisions += 1
+        else:
+            user = present.pop(int(rng.integers(len(present))))
+            assert fast.apply_leave(user) is not None
+            absent.append(user)
+    assert decisions > 100
+
+
+def test_infeasible_everywhere_admits_least_loaded() -> None:
+    users = ["a", "b", "c"]
+    social = _social_model(users, seed=9)
+    demand = DemandEstimator(default_rate=10e6)  # outstrips every AP
+    aps = [ApRuntime(f"ap{i}", bandwidth=1e6, type_buckets=4) for i in range(3)]
+    fast = FastAssociator(social, demand, aps)
+    fast.ap("ap0").load = 5e5
+    fast.ap("ap1").load = 1e5
+    fast.ap("ap2").load = 3e5
+    assert fast.select("a") == "ap1"
+    assert fast.select("a") == fast.least_loaded()
+
+
+def test_join_leave_bookkeeping_round_trips() -> None:
+    users = [f"u{i}" for i in range(8)]
+    social = _social_model(users, seed=4)
+    demand = _demand(users, seed=4)
+    aps = [ApRuntime(f"ap{i}", bandwidth=1e7, type_buckets=4) for i in range(3)]
+    fast = FastAssociator(social, demand, aps)
+
+    rates = {}
+    for user in users:
+        ap_id = fast.select(user)
+        rates[user] = fast.apply_join(user, ap_id)
+        assert fast.ap_of(user) == ap_id
+    assert fast.total_users() == len(users)
+    for ap_id in fast.ap_ids:
+        ap = fast.ap(ap_id)
+        assert sum(ap.type_counts) == ap.user_count
+        assert ap.load == pytest.approx(
+            sum(rates[u] for u in ap.users), rel=1e-12
+        )
+    for user in users:
+        assert fast.apply_leave(user) is not None
+    assert fast.total_users() == 0
+    for ap_id in fast.ap_ids:
+        ap = fast.ap(ap_id)
+        assert ap.load == pytest.approx(0.0, abs=1e-6)
+        assert ap.type_counts == [0, 0, 0, 0]
+    assert fast.apply_leave("u0") is None
+
+
+def test_double_join_rejected() -> None:
+    users = ["a", "b"]
+    social = _social_model(users, seed=5)
+    fast = FastAssociator(
+        social, _demand(users, 5), [ApRuntime("ap0", 1e7, 4)]
+    )
+    fast.apply_join("a", "ap0")
+    with pytest.raises(ValueError, match="already associated"):
+        fast.apply_join("a", "ap0")
+
+
+def test_snapshot_type_counts_frozen_at_join_time() -> None:
+    """Retyping an associated user must not corrupt the count vector."""
+    users = ["a", "b", "c", "d"]
+    social = _social_model(users, seed=6)
+    fast = FastAssociator(
+        social, _demand(users, 6), [ApRuntime("ap0", 1e7, 4)]
+    )
+    for user in users:
+        fast.apply_join(user, "ap0")
+    before = list(fast.ap("ap0").type_counts)
+    social.assign_user_type("a", (social.type_model.assignments.get("a", 0) + 1) % 3)
+    # Counts unchanged until "a" re-associates under the new code.
+    assert fast.ap("ap0").type_counts == before
+    fast.apply_leave("a")
+    fast.apply_join("a", "ap0")
+    ap = fast.ap("ap0")
+    assert sum(ap.type_counts) == ap.user_count == 4
+
+
+def test_constructor_validation() -> None:
+    users = ["a", "b"]
+    social = _social_model(users, seed=8)
+    demand = _demand(users, 8)
+    with pytest.raises(ValueError, match="no APs"):
+        FastAssociator(social, demand, [])
+    with pytest.raises(ValueError, match="duplicate AP"):
+        FastAssociator(
+            social, demand, [ApRuntime("x", 1e6, 4), ApRuntime("x", 1e6, 4)]
+        )
+    with pytest.raises(ValueError, match="bandwidth"):
+        ApRuntime("x", 0.0, 4)
+    with pytest.raises(ValueError, match="top_fraction"):
+        FastAssociator(social, demand, [ApRuntime("x", 1e6, 4)], top_fraction=0.0)

@@ -1,0 +1,107 @@
+"""Same seed, same journal bytes — serial or racing producers.
+
+The headline contract of ``repro.service``: a journaled run is a pure
+function of ``(spec, admission config)`` after ``strip_wall``.  How many
+asyncio producers submitted the stream, and how their interleavings
+raced, must be invisible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import strip_wall
+from repro.service import AdmissionConfig, WorkloadSpec
+from repro.service.__main__ import main as service_main
+from repro.service.workload import run_journaled_service, synthetic_events
+
+
+def _journal(tmp_path: Path, name: str, **kwargs: object) -> str:
+    path = tmp_path / name
+    spec = WorkloadSpec(users=24, aps=6, events=300, seed=13)
+    summary = run_journaled_service(spec, journal=path, **kwargs)  # type: ignore[arg-type]
+    assert summary["events"] == 300
+    return strip_wall(path.read_text())
+
+
+def test_serial_reruns_are_byte_identical(tmp_path: Path) -> None:
+    assert _journal(tmp_path, "a.jsonl") == _journal(tmp_path, "b.jsonl")
+
+
+@pytest.mark.parametrize("producers", [2, 8])
+def test_producer_count_is_invisible_in_journal(
+    tmp_path: Path, producers: int
+) -> None:
+    serial = _journal(tmp_path, "serial.jsonl", metrics=True)
+    racing = _journal(
+        tmp_path, "racing.jsonl", metrics=True, producers=producers
+    )
+    assert serial == racing
+
+
+def test_journal_meta_and_decision_lines(tmp_path: Path) -> None:
+    path = tmp_path / "svc.jsonl"
+    spec = WorkloadSpec(users=24, aps=6, events=300, seed=13)
+    run_journaled_service(spec, journal=path, metrics=True)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    meta = lines[0]
+    assert meta["type"] == "meta"
+    assert meta["data"]["component"] == "service"
+    assert "producers" not in meta["data"]
+    kinds = {line["type"] for line in lines}
+    assert "decision" in kinds and "sample" in kinds and "metric" in kinds
+    decisions = [l["data"] for l in lines if l["type"] == "decision"]
+    assert all(d["strategy"] in ("s3", "llf") for d in decisions)
+    assert all(d["controller"] == "svc" for d in decisions)
+    assert {d["mode"] for d in decisions} <= {"batch", "single"}
+    metric_names = {
+        l["data"]["name"] for l in lines if l["type"] == "metric" and l["data"]
+    }
+    assert "service.events" in metric_names
+    assert "service.decisions" in metric_names
+    # Host-scoped latency lands under "wall" only, so strip_wall drops it.
+    assert "service.decision_latency" not in metric_names
+    stripped = strip_wall(path.read_text())
+    assert "service.decision_latency" not in stripped
+
+
+def test_shed_decisions_join_the_journal(tmp_path: Path) -> None:
+    path = tmp_path / "shed.jsonl"
+    spec = WorkloadSpec(users=32, aps=4, events=200, seed=5, mean_gap=0.01)
+    admission = AdmissionConfig(
+        max_batch=2, queue_capacity=2, flush_horizon=50.0
+    )
+    summary = run_journaled_service(spec, journal=path, admission=admission)
+    assert summary["sheds"] > 0
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    shed = [
+        l["data"]
+        for l in lines
+        if l["type"] == "decision"
+        and l["data"].get("note") == "fallback:llf:admission-shed"
+    ]
+    assert len(shed) == summary["sheds"]
+    assert all(d["strategy"] == "llf" for d in shed)
+
+
+def test_cli_smoke_same_seed_same_bytes(tmp_path: Path, capsys) -> None:
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    for path in (a, b):
+        code = service_main(
+            [
+                "--events", "150", "--users", "12", "--aps", "4",
+                "--seed", "3", "--producers", "4",
+                "--journal", str(path), "--metrics",
+            ]
+        )
+        assert code == 0
+    out = capsys.readouterr().out
+    assert "decisions" in out
+    assert strip_wall(a.read_text()) == strip_wall(b.read_text())
+
+
+def test_cli_rejects_metrics_without_journal() -> None:
+    assert service_main(["--metrics"]) == 2

@@ -1,0 +1,221 @@
+"""The controller loop: reorder buffer, dispatch, apps, learner wiring."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandEstimator
+from repro.core.online import OnlineLearner
+from repro.core.social import SocialModel
+from repro.core.typing import TypeModel
+from repro.service.admission import AdmissionConfig
+from repro.service.events import (
+    ServiceEvent,
+    StationJoin,
+    StationLeave,
+    StatsReport,
+)
+from repro.service.fastpath import ApRuntime, FastAssociator
+from repro.service.loop import (
+    BalanceMonitorApp,
+    ControllerService,
+    ServiceApp,
+    run_events,
+)
+from repro.service.workload import WorkloadSpec, make_service, synthetic_events
+
+
+def _service(
+    admission: Optional[AdmissionConfig] = None,
+    apps: Tuple[ServiceApp, ...] = (),
+    learner: bool = False,
+) -> ControllerService:
+    type_model = TypeModel(
+        centroids=np.zeros((2, 6)),
+        assignments={},
+        affinity=np.full((2, 2), 0.25),
+    )
+    social = SocialModel({}, type_model)
+    associator = FastAssociator(
+        social,
+        DemandEstimator(),
+        [ApRuntime(f"ap{i}", 1e7, 3) for i in range(3)],
+    )
+    return ControllerService(
+        associator,
+        admission=admission,
+        apps=apps,
+        learner=OnlineLearner(social) if learner else None,
+    )
+
+
+class _Recorder(ServiceApp):
+    def __init__(self) -> None:
+        self.calls: List[Tuple[str, str]] = []
+
+    def on_join(self, event: StationJoin, ap_id: str) -> None:
+        self.calls.append(("join", event.user_id))
+
+    def on_leave(self, event: StationLeave, ap_id: Optional[str]) -> None:
+        self.calls.append(("leave", event.user_id))
+
+    def on_stats(self, event: StatsReport) -> None:
+        self.calls.append(("stats", event.user_id))
+
+
+def test_out_of_order_submission_processes_in_seq_order() -> None:
+    recorder = _Recorder()
+    service = _service(
+        AdmissionConfig(flush_horizon=0.0), apps=(recorder,)
+    )
+    events: List[ServiceEvent] = [
+        StationJoin(seq=0, time=0.0, user_id="a"),
+        StatsReport(seq=1, time=1.0, user_id="a", mean_rate=1e5),
+        StationJoin(seq=2, time=2.0, user_id="b"),
+        StationLeave(seq=3, time=3.0, user_id="a"),
+    ]
+    # Submit in scrambled order; nothing processes until seq 0 lands.
+    service.submit(events[2])
+    service.submit(events[1])
+    assert service.events_processed == 0
+    service.submit(events[0])
+    assert service.events_processed == 3
+    service.submit(events[3])
+    service.drain()
+    assert [c for c in recorder.calls] == [
+        ("join", "a"),
+        ("stats", "a"),
+        ("join", "b"),
+        ("leave", "a"),
+    ]
+
+
+def test_duplicate_and_stale_seq_rejected() -> None:
+    service = _service()
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    with pytest.raises(ValueError, match="duplicate event seq"):
+        service.submit(StationJoin(seq=0, time=0.0, user_id="b"))
+    service.submit(StationJoin(seq=2, time=1.0, user_id="c"))
+    with pytest.raises(ValueError, match="duplicate event seq"):
+        service.submit(StatsReport(seq=2, time=1.0, user_id="c", mean_rate=1.0))
+
+
+def test_drain_raises_on_sequence_gap() -> None:
+    service = _service()
+    service.submit(StationJoin(seq=1, time=0.0, user_id="a"))
+    with pytest.raises(ValueError, match="sequence gap"):
+        service.drain()
+
+
+def test_clock_must_not_run_backwards() -> None:
+    service = _service()
+    service.submit(StationJoin(seq=0, time=5.0, user_id="a"))
+    with pytest.raises(ValueError, match="backwards"):
+        service.submit(StationJoin(seq=1, time=4.0, user_id="b"))
+
+
+def test_join_while_associated_or_pending_rejected() -> None:
+    service = _service(AdmissionConfig(flush_horizon=1e9))
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    with pytest.raises(ValueError, match="already"):
+        service.submit(StationJoin(seq=1, time=0.0, user_id="a"))
+
+
+def test_leave_for_pending_join_forces_flush() -> None:
+    service = _service(AdmissionConfig(flush_horizon=1e9), learner=True)
+    ticket = service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    assert ticket is not None and not ticket.done
+    service.submit(StationLeave(seq=1, time=1.0, user_id="a"))
+    assert ticket.done  # decided before the departure applied
+    assert service.associator.ap_of("a") is None
+    service.drain()
+
+
+def test_learner_sees_arrivals_and_departures() -> None:
+    service = _service(AdmissionConfig(flush_horizon=0.0), learner=True)
+    learner = service.learner
+    assert learner is not None
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    service.submit(StationJoin(seq=1, time=10.0, user_id="b"))
+    # A zero horizon still flushes on the *next* clock tick, so advance
+    # the clock with a stats event to commit "b" as well.
+    service.submit(StatsReport(seq=2, time=20.0, user_id="a", mean_rate=1.0))
+    present = {
+        user for ap in learner._present.values() for user in ap
+    }
+    assert present == {"a", "b"}
+    service.submit(StationLeave(seq=3, time=30.0, user_id="a"))
+    present = {
+        user for ap in learner._present.values() for user in ap
+    }
+    assert present == {"b"}
+    service.drain()
+
+
+def test_stats_reports_feed_demand() -> None:
+    service = _service(AdmissionConfig(flush_horizon=0.0))
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    before = service.associator.demand.estimate("a")
+    service.submit(StatsReport(seq=1, time=1.0, user_id="a", mean_rate=9e5))
+    after = service.associator.demand.estimate("a")
+    assert after != before
+    service.drain()
+
+
+def test_ticket_wait_resolves_under_asyncio() -> None:
+    service = _service(AdmissionConfig(flush_horizon=0.5))
+
+    async def scenario() -> str:
+        ticket = service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+        assert ticket is not None
+        waiter = asyncio.ensure_future(ticket.wait())
+        await asyncio.sleep(0)
+        assert not waiter.done()
+        service.submit(StatsReport(seq=1, time=1.0, user_id="x", mean_rate=1.0))
+        await asyncio.sleep(0)
+        return await waiter
+
+    chosen = asyncio.run(scenario())
+    assert chosen in service.associator.ap_ids
+    service.drain()
+
+
+def test_balance_monitor_samples_on_sim_grid() -> None:
+    monitor = BalanceMonitorApp(interval=10.0)
+    service = _service(
+        AdmissionConfig(flush_horizon=0.0), apps=(monitor,)
+    )
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    service.submit(StatsReport(seq=1, time=35.0, user_id="a", mean_rate=1e5))
+    service.drain()
+    # Grid anchored at the first event: ticks at 10, 20, 30 have passed.
+    assert monitor.samples_taken == 3
+    with pytest.raises(ValueError, match="interval"):
+        BalanceMonitorApp(interval=0.0)
+
+
+@pytest.mark.parametrize("producers", [2, 5])
+def test_run_events_multi_producer_equals_serial(producers: int) -> None:
+    spec = WorkloadSpec(users=16, aps=4, events=150, seed=11)
+    events = synthetic_events(spec)
+
+    def final_state(n_producers: int) -> Tuple[int, int, List[float]]:
+        service = make_service(spec)
+        asyncio.run(run_events(service, events, producers=n_producers))
+        return (
+            service.admission.decisions,
+            service.events_processed,
+            service.associator.loads(),
+        )
+
+    assert final_state(producers) == final_state(1)
+
+
+def test_run_events_validates_producer_count() -> None:
+    service = _service()
+    with pytest.raises(ValueError, match="producers"):
+        asyncio.run(run_events(service, [], producers=0))
