@@ -1,0 +1,88 @@
+"""Benchmark crash recovery: snapshot restore plus full WAL replay.
+
+The robustness budget of the supervised controller service (PR 10): a
+controller that dies must be back — snapshot loaded, unpickled, global
+observability state rolled back, and the *entire* write-ahead-log
+suffix replayed through the live submission path — in **under one
+second** for a 1k-event WAL.  The scenario is the worst case a cadence
+snapshot allows: only the genesis snapshot exists, so recovery replays
+every event the run ever delivered.
+
+The companion JSON (``out/bench_recovery.json``) carries the restore
+wall time and replay throughput; its pytest-benchmark timing is gated
+against ``baselines/bench_recovery.json`` by ``scripts/bench_check.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple
+
+from repro import perf
+from repro.faults import FaultPlan
+from repro.service.checkpoint import restore_checkpoint
+from repro.service.loop import ControllerService
+from repro.service.supervisor import Supervisor, read_wal
+from repro.service.workload import WorkloadSpec
+
+from conftest import run_once
+
+_SPEC = WorkloadSpec(users=64, aps=8, events=1000, seed=17)
+_MAX_RECOVERY_SECONDS = 1.0
+
+
+def _recover(supervisor: Supervisor) -> Tuple[float, int, ControllerService]:
+    """One cold recovery: load, restore, replay the whole WAL suffix."""
+    start = perf.wall_seconds()
+    checkpoint = supervisor._load_latest_checkpoint()
+    service = restore_checkpoint(checkpoint, supervisor.fingerprint)
+    replayed = 0
+    for event in read_wal(supervisor.wal_path):
+        if event.seq >= checkpoint.next_seq:
+            service.submit(event)
+            replayed += 1
+    service.drain()
+    return perf.wall_seconds() - start, replayed, service
+
+
+def test_bench_recovery(benchmark, report_writer, tmp_path: Path) -> None:
+    # A huge cadence keeps the genesis snapshot as the only one, so the
+    # recovery below replays the complete 1k-event WAL.
+    supervisor = Supervisor(
+        _SPEC, FaultPlan(), tmp_path, snapshot_every=10_000
+    )
+    supervisor.run()
+    assert supervisor.snapshots_taken == 1
+
+    elapsed, replayed, service = run_once(
+        benchmark, lambda: _recover(supervisor)
+    )
+    assert replayed == _SPEC.events
+    assert service.events_processed == _SPEC.events
+    events_per_sec = replayed / elapsed if elapsed > 0 else float("inf")
+
+    text = "\n".join(
+        [
+            "--- bench: crash recovery (restore + full WAL replay) ---",
+            f"wal_events           {replayed}",
+            f"recovery_s           {elapsed:.4f}",
+            f"replay_events_per_s  {events_per_sec:,.0f}",
+            f"decisions_rederived  {service.admission.decisions}",
+        ]
+    )
+    report_writer(
+        "bench_recovery",
+        text,
+        benchmark=benchmark,
+        metrics={
+            "wal_events": replayed,
+            "recovery_s": elapsed,
+            "replay_events_per_sec": events_per_sec,
+            "decisions_rederived": service.admission.decisions,
+        },
+    )
+
+    assert elapsed < _MAX_RECOVERY_SECONDS, (
+        f"recovery took {elapsed:.3f}s for {replayed} WAL events; "
+        f"the budget is {_MAX_RECOVERY_SECONDS:.1f}s"
+    )

@@ -68,6 +68,33 @@ class OnlineLearner:
         self._departures: Dict[str, Deque[Tuple[float, str]]] = {}
         self.encounters_recorded = 0
         self.co_leavings_recorded = 0
+        #: Stream events permanently lost before this learner saw them
+        #: (gap skips reported by the supervisor after a crash recovery).
+        self.lost_events = 0
+
+    # ----------------------------------------------------------- staleness
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the model missed events it can never re-observe."""
+        return self.lost_events > 0
+
+    def mark_lost_events(self, count: int) -> None:
+        """Record ``count`` stream events the learner permanently missed.
+
+        Every skipped seq is an arrival/departure the incremental
+        extractors never folded in, so the pair statistics are now an
+        undercount.  The supervisor calls this after a lossy recovery and
+        degrades the next decisions through the admission queue's
+        fallback chain until fresh observations dilute the gap.
+        """
+        if count < 0:
+            raise ValueError(f"lost event count must be >= 0: {count}")
+        self.lost_events += count
+
+    def acknowledge_staleness(self) -> None:
+        """Reset the lost-event tally once the degraded window has run."""
+        self.lost_events = 0
 
     # -------------------------------------------------------------- events
 

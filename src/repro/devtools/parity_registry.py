@@ -84,6 +84,21 @@ PARITY_REGISTRY: Dict[str, ParityEntry] = {
             "tests/test_obs_metrics_parity.py::test_metric_series_byte_identical_across_engines",
         ),
     ),
+    "repro.service.supervisor.run_supervised": ParityEntry(
+        # Not an ``engine=`` dispatcher but the same contract: a
+        # crashed-and-recovered supervised run must journal
+        # byte-identically (post-``strip_wall``) to the same run with
+        # the crash events removed from its plan, and to the plain
+        # unsupervised service when the plan is empty (ISSUE 10
+        # kill-and-restore parity).
+        reference="repro.service.workload.run_journaled_service",
+        tests=(
+            "tests/test_service_recovery.py::test_kill_and_restore_byte_identical",
+            "tests/test_service_recovery.py::test_multi_crash_with_stall_and_duplicate_byte_identical",
+            "tests/test_service_recovery.py::test_metrics_on_same_plan_runs_byte_identical",
+            "tests/test_service_recovery.py::test_supervised_empty_plan_matches_plain_service_run",
+        ),
+    ),
     "repro.runtime.sweep.run_sweep": ParityEntry(
         reference="repro.runtime.sweep.run_sweep_serial",
         fast="repro.runtime.sweep.run_sweep_process",

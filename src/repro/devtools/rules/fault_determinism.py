@@ -7,7 +7,7 @@ only if every random draw inside :mod:`repro.faults` flows through the
 dedicated ``streams.child("faults")`` stream family — a draw from an ad
 hoc ``numpy.random.default_rng(...)`` or from any other stream would tie
 the plan to whatever else shares that generator.  This rule bans, in
-modules under ``repro.faults``:
+every module of :data:`SCOPES`:
 
 * any call of ``numpy.random.default_rng`` (aliased or not);
 * any ``.get(...)`` call whose receiver is not derived from
@@ -16,8 +16,17 @@ modules under ``repro.faults``:
   ``<expr>.child("faults")`` call in the same module.
 
 The second check is deliberately blunt (it also rejects ``dict.get``):
-plan-generation code is small, and keeping *every* ``.get`` in the
-package a stream lookup makes the invariant auditable at a glance.
+plan-generation code is small, and keeping *every* ``.get`` in scope a
+stream lookup makes the invariant auditable at a glance.
+
+The scope covers ``repro.faults`` (where plans are generated) **and**
+the service layer's fault consumers — the crash supervisor
+(:mod:`repro.service.supervisor`) and the chaos soak
+(:mod:`repro.service.soak`).  Those two re-execute fault plans through
+kill/restore cycles whose recovery must be byte-reproducible, so they
+are held to the same no-ad-hoc-randomness discipline as the plan
+generators; the rest of :mod:`repro.service` (live dispatch, admission)
+never touches fault plans and stays outside the scope.
 """
 
 from __future__ import annotations
@@ -30,8 +39,12 @@ from repro.devtools.project import LintModule
 from repro.devtools.registry import Rule, register
 from repro.devtools.rules.imports import ImportMap, canonical_call
 
-#: The package whose modules this rule applies to.
-SCOPE = "repro.faults"
+#: The packages/modules this rule applies to (each covers submodules).
+SCOPES = (
+    "repro.faults",
+    "repro.service.supervisor",
+    "repro.service.soak",
+)
 
 #: The banned ad hoc generator constructor.
 DEFAULT_RNG = "numpy.random.default_rng"
@@ -41,7 +54,10 @@ STREAM_NAME = "faults"
 
 
 def _in_scope(module_name: str) -> bool:
-    return module_name == SCOPE or module_name.startswith(SCOPE + ".")
+    return any(
+        module_name == scope or module_name.startswith(scope + ".")
+        for scope in SCOPES
+    )
 
 
 def _is_faults_child_call(node: ast.AST) -> bool:
@@ -63,8 +79,9 @@ class FaultDeterminism(Rule):
 
     id = "fault-determinism"
     description = (
-        "code under repro.faults may not call numpy.random.default_rng or "
-        '.get() on anything but a child("faults") stream family'
+        "fault-plan code (repro.faults, the service supervisor/soak) may "
+        "not call numpy.random.default_rng or .get() on anything but a "
+        'child("faults") stream family'
     )
 
     def check_module(self, module: LintModule) -> Iterator[Finding]:
@@ -79,8 +96,8 @@ class FaultDeterminism(Rule):
                 yield self._finding(
                     module,
                     node,
-                    "`default_rng(...)` inside repro.faults bypasses the "
-                    'dedicated child("faults") stream family',
+                    "`default_rng(...)` inside the fault-determinism scope "
+                    'bypasses the dedicated child("faults") stream family',
                 )
                 continue
             func = node.func
@@ -95,7 +112,7 @@ class FaultDeterminism(Rule):
                 module,
                 node,
                 "`.get(...)` on a receiver not derived from "
-                '`.child("faults")` inside repro.faults',
+                '`.child("faults")` inside the fault-determinism scope',
             )
 
     def _faults_children(self, tree: ast.AST) -> Set[str]:

@@ -47,7 +47,10 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
         {"analysis", "core", "faults", "obs", "perf", "sim", "trace"}
     ),
     "service": frozenset(
-        {"analysis", "core", "obs", "perf", "sim", "wlan"}
+        # "faults"/"runtime": the crash-safe supervisor consumes fault
+        # plans and stores snapshots through the runtime's RunDirectory
+        # conventions (runtime does not import service — no cycle).
+        {"analysis", "core", "faults", "obs", "perf", "runtime", "sim", "wlan"}
     ),
     "runtime": frozenset(
         {"experiments", "faults", "obs", "perf", "sim", "trace", "wlan"}

@@ -1,23 +1,29 @@
 """Deterministic fault injection: typed plans, seeded chaos schedules.
 
 See ``docs/robustness.md`` for the fault model, the injection points
-across the replay engine / prototype transport / trace readers, and the
-degradation chains each subsystem falls back along.
+across the replay engine / prototype transport / trace readers / the
+supervised controller service, and the degradation chains each
+subsystem falls back along.
 """
 
 from repro.faults.model import (
     ApDown,
     ApUp,
+    ControllerCrash,
     ControllerOutage,
     CorruptTraceRecord,
     EVENT_TYPES,
+    EventDuplicate,
+    EventLoss,
     FaultEvent,
     FaultPlan,
     FrameDelay,
     FrameDuplicate,
     FrameLoss,
     LINK_KINDS,
+    ProducerStall,
     REPLAY_KINDS,
+    SERVICE_KINDS,
     StaleLoadReport,
     TRACE_FAMILIES,
     apply_trace_corruption,
@@ -25,22 +31,34 @@ from repro.faults.model import (
     event_payload,
     event_sort_key,
 )
-from repro.faults.schedule import ChaosConfig, generate_plan, targeted_ap_outage
+from repro.faults.schedule import (
+    ChaosConfig,
+    ServiceChaosConfig,
+    generate_plan,
+    generate_service_plan,
+    targeted_ap_outage,
+)
 
 __all__ = [
     "ApDown",
     "ApUp",
     "ChaosConfig",
+    "ControllerCrash",
     "ControllerOutage",
     "CorruptTraceRecord",
     "EVENT_TYPES",
+    "EventDuplicate",
+    "EventLoss",
     "FaultEvent",
     "FaultPlan",
     "FrameDelay",
     "FrameDuplicate",
     "FrameLoss",
     "LINK_KINDS",
+    "ProducerStall",
     "REPLAY_KINDS",
+    "SERVICE_KINDS",
+    "ServiceChaosConfig",
     "StaleLoadReport",
     "TRACE_FAMILIES",
     "apply_trace_corruption",
@@ -48,5 +66,6 @@ __all__ = [
     "event_payload",
     "event_sort_key",
     "generate_plan",
+    "generate_service_plan",
     "targeted_ap_outage",
 ]

@@ -23,6 +23,12 @@ Event kinds map one-to-one onto injection points:
 ``corrupt-trace-record``  rows damaged by :func:`apply_trace_corruption`,
                           surfaced by the :mod:`repro.trace.io` strict/skip
                           reader policy.
+``event-loss`` /          service-stream faults interpreted by the
+``event-duplicate`` /     :mod:`repro.service.supervisor` delivery loop: a
+``producer-stall`` /      sequenced event dropped on the wire / delivered
+``controller-crash``      twice / a producer's send window held back whole /
+                          the controller process killed and restored from its
+                          latest :class:`~repro.service.checkpoint.ServiceCheckpoint`.
 ========================  =====================================================
 
 Events order canonically by ``(time, kind, target)``; the runtime merge
@@ -187,6 +193,85 @@ class CorruptTraceRecord:
         return f"{self.family}:{self.row}"
 
 
+@dataclass(frozen=True)
+class EventLoss:
+    """The service event with sequence number ``seq`` never arrives.
+
+    The supervisor drops it between producer and controller: the write-
+    ahead log still records it (the producer sent it), but the reorder
+    buffer sees a permanent gap that only the gap horizon resolves.
+    """
+
+    kind: ClassVar[str] = "event-loss"
+    time: float
+    seq: int
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"event seq must be >= 0: {self.seq}")
+
+    @property
+    def target(self) -> str:
+        return f"seq:{self.seq}"
+
+
+@dataclass(frozen=True)
+class EventDuplicate:
+    """The service event with sequence number ``seq`` is delivered twice."""
+
+    kind: ClassVar[str] = "event-duplicate"
+    time: float
+    seq: int
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"event seq must be >= 0: {self.seq}")
+
+    @property
+    def target(self) -> str:
+        return f"seq:{self.seq}"
+
+
+@dataclass(frozen=True)
+class ProducerStall:
+    """Events produced in ``[time, time + duration)`` are held back.
+
+    The stalled events are delivered, in order, with the first event at
+    or past the window's end — late enough that the reorder buffer's gap
+    horizon may already have skipped them.
+    """
+
+    kind: ClassVar[str] = "producer-stall"
+    time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"stall duration must be positive: {self.duration}")
+
+    @property
+    def target(self) -> str:
+        return "producer"
+
+
+@dataclass(frozen=True)
+class ControllerCrash:
+    """The controller process dies at ``time`` and must be restored.
+
+    Interpreted by :func:`repro.service.supervisor.run_supervised`: the
+    live service is discarded before the first event at or past ``time``
+    and rebuilt from its latest snapshot plus write-ahead-log replay.
+    """
+
+    kind: ClassVar[str] = "controller-crash"
+    time: float
+    controller_id: str
+
+    @property
+    def target(self) -> str:
+        return self.controller_id
+
+
 FaultEvent = Union[
     ApDown,
     ApUp,
@@ -196,6 +281,10 @@ FaultEvent = Union[
     FrameDelay,
     FrameDuplicate,
     CorruptTraceRecord,
+    EventLoss,
+    EventDuplicate,
+    ProducerStall,
+    ControllerCrash,
 ]
 
 #: Event classes by their stable ``kind`` tag (JSON round-trip dispatch).
@@ -210,6 +299,10 @@ EVENT_TYPES: Dict[str, Type[Any]] = {
         FrameDelay,
         FrameDuplicate,
         CorruptTraceRecord,
+        EventLoss,
+        EventDuplicate,
+        ProducerStall,
+        ControllerCrash,
     )
 }
 
@@ -220,6 +313,11 @@ REPLAY_KINDS = frozenset(
 
 #: Kinds interpreted by the prototype transport's LinkPolicy.
 LINK_KINDS = frozenset({FrameLoss.kind, FrameDelay.kind, FrameDuplicate.kind})
+
+#: Kinds interpreted by the supervised controller service's delivery loop.
+SERVICE_KINDS = frozenset(
+    {EventLoss.kind, EventDuplicate.kind, ProducerStall.kind, ControllerCrash.kind}
+)
 
 
 def event_sort_key(event: FaultEvent) -> Tuple[float, str, str]:

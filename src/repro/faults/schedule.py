@@ -10,7 +10,11 @@ module under :mod:`repro.faults`.
 :func:`generate_plan` draws a randomized chaos schedule;
 :func:`targeted_ap_outage` builds the deterministic single-AP plan the
 resilience experiment uses (no draws at all — the target is computed
-from the demand trace).
+from the demand trace); :func:`generate_service_plan` draws the
+service-stream chaos schedule (event losses/duplicates, producer
+stalls, controller crashes) the supervised controller service injects —
+the service layer itself never draws, so every service fault is pinned
+here, on this one stream.
 """
 
 from __future__ import annotations
@@ -21,10 +25,14 @@ from typing import Any, List, Optional, Tuple
 from repro.faults.model import (
     ApDown,
     ApUp,
+    ControllerCrash,
     ControllerOutage,
+    EventDuplicate,
+    EventLoss,
     FaultEvent,
     FaultPlan,
     FrameLoss,
+    ProducerStall,
     StaleLoadReport,
 )
 from repro.obs import metrics as obs_metrics
@@ -117,6 +125,79 @@ def generate_plan(
 
     # Plan generation runs once, parent-side, under both engines, so
     # this run-scoped count is identical whichever engine replays it.
+    obs_metrics.inc("faults.planned_events", float(len(events)), start)
+    return FaultPlan(tuple(events))
+
+
+@dataclass(frozen=True)
+class ServiceChaosConfig:
+    """Knobs for :func:`generate_service_plan` (counts are best-effort caps)."""
+
+    #: Sequenced events dropped between producer and controller.
+    event_losses: int = 0
+    #: Sequenced events delivered twice.
+    event_duplicates: int = 0
+    #: Producer send windows held back whole.
+    producer_stalls: int = 0
+    #: Uniform range each stall window's length is drawn from, sim seconds.
+    stall_duration: Tuple[float, float] = (5.0, 30.0)
+    #: Controller processes killed and restored from their snapshots.
+    controller_crashes: int = 0
+    #: The controller the crash events target.
+    controller_id: str = "svc"
+
+
+def generate_service_plan(
+    total_events: int,
+    start: float,
+    horizon: float,
+    streams: RandomStreams,
+    config: Optional[ServiceChaosConfig] = None,
+) -> FaultPlan:
+    """A randomized service-stream chaos schedule for ``total_events``.
+
+    Loss and duplicate targets are one draw without replacement over the
+    sequence space (a seq both lost and duplicated would contradict
+    itself), split losses-first; their nominal times are derived from
+    the seq's position in the window, no draw.  Stalls land in the first
+    60% of the window, crashes anywhere in the first 90%.  Draw order is
+    fixed (loss/duplicate seqs, stalls, crashes), so the plan is
+    byte-stable for a given seed.
+    """
+    if total_events <= 0:
+        raise ValueError(f"total_events must be positive: {total_events}")
+    if horizon <= start:
+        raise ValueError(f"empty fault window: [{start}, {horizon}]")
+    config = config if config is not None else ServiceChaosConfig()
+    rng = streams.child("faults").get("schedule")
+    span = horizon - start
+    events: List[FaultEvent] = []
+
+    wanted = min(config.event_losses + config.event_duplicates, total_events)
+    picked: List[int] = []
+    if wanted > 0:
+        drawn = rng.choice(total_events, size=wanted, replace=False)
+        picked = [int(seq) for seq in drawn]
+    losses = sorted(picked[: config.event_losses])
+    duplicates = sorted(picked[config.event_losses:])
+    for seq in losses:
+        at = start + span * (seq / total_events)
+        events.append(EventLoss(time=at, seq=seq))
+    for seq in duplicates:
+        at = start + span * (seq / total_events)
+        events.append(EventDuplicate(time=at, seq=seq))
+
+    for _ in range(config.producer_stalls):
+        stall_at = start + float(rng.uniform(0.05, 0.6)) * span
+        duration = float(rng.uniform(*config.stall_duration))
+        events.append(ProducerStall(time=stall_at, duration=duration))
+
+    for _ in range(config.controller_crashes):
+        crash_at = start + float(rng.uniform(0.05, 0.9)) * span
+        events.append(
+            ControllerCrash(time=crash_at, controller_id=config.controller_id)
+        )
+
     obs_metrics.inc("faults.planned_events", float(len(events)), start)
     return FaultPlan(tuple(events))
 

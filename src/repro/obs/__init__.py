@@ -55,6 +55,7 @@ from repro.obs.records import (
     MetricRecord,
     MetricsRollupRecord,
     PerfRecord,
+    RecoveryRecord,
     SampleRecord,
     SpanRecord,
     candidates_from_states,
@@ -63,11 +64,13 @@ from repro.obs.tracer import (
     NULL_SPAN,
     Span,
     Tracer,
+    TracerState,
     decision,
     disable,
     enable,
     fault,
     get_tracer,
+    recovery,
     sample,
     span,
 )
@@ -119,10 +122,12 @@ __all__ = [
     "MetricsSnapshot",
     "NULL_SPAN",
     "PerfRecord",
+    "RecoveryRecord",
     "SampleRecord",
     "Span",
     "SpanRecord",
     "Tracer",
+    "TracerState",
     "candidates_from_states",
     "decision",
     "disable",
@@ -134,6 +139,7 @@ __all__ = [
     "parse_journal",
     "perf_snapshot",
     "read_journal",
+    "recovery",
     "render_journal",
     "sample",
     "span",

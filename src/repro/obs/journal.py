@@ -42,6 +42,7 @@ from repro.obs.records import (
     MetricRecord,
     MetricsRollupRecord,
     PerfRecord,
+    RecoveryRecord,
     SampleRecord,
     SpanRecord,
     record_from_payload,
@@ -125,6 +126,7 @@ class Journal:
     decisions: List[DecisionRecord] = field(default_factory=list)
     samples: List[SampleRecord] = field(default_factory=list)
     faults: List[FaultRecord] = field(default_factory=list)
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
     metrics: List[MetricRecord] = field(default_factory=list)
     metrics_rollup: Optional[MetricsRollupRecord] = None
     perf: Optional[PerfRecord] = None
@@ -151,6 +153,8 @@ def parse_journal(text: str) -> Journal:
             journal.samples.append(record)
         elif isinstance(record, FaultRecord):
             journal.faults.append(record)
+        elif isinstance(record, RecoveryRecord):
+            journal.recoveries.append(record)
         elif isinstance(record, MetricRecord):
             journal.metrics.append(record)
         elif isinstance(record, MetricsRollupRecord):
@@ -177,9 +181,10 @@ def strip_wall(text: str) -> str:
             continue
         obj = json.loads(line)
         obj.pop("wall", None)
-        if obj.get("type") == "metric" and not obj.get("data"):
-            # A host-scoped metric window lived entirely under "wall";
-            # nothing deterministic remains, so the line itself goes.
+        if obj.get("type") in ("metric", "recovery") and not obj.get("data"):
+            # Host-scoped metric windows and recovery records live
+            # entirely under "wall"; nothing deterministic remains, so
+            # the line itself goes.
             continue
         lines.append(json.dumps(obj, separators=_SEPARATORS))
     return "".join(line + "\n" for line in lines)

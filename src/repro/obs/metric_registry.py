@@ -178,6 +178,41 @@ METRIC_REGISTRY: Tuple[MetricSpec, ...] = (
         ),
         unit="queries",
     ),
+    # ------------------------------------- service (run-scoped recovery)
+    # Recovery bookkeeping is deterministic for a given seeded fault
+    # plan: the same crashes/losses replay the same way every run, and
+    # the counters merge order-independently.  (Byte-diffs of a crashed
+    # run against an *uninterrupted* one are made with metrics off — a
+    # run that recovered necessarily counted its recoveries.)
+    MetricSpec(
+        name="service.gap_skips",
+        kind="counter",
+        scope="run",
+        owner="repro.service.loop",
+        description=(
+            "permanently missing event seqs the reorder buffer skipped "
+            "at the gap horizon"
+        ),
+        unit="events",
+    ),
+    MetricSpec(
+        name="service.recoveries",
+        kind="counter",
+        scope="run",
+        owner="repro.service.supervisor",
+        description="supervised controller crash/restore cycles completed",
+        unit="recoveries",
+    ),
+    MetricSpec(
+        name="service.replayed_events",
+        kind="counter",
+        scope="run",
+        owner="repro.service.supervisor",
+        description=(
+            "write-ahead-log events resubmitted past a restored snapshot"
+        ),
+        unit="events",
+    ),
     # ---------------------------------------------- service (host-scoped)
     MetricSpec(
         name="service.decision_latency",

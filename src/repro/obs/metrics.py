@@ -273,6 +273,22 @@ class MetricsSnapshot:
         return bool(self.series)
 
 
+@dataclass
+class RegistryState:
+    """A registry's full checkpointable state (series plus lifecycle).
+
+    Where :class:`MetricsSnapshot` is the cross-process *merge* format,
+    this wraps it with the enabled flag, window size and frontier so a
+    supervised service restore puts the process-global registry back
+    exactly where a crash left the checkpointed one.
+    """
+
+    enabled: bool = False
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    frontier: Optional[int] = None
+    snapshot: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+
 # ------------------------------------------------------------- registry
 
 
@@ -476,6 +492,25 @@ class MetricsRegistry:
         """Drop every series and the window frontier."""
         self._series.clear()
         self._frontier = None
+
+    def export_state(self) -> RegistryState:
+        """A checkpointable copy of the whole registry (see
+        :class:`RegistryState`)."""
+        return RegistryState(
+            enabled=self.enabled,
+            window_seconds=self.window_seconds,
+            frontier=self._frontier,
+            snapshot=self.snapshot(),
+        )
+
+    def restore_state(self, state: RegistryState) -> None:
+        """Reset this registry to a previously exported state."""
+        self.reset()
+        self.window_seconds = state.window_seconds
+        if state.snapshot:
+            self.merge(state.snapshot)
+        self._frontier = state.frontier
+        self.enabled = state.enabled
 
 
 #: The process-global registry every instrumented layer records into.

@@ -39,6 +39,12 @@ kinds:
 ``metrics``
     The whole-run metrics rollup footer: per-series totals split by
     determinism scope the same way.
+``recovery``
+    One supervised crash/restore cycle of the controller service.  A
+    recovered run must stay byte-identical to an uninterrupted one, so
+    the whole payload lives under ``"wall"`` with an empty ``data`` and
+    :func:`repro.obs.journal.strip_wall` drops the line entirely — the
+    record documents *how* the run survived, never *what* it computed.
 """
 
 from __future__ import annotations
@@ -49,7 +55,8 @@ from typing import Any, Dict, Optional, Protocol, Sequence, Tuple, Union
 #: Journal schema version, bumped on any breaking layout change.
 #: v2: ``fault`` records and the optional ``note`` key on decisions.
 #: v3: ``metric`` window records and the ``metrics`` rollup footer.
-SCHEMA_VERSION = 3
+#: v4: ``recovery`` records for supervised service crash/restore cycles.
+SCHEMA_VERSION = 4
 
 Payload = Tuple[str, Dict[str, Any], Dict[str, Any]]
 
@@ -246,6 +253,42 @@ class FaultRecord:
 
 
 @dataclass
+class RecoveryRecord:
+    """One supervised crash/restore cycle of the controller service.
+
+    Everything here is a property of *this particular* supervised run —
+    where the crash fell relative to the last snapshot, how much of the
+    write-ahead log had to be replayed — not of the event stream, so the
+    entire payload serializes under ``"wall"`` and
+    :func:`repro.obs.journal.strip_wall` drops the line: a crashed-and-
+    recovered journal stays byte-identical to the uninterrupted one.
+    """
+
+    #: Sim time of the crash the supervisor recovered from.
+    sim_time: float
+    controller_id: str
+    #: Sim-time lag of the restored snapshot behind the crash point.
+    downtime: float
+    #: Sequence number the restored snapshot had committed up to.
+    snapshot_seq: int
+    #: Write-ahead-log events resubmitted past the snapshot.
+    replayed_events: int
+    #: Association decisions re-derived during the replay.
+    rederived_decisions: int
+
+    def payload(self) -> Payload:
+        wall: Dict[str, Any] = {
+            "sim_time": self.sim_time,
+            "controller": self.controller_id,
+            "downtime": self.downtime,
+            "snapshot_seq": self.snapshot_seq,
+            "replayed_events": self.replayed_events,
+            "rederived_decisions": self.rederived_decisions,
+        }
+        return "recovery", {}, wall
+
+
+@dataclass
 class PerfRecord:
     """The journal footer: a :mod:`repro.perf` registry snapshot.
 
@@ -371,6 +414,7 @@ JournalRecord = Union[
     DecisionRecord,
     SampleRecord,
     FaultRecord,
+    RecoveryRecord,
     PerfRecord,
     MetricRecord,
     MetricsRollupRecord,
@@ -434,6 +478,15 @@ def record_from_payload(
             balance=float(data["balance"]),
             total_load=float(data["total_load"]),
             users=int(data["users"]),
+        )
+    if kind == "recovery":
+        return RecoveryRecord(
+            sim_time=float(wall["sim_time"]),
+            controller_id=str(wall["controller"]),
+            downtime=float(wall["downtime"]),
+            snapshot_seq=int(wall["snapshot_seq"]),
+            replayed_events=int(wall["replayed_events"]),
+            rederived_decisions=int(wall["rederived_decisions"]),
         )
     if kind == "perf":
         return PerfRecord(

@@ -25,6 +25,7 @@ site.  Enable it (``obs.enable()``) before a run you want journaled.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Any, Callable, Dict, List, Optional, Type, Union
 
@@ -33,11 +34,19 @@ from repro.obs.records import (
     DecisionRecord,
     FaultRecord,
     PerfRecord,
+    RecoveryRecord,
     SampleRecord,
     SpanRecord,
 )
 
-TracedRecord = Union[SpanRecord, DecisionRecord, SampleRecord, FaultRecord, PerfRecord]
+TracedRecord = Union[
+    SpanRecord,
+    DecisionRecord,
+    SampleRecord,
+    FaultRecord,
+    RecoveryRecord,
+    PerfRecord,
+]
 
 
 class Span:
@@ -136,6 +145,15 @@ NULL_SPAN = _NullSpan()
 AnySpan = Union[Span, _NullSpan]
 
 
+@dataclass
+class TracerState:
+    """A point-in-time copy of a tracer's record state (checkpointable)."""
+
+    enabled: bool = False
+    records: List["TracedRecord"] = field(default_factory=list)
+    next_id: int = 0
+
+
 class Tracer:
     """Process-wide collector of spans, decisions and samples."""
 
@@ -232,6 +250,11 @@ class Tracer:
         if self.enabled:
             self.records.append(record)
 
+    def recovery(self, record: RecoveryRecord) -> None:
+        """Journal one crash/restore cycle (no-op when disabled)."""
+        if self.enabled:
+            self.records.append(record)
+
     # ------------------------------------------------------------- querying
 
     def spans(self) -> List[SpanRecord]:
@@ -257,6 +280,28 @@ class Tracer:
         self.records.clear()
         self._stack.clear()
         self._next_id = 0
+
+    def export_state(self) -> "TracerState":
+        """A checkpointable copy of the tracer's record state.
+
+        Records are frozen-at-append journal lines, so a shallow list
+        copy is a faithful snapshot; half-open spans are deliberately
+        not captured — a checkpoint boundary never falls inside one in
+        the supervised service, and a restored tracer must start with a
+        clean stack.
+        """
+        return TracerState(
+            enabled=self.enabled,
+            records=list(self.records),
+            next_id=self._next_id,
+        )
+
+    def restore_state(self, state: "TracerState") -> None:
+        """Reset this tracer to a previously exported state."""
+        self.enabled = state.enabled
+        self.records = list(state.records)
+        self._stack.clear()
+        self._next_id = state.next_id
 
 
 #: The process-global tracer every instrumented layer records into.
@@ -291,6 +336,11 @@ def sample(record: SampleRecord) -> None:
 def fault(record: FaultRecord) -> None:
     """Record a fault firing on the global tracer."""
     TRACER.fault(record)
+
+
+def recovery(record: RecoveryRecord) -> None:
+    """Record a crash/restore cycle on the global tracer."""
+    TRACER.recovery(record)
 
 
 def enable(reset: bool = True) -> Tracer:

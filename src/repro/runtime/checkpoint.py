@@ -212,6 +212,26 @@ class RunDirectory:
         """The subset of ``task_ids`` with a checkpoint, in given order."""
         return [task_id for task_id in task_ids if self.has(task_id)]
 
+    def stored_slots(self) -> List[str]:
+        """Task ids of every stored checkpoint, recovered from filenames.
+
+        Only ids that survive the filename slug unchanged (safe charset,
+        at most 80 characters — verified by re-hashing the slug against
+        the embedded digest) can be recovered; other checkpoints are
+        skipped.  The service supervisor discovers its latest
+        ``snapshot-<seq>`` slot this way after a crash, when the writing
+        process (and its in-memory slot list) is gone.
+        """
+        slots: List[str] = []
+        for path in sorted(self.path.glob("task-*.pkl")):
+            match = re.fullmatch(r"task-(.+)-([0-9a-f]{8})\.pkl", path.name)
+            if match is None:
+                continue
+            slug = match.group(1)
+            if f"{zlib.crc32(slug.encode('utf-8')):08x}" == match.group(2):
+                slots.append(slug)
+        return slots
+
     # ------------------------------------------------------ failure markers
 
     def store_failure(self, task_id: str, detail: Dict[str, Any]) -> None:

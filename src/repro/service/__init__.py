@@ -20,6 +20,15 @@ Three layers (see ``docs/service.md``):
   social-cost index over the same :class:`~repro.core.social.SocialModel`
   the batch selector uses, fed by the PR 9 online delta updates.
 
+Crash safety rides on top (``docs/robustness.md``):
+:mod:`repro.service.checkpoint` snapshots the whole service plus the
+global observability state; :mod:`repro.service.supervisor` journals a
+write-ahead log, kills the controller at planned
+:class:`~repro.faults.ControllerCrash` points and restores
+exactly-once from snapshot + WAL replay; :mod:`repro.service.soak`
+(also a CLI: ``python -m repro.service.soak``) runs seeded
+crash/restart cycles and judges recovery from the journals alone.
+
 Same-seed runs journal byte-identically after ``strip_wall`` whether
 events arrive from one producer or many — that contract is what makes a
 concurrent service auditable with the same tools as a batch replay.
@@ -28,6 +37,11 @@ concurrent service auditable with the same tools as a batch replay.
 from __future__ import annotations
 
 from repro.service.admission import AdmissionConfig
+from repro.service.checkpoint import (
+    ServiceCheckpoint,
+    capture_checkpoint,
+    restore_checkpoint,
+)
 from repro.service.events import (
     ServiceEvent,
     StationJoin,
@@ -42,6 +56,7 @@ from repro.service.loop import (
     ServiceApp,
     run_events,
 )
+from repro.service.supervisor import Supervisor, run_supervised
 from repro.service.workload import (
     WorkloadSpec,
     make_service,
@@ -57,13 +72,18 @@ __all__ = [
     "FastAssociator",
     "JoinTicket",
     "ServiceApp",
+    "ServiceCheckpoint",
     "ServiceEvent",
     "StationJoin",
     "StationLeave",
     "StatsReport",
+    "Supervisor",
     "WorkloadSpec",
+    "capture_checkpoint",
     "make_service",
+    "restore_checkpoint",
     "run_events",
     "run_journaled_service",
+    "run_supervised",
     "synthetic_events",
 ]

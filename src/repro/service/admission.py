@@ -10,7 +10,11 @@ the next link of the ``s3 -> llf -> rssi`` fallback chain
 (least-loaded-first over live state) and its decision record carries
 the ``"fallback:llf:admission-shed"`` provenance note — exactly the
 degradation vocabulary :mod:`repro.wlan.replay` journals, so the same
-report tooling reads both.
+report tooling reads both.  The same chain backs the post-recovery
+degraded mode: when a crash recovery permanently lost events (gap
+skips), :meth:`AdmissionQueue.flag_stale` routes the next N decisions
+least-loaded-first under the ``"fallback:llf:model-stale"`` note until
+the online social model has re-observed enough fresh arrivals.
 
 Backpressure is observable through four :mod:`repro.obs.metrics`
 series: ``service.queue_depth`` (gauge), ``service.batch_size``
@@ -41,6 +45,11 @@ FALLBACK_CHAIN: Tuple[str, ...] = S3Strategy.fallback_chain
 
 #: Provenance note on decisions shed by a saturated admission queue.
 SHED_NOTE = "fallback:llf:admission-shed"
+
+#: Provenance note on decisions degraded because the social model was
+#: flagged stale after a lossy crash recovery (gap-skipped events mean
+#: the online model missed arrivals it can never observe).
+STALE_NOTE = "fallback:llf:model-stale"
 
 #: ``(event, ap_id, mode, note)`` — the loop's commit hook signature.
 CommitHook = Callable[[StationJoin, str, str, Optional[str]], None]
@@ -89,6 +98,11 @@ class AdmissionQueue:
         self.decisions = 0
         self.batches = 0
         self.sheds = 0
+        #: Decisions still to answer from the fallback chain because the
+        #: social model is stale (set by :meth:`flag_stale` on recovery).
+        self.stale_remaining = 0
+        #: Total decisions degraded through the stale-model path.
+        self.stale_decisions = 0
         #: Wall seconds enqueue->commit when ``track_latency`` is set.
         self.latencies: List[float] = []
 
@@ -102,6 +116,22 @@ class AdmissionQueue:
     def pending_user(self, user_id: str) -> bool:
         """Whether ``user_id`` has a join waiting in the queue."""
         return any(event.user_id == user_id for event, _, _ in self._pending)
+
+    # ------------------------------------------------------- degraded mode
+
+    def flag_stale(self, decisions: int) -> None:
+        """Degrade the next ``decisions`` commits to the fallback chain.
+
+        Called by the supervisor when a crash recovery found permanently
+        lost events (gap skips), meaning the online social model missed
+        arrivals it can never observe: instead of trusting a stale model,
+        the next ``decisions`` joins are answered least-loaded-first with
+        the :data:`STALE_NOTE` provenance note, after which the model has
+        re-observed enough fresh arrivals to be trusted again.
+        """
+        if decisions < 0:
+            raise ValueError(f"stale decision count must be >= 0: {decisions}")
+        self.stale_remaining = max(self.stale_remaining, decisions)
 
     # ------------------------------------------------------------ enqueue
 
@@ -137,6 +167,17 @@ class AdmissionQueue:
             batch_id = f"{self.controller_id}#{self.batches}"
             obs_metrics.observe("service.batch_size", float(len(chunk)), now)
             for event, ticket, enqueued in chunk:
+                if self.stale_remaining > 0:
+                    self.stale_remaining -= 1
+                    self.stale_decisions += 1
+                    self._commit(
+                        event, ticket, enqueued,
+                        self.associator.least_loaded(),
+                        sim_time=now, batch_id=batch_id,
+                        strategy=FALLBACK_CHAIN[1], mode="batch",
+                        note=STALE_NOTE,
+                    )
+                    continue
                 ap_id = self.associator.select(event.user_id)
                 self._commit(
                     event, ticket, enqueued, ap_id,

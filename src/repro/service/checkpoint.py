@@ -1,0 +1,147 @@
+"""Crash-safe snapshots of a live controller service.
+
+A :class:`ServiceCheckpoint` captures everything a controller process
+would lose if it died: the :class:`~repro.service.loop.ControllerService`
+object graph (reorder buffer, admission queue, fast-path associator,
+online learner — one ``copy.deepcopy``, so the social model shared
+between associator and learner stays shared on restore) plus the
+process-global observability state (tracer records, metrics registry,
+perf registry) as of the same instant.  Restoring a checkpoint and
+replaying the write-ahead log past it is therefore *exactly-once*: the
+events processed between the snapshot and the crash re-execute against
+state that has never seen them, re-emitting the identical journal lines
+the crash destroyed.
+
+Snapshots persist through :class:`~repro.runtime.checkpoint.RunDirectory`
+(``kind="service"``), inheriting its conventions wholesale: atomic
+temp-file + ``os.replace`` writes, a fingerprint-guarded ``meta.json``
+that refuses to mix runs, and quarantine-and-fall-back on corrupt
+pickles.  Slots are named ``snapshot-<seq>`` where ``<seq>`` is the next
+unprocessed sequence number, so recovery can discover the latest usable
+snapshot from the directory alone (:func:`latest_snapshot_seq`) — the
+process that wrote it, and its in-memory bookkeeping, are gone.
+
+Each checkpoint is stamped with :data:`CHECKPOINT_VERSION` and the run
+fingerprint; :func:`restore_checkpoint` refuses a version or fingerprint
+it does not recognise — a snapshot from another run restoring cleanly
+but wrongly would be far worse than an error.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import perf
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import RegistryState
+from repro.obs.tracer import TRACER, TracerState
+from repro.runtime.checkpoint import RunDirectory
+from repro.service.loop import ControllerService
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: Slot-name prefix of service snapshots inside a run directory.
+SNAPSHOT_PREFIX = "snapshot-"
+
+#: The ``RunDirectory`` kind service snapshots are stored under.
+RUN_KIND = "service"
+
+
+@dataclass
+class ServiceCheckpoint:
+    """One atomic capture of a controller service and its observability."""
+
+    #: :data:`CHECKPOINT_VERSION` at capture time.
+    version: int
+    #: The owning run's fingerprint (spec + fault plan).
+    fingerprint: str
+    #: The next unprocessed sequence number (WAL replay starts here).
+    next_seq: int
+    #: The service sim clock at capture time.
+    last_time: float
+    #: Deep copy of the full service object graph.
+    service: ControllerService
+    #: Tracer records and lifecycle as of the capture.
+    tracer: TracerState
+    #: Metrics registry state as of the capture.
+    metrics: RegistryState
+    #: Perf timers/counters as of the capture.
+    perf: perf.PerfSnapshot
+
+    @property
+    def slot(self) -> str:
+        """The run-directory slot this checkpoint stores under."""
+        return f"{SNAPSHOT_PREFIX}{self.next_seq}"
+
+
+def capture_checkpoint(
+    service: ControllerService, fingerprint: str
+) -> ServiceCheckpoint:
+    """Snapshot ``service`` plus the global observability state.
+
+    The service graph is deep-copied so the checkpoint stays frozen
+    while the live service keeps mutating; the deepcopy memo keeps the
+    social model shared between the associator and the online learner
+    a single object, exactly as constructed.
+    """
+    with perf.timer("service.checkpoint.capture"):
+        return ServiceCheckpoint(
+            version=CHECKPOINT_VERSION,
+            fingerprint=fingerprint,
+            next_seq=service._next_seq,
+            last_time=service._last_time,
+            service=copy.deepcopy(service),
+            tracer=TRACER.export_state(),
+            metrics=obs_metrics.get_metrics().export_state(),
+            perf=perf.snapshot(),
+        )
+
+
+def restore_checkpoint(
+    checkpoint: ServiceCheckpoint, fingerprint: str
+) -> ControllerService:
+    """Rebuild the world as of ``checkpoint``; returns the service.
+
+    Resets the process-global tracer, metrics registry and perf registry
+    to their captured states — records emitted after the capture (by the
+    timeline the crash destroyed) are discarded, to be re-emitted by the
+    WAL replay.  The returned service is a fresh deep copy, so restoring
+    the same checkpoint twice yields independent services.
+    """
+    if checkpoint.version != CHECKPOINT_VERSION:
+        raise RuntimeError(
+            f"service checkpoint version {checkpoint.version} is not the "
+            f"supported version {CHECKPOINT_VERSION}"
+        )
+    if checkpoint.fingerprint != fingerprint:
+        raise RuntimeError(
+            f"service checkpoint belongs to run {checkpoint.fingerprint!r}, "
+            f"not {fingerprint!r}; refusing to restore foreign state"
+        )
+    with perf.timer("service.checkpoint.restore"):
+        service = copy.deepcopy(checkpoint.service)
+        TRACER.restore_state(checkpoint.tracer)
+        obs_metrics.get_metrics().restore_state(checkpoint.metrics)
+        perf.reset()
+        perf.merge(checkpoint.perf)
+    return service
+
+
+def snapshot_seqs(store: RunDirectory) -> List[int]:
+    """Every stored snapshot's ``next_seq``, ascending."""
+    seqs = []
+    for slot in store.stored_slots():
+        if slot.startswith(SNAPSHOT_PREFIX):
+            suffix = slot[len(SNAPSHOT_PREFIX):]
+            if suffix.isdigit():
+                seqs.append(int(suffix))
+    return sorted(seqs)
+
+
+def latest_snapshot_seq(store: RunDirectory) -> Optional[int]:
+    """The newest stored snapshot's ``next_seq`` (``None`` when empty)."""
+    seqs = snapshot_seqs(store)
+    return seqs[-1] if seqs else None

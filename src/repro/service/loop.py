@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.balance import normalized_balance_index
 from repro.core.online import OnlineLearner
 from repro.obs import metrics as obs_metrics
-from repro.obs.records import SampleRecord
+from repro.obs.records import FaultRecord, SampleRecord
 from repro.obs.tracer import TRACER
 from repro.service.admission import AdmissionConfig, AdmissionQueue
 from repro.service.events import (
@@ -167,10 +167,19 @@ class ControllerService:
         apps: Sequence[ServiceApp] = (),
         learner: Optional[OnlineLearner] = None,
         controller_id: str = "svc",
+        gap_horizon: Optional[float] = None,
     ) -> None:
+        if gap_horizon is not None and gap_horizon <= 0:
+            raise ValueError(f"gap_horizon must be positive: {gap_horizon}")
         self.associator = associator
         self.learner = learner
         self.controller_id = controller_id
+        #: Sim seconds a reorder-buffer gap may age before it is declared
+        #: permanent and skipped (``None`` = strict mode: gaps and
+        #: duplicates raise).  Tolerant mode assumes serial delivery —
+        #: the supervisor's side of the wire — where a surviving gap can
+        #: only mean the event is gone for good.
+        self.gap_horizon = gap_horizon
         self.apps: List[ServiceApp] = list(apps)
         self.admission = AdmissionQueue(
             associator,
@@ -186,7 +195,14 @@ class ControllerService:
         self._parked: Dict[int, Tuple[ServiceEvent, Optional[JoinTicket]]] = {}
         self._next_seq = 0
         self._last_time = float("-inf")
+        #: Largest event time *submitted* (processed or parked) — the
+        #: clock gap aging is measured against.
+        self._horizon_clock = float("-inf")
         self.events_processed = 0
+        #: Seqs skipped over at the gap horizon (tolerant mode only).
+        self.gap_skips = 0
+        #: Late or duplicate submissions discarded (tolerant mode only).
+        self.dropped_events = 0
 
     # -------------------------------------------------------------- intake
 
@@ -196,25 +212,82 @@ class ControllerService:
         Returns a :class:`JoinTicket` for joins (resolved once the
         admission layer commits the decision), ``None`` otherwise.
         Events may arrive in any order; an event is *processed* only
-        when every lower ``seq`` has been.
+        when every lower ``seq`` has been.  In strict mode (no
+        ``gap_horizon``) a duplicate or already-passed ``seq`` raises;
+        in tolerant mode it is counted and discarded — a skipped seq
+        arriving late must not corrupt the already-advanced stream.
         """
         if event.seq < self._next_seq or event.seq in self._parked:
-            raise ValueError(f"duplicate event seq {event.seq}")
+            if self.gap_horizon is None:
+                raise ValueError(f"duplicate event seq {event.seq}")
+            self.dropped_events += 1
+            return None
         ticket = JoinTicket() if isinstance(event, StationJoin) else None
         self._parked[event.seq] = (event, ticket)
+        if event.time > self._horizon_clock:
+            self._horizon_clock = event.time
+        self._drain_ready()
+        if self.gap_horizon is not None and self._parked:
+            self._maybe_skip_gap()
+        return ticket
+
+    def _drain_ready(self) -> None:
+        """Process the contiguous seq prefix now present in the buffer."""
         while self._next_seq in self._parked:
             parked_event, parked_ticket = self._parked.pop(self._next_seq)
             self._next_seq += 1
             self._process(parked_event, parked_ticket)
-        return ticket
+
+    def _maybe_skip_gap(self) -> None:
+        """Skip gaps whose oldest parked successor has aged past the horizon.
+
+        A producer that died mid-send leaves a seq that will never
+        arrive; without this, dispatch wedges forever behind it.  The
+        trigger is pure sim time — how far the submitted stream has
+        advanced past the oldest *parked* event — so a given event
+        stream always skips at the same point.
+        """
+        assert self.gap_horizon is not None
+        while self._parked and self._next_seq not in self._parked:
+            frontier = min(self._parked)
+            oldest = self._parked[frontier][0]
+            if self._horizon_clock - oldest.time < self.gap_horizon:
+                return
+            self._skip_to(frontier)
+            self._drain_ready()
+
+    def _skip_to(self, frontier: int) -> None:
+        """Declare seqs ``[_next_seq, frontier)`` permanently missing."""
+        skipped = frontier - self._next_seq
+        TRACER.fault(
+            FaultRecord(
+                sim_time=self._horizon_clock,
+                kind="gap-skip",
+                target=f"seq:{self._next_seq}-{frontier - 1}",
+                controller_id=self.controller_id,
+                detail={"skipped": skipped},
+            )
+        )
+        obs_metrics.inc("service.gap_skips", float(skipped), self._horizon_clock)
+        self.gap_skips += skipped
+        self._next_seq = frontier
 
     def drain(self) -> None:
-        """End of stream: flush admission; error on sequence gaps."""
+        """End of stream: flush admission; error on sequence gaps.
+
+        In tolerant mode trailing gaps are skipped (journaling the same
+        ``gap-skip`` note) instead of raising — the stream ended, so no
+        missing seq can arrive anymore.
+        """
         if self._parked:
-            raise ValueError(
-                f"sequence gap at end of stream: expected seq "
-                f"{self._next_seq}, still parked {sorted(self._parked)}"
-            )
+            if self.gap_horizon is None:
+                raise ValueError(
+                    f"sequence gap at end of stream: expected seq "
+                    f"{self._next_seq}, still parked {sorted(self._parked)}"
+                )
+            while self._parked:
+                self._skip_to(min(self._parked))
+                self._drain_ready()
         now = self._last_time if self.events_processed else 0.0
         self.admission.drain(now)
 

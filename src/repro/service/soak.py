@@ -1,0 +1,228 @@
+"""Deterministic chaos soak: N crash/restart cycles, judged from journals.
+
+:func:`run_soak` runs the same seeded workload twice through
+:func:`repro.service.supervisor.run_supervised` — once under a seeded
+service chaos plan (crashes included), once under the same plan with the
+crash events removed — and derives every verdict **from the two journals
+alone**: recovery count and downtime from the
+:class:`~repro.obs.records.RecoveryRecord` trail, gap skips from the
+``gap-skip`` fault notes, stale-mode decisions from the
+``fallback:llf:model-stale`` provenance notes, and decision divergence
+by aligning the two decision streams record by record.  Nothing is read
+back from in-memory state, so the same report can be computed later
+from archived journals.
+
+The headline gate: with a loss-free plan, the crashed-and-recovered
+journal must be **byte-identical** (after ``strip_wall``) to the
+uninterrupted one.  Plans that lose events trade that parity for the
+stale-model degraded mode; the ``divergence`` field quantifies the
+trade.
+
+Runs as a CLI for the CI smoke job::
+
+    python -m repro.service.soak --events 400 --crashes 3 \\
+        --workdir /tmp/soak --check-identity
+
+This module is inside the ``fault-determinism`` lint scope: every
+random draw behind the chaos plan happens in
+:func:`repro.faults.generate_service_plan` on the dedicated ``faults``
+stream — the soak itself only picks the seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from itertools import zip_longest
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.faults.model import ControllerCrash, FaultPlan, SERVICE_KINDS
+from repro.faults.schedule import ServiceChaosConfig, generate_service_plan
+from repro.obs.journal import Journal, read_journal, strip_wall
+from repro.service.admission import STALE_NOTE
+from repro.service.supervisor import run_supervised
+from repro.service.workload import WorkloadSpec, synthetic_events
+from repro.sim.rng import RandomStreams
+
+
+def _stream_horizon(spec: WorkloadSpec) -> float:
+    """The chaos-plan window end: just past the stream's last event."""
+    events = synthetic_events(spec)
+    last = events[-1].time if events else 0.0
+    return last + 1.0
+
+
+def _journal_gap_skips(journal: Journal) -> int:
+    total = 0
+    for fault in journal.faults:
+        if fault.kind == "gap-skip":
+            total += int(fault.detail["skipped"])
+    return total
+
+
+def _journal_stale_decisions(journal: Journal) -> int:
+    return sum(1 for d in journal.decisions if d.note == STALE_NOTE)
+
+
+def _decision_divergence(
+    crashed: Journal, baseline: Journal
+) -> Tuple[int, int]:
+    """``(divergent, compared)`` between two aligned decision streams."""
+    divergent = 0
+    compared = 0
+    for left, right in zip_longest(crashed.decisions, baseline.decisions):
+        compared += 1
+        if (
+            left is None
+            or right is None
+            or left.user_id != right.user_id
+            or left.chosen != right.chosen
+            or left.note != right.note
+        ):
+            divergent += 1
+    return divergent, compared
+
+
+def run_soak(
+    spec: WorkloadSpec,
+    workdir: Union[str, Path],
+    crashes: int = 3,
+    losses: int = 0,
+    duplicates: int = 0,
+    stalls: int = 0,
+    fault_seed: int = 101,
+    gap_horizon: Optional[float] = None,
+    snapshot_every: int = 50,
+) -> Dict[str, Any]:
+    """One soak cycle: chaos run vs crash-free run, judged from journals."""
+    if crashes < 1:
+        raise ValueError(f"a soak needs at least one crash: {crashes}")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    chaos = ServiceChaosConfig(
+        event_losses=losses,
+        event_duplicates=duplicates,
+        producer_stalls=stalls,
+        controller_crashes=crashes,
+    )
+    plan = generate_service_plan(
+        spec.events,
+        0.0,
+        _stream_horizon(spec),
+        RandomStreams(fault_seed),
+        chaos,
+    )
+    baseline_plan = FaultPlan(
+        plan.of_kinds(sorted(SERVICE_KINDS - {ControllerCrash.kind}))
+    )
+
+    crashed_journal = workdir / "crashed.jsonl"
+    baseline_journal = workdir / "baseline.jsonl"
+    run_supervised(
+        spec,
+        plan,
+        workdir / "crashed",
+        journal=crashed_journal,
+        gap_horizon=gap_horizon,
+        snapshot_every=snapshot_every,
+    )
+    run_supervised(
+        spec,
+        baseline_plan,
+        workdir / "baseline",
+        journal=baseline_journal,
+        gap_horizon=gap_horizon,
+        snapshot_every=snapshot_every,
+    )
+
+    crashed_text = crashed_journal.read_text(encoding="utf-8")
+    baseline_text = baseline_journal.read_text(encoding="utf-8")
+    crashed = read_journal(crashed_journal)
+    baseline = read_journal(baseline_journal)
+
+    downtimes: List[float] = [r.downtime for r in crashed.recoveries]
+    divergent, compared = _decision_divergence(crashed, baseline)
+    return {
+        "events": spec.events,
+        "seed": spec.seed,
+        "fault_seed": fault_seed,
+        "plan_events": len(plan.events),
+        "recoveries": len(crashed.recoveries),
+        "replayed_events": sum(r.replayed_events for r in crashed.recoveries),
+        "rederived_decisions": sum(
+            r.rederived_decisions for r in crashed.recoveries
+        ),
+        "downtime_total": sum(downtimes),
+        "downtime_max": max(downtimes) if downtimes else 0.0,
+        "gap_skips": _journal_gap_skips(crashed),
+        "stale_decisions": _journal_stale_decisions(crashed),
+        "decisions": len(crashed.decisions),
+        "divergent_decisions": divergent,
+        "divergence": divergent / compared if compared else 0.0,
+        "byte_identical": strip_wall(crashed_text)
+        == strip_wall(baseline_text),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run one soak, print the report as JSON."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.soak",
+        description="chaos-soak the supervised controller service",
+    )
+    parser.add_argument("--events", type=int, default=400)
+    parser.add_argument("--users", type=int, default=32)
+    parser.add_argument("--aps", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--crashes", type=int, default=3)
+    parser.add_argument("--losses", type=int, default=0)
+    parser.add_argument("--duplicates", type=int, default=0)
+    parser.add_argument("--stalls", type=int, default=0)
+    parser.add_argument("--fault-seed", type=int, default=101)
+    parser.add_argument(
+        "--gap-horizon",
+        type=float,
+        default=None,
+        help="reorder-buffer gap horizon in sim seconds (tolerant mode)",
+    )
+    parser.add_argument("--snapshot-every", type=int, default=50)
+    parser.add_argument("--workdir", type=Path, required=True)
+    parser.add_argument(
+        "--json", type=Path, default=None, help="also write the report here"
+    )
+    parser.add_argument(
+        "--check-identity",
+        action="store_true",
+        help=(
+            "exit 2 unless the crashed journal is byte-identical "
+            "(post-strip) to the uninterrupted one"
+        ),
+    )
+    args = parser.parse_args(argv)
+    spec = WorkloadSpec(
+        users=args.users, aps=args.aps, events=args.events, seed=args.seed
+    )
+    report = run_soak(
+        spec,
+        args.workdir,
+        crashes=args.crashes,
+        losses=args.losses,
+        duplicates=args.duplicates,
+        stalls=args.stalls,
+        fault_seed=args.fault_seed,
+        gap_horizon=args.gap_horizon,
+        snapshot_every=args.snapshot_every,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.json is not None:
+        args.json.write_text(text + "\n", encoding="utf-8")
+    if args.check_identity and not report["byte_identical"]:
+        print("soak: crashed journal diverged from the uninterrupted run")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

@@ -128,8 +128,15 @@ def make_service(
     admission: Optional[AdmissionConfig] = None,
     monitor: bool = True,
     online: Optional[OnlineConfig] = None,
+    gap_horizon: Optional[float] = None,
 ) -> ControllerService:
-    """A cold-start controller service sized for ``spec``."""
+    """A cold-start controller service sized for ``spec``.
+
+    ``gap_horizon`` turns on the reorder buffer's tolerant mode (gaps
+    older than the horizon are skipped instead of wedging dispatch) —
+    the supervised/chaos path needs it; clean workloads leave it off and
+    keep the strict fail-fast contract.
+    """
     social = _cold_start_model(spec)
     demand = DemandEstimator()
     aps = [
@@ -145,6 +152,7 @@ def make_service(
         admission=admission,
         apps=apps,
         learner=OnlineLearner(social, online),
+        gap_horizon=gap_horizon,
     )
 
 

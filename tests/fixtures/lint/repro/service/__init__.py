@@ -1,0 +1,1 @@
+"""Fixture package so ``repro.service.*`` fixture modules resolve."""

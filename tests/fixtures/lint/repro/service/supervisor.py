@@ -1,0 +1,25 @@
+"""Fixture: ad hoc randomness inside the service supervisor scope.
+
+The fault-determinism rule extends past ``repro.faults`` to the crash
+supervisor and chaos soak (recovery replay must be byte-reproducible);
+it must flag lines 13, 17, 21 and allow the dedicated stream forms."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+def bad_jittered_restart() -> float:
+    return float(np.random.default_rng(3).random())  # line 13: ad hoc
+
+
+def bad_config_get(config) -> object:
+    return config.get("snapshot_every")  # line 17: blunt on purpose
+
+
+def bad_wal_field(obj: dict) -> object:
+    return obj.get("seq")  # line 21: index WAL fields, never .get
+
+
+def good_plan_stream(streams: RandomStreams) -> object:
+    return streams.child("faults").get("schedule")

@@ -173,6 +173,19 @@ def test_fault_determinism_fixture_scoped_by_module_name():
     assert lines_by_rule(relaxed, "fault-determinism") == []
 
 
+def test_fault_determinism_extends_to_service_supervisor_and_soak():
+    path = FIXTURES / "repro" / "service" / "supervisor.py"
+    assert module_name_for(path) == "repro.service.supervisor"
+    findings = lint_module(parse_module(path))
+    assert lines_by_rule(findings, "fault-determinism") == [13, 17, 21]
+    # the soak module is in scope too ...
+    as_soak = lint_module(parse_module(path, module="repro.service.soak"))
+    assert lines_by_rule(as_soak, "fault-determinism") == [13, 17, 21]
+    # ... but the rest of repro.service (live dispatch) is not
+    relaxed = lint_module(parse_module(path, module="repro.service.loop"))
+    assert lines_by_rule(relaxed, "fault-determinism") == []
+
+
 def test_shard_safe_fixture():
     findings = findings_for("shard_safe.py")
     assert lines_by_rule(findings, "shard-safe-note") == [5, 12, 19]

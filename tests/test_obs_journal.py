@@ -106,7 +106,7 @@ class TestRoundTrip:
         path = write_journal(tmp_path / "shape.jsonl")
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert [obj["type"] for obj in lines] == ["meta", "span", "perf"]
-        assert lines[0]["data"]["format"] == 3
+        assert lines[0]["data"]["format"] == 4
         # wall-time values appear under the top-level "wall" key only
         span_obj = lines[1]
         assert "wall" in span_obj

@@ -14,12 +14,13 @@ from repro.obs import metrics as obs_metrics
 from repro.service.admission import (
     FALLBACK_CHAIN,
     SHED_NOTE,
+    STALE_NOTE,
     AdmissionConfig,
     AdmissionQueue,
 )
-from repro.service.events import StationJoin
+from repro.service.events import StationJoin, StationLeave
 from repro.service.fastpath import ApRuntime, FastAssociator
-from repro.service.loop import JoinTicket
+from repro.service.loop import ControllerService, JoinTicket
 
 
 def _associator(aps: int = 4) -> FastAssociator:
@@ -137,6 +138,69 @@ def test_drain_flushes_stragglers() -> None:
     queue.drain(0.0)
     assert all(t.done for t in tickets)
     assert queue.batches == 1
+
+
+def test_leave_storm_at_queue_capacity_sheds_then_flushes() -> None:
+    # Service-level interplay: joins beyond queue_capacity shed out of
+    # band while a storm of leaves for still-pending users forces the
+    # whole batch out (decide-then-depart) before any departure applies.
+    service = ControllerService(
+        _associator(aps=2),
+        admission=AdmissionConfig(
+            max_batch=4, queue_capacity=4, flush_horizon=1e9
+        ),
+    )
+    queue = service.admission
+    pending = [
+        service.submit(StationJoin(seq=i, time=0.0, user_id=f"u{i}"))
+        for i in range(4)
+    ]
+    assert queue.depth == 4
+    assert not any(t is None or t.done for t in pending)
+    shed = service.submit(StationJoin(seq=4, time=0.0, user_id="u4"))
+    assert shed is not None and shed.done  # answered immediately
+    assert queue.sheds == 1 and queue.depth == 4
+    for i in range(4):
+        service.submit(StationLeave(seq=5 + i, time=1.0 + i, user_id=f"u{i}"))
+    assert all(t is not None and t.done for t in pending)
+    assert queue.depth == 0
+    assert queue.decisions == 5  # 4 batched + 1 shed
+    assert all(service.associator.ap_of(f"u{i}") is None for i in range(4))
+    assert service.associator.ap_of("u4") == shed.ap_id
+    service.submit(StationLeave(seq=9, time=10.0, user_id="u4"))
+    assert service.associator.ap_of("u4") is None
+    # Capacity frees up: a fresh join queues normally again.
+    fresh = service.submit(StationJoin(seq=10, time=11.0, user_id="u5"))
+    assert fresh is not None and not fresh.done and queue.depth == 1
+    service.drain()
+    assert fresh.done
+    assert queue.sheds == 1  # the storm never shed a second join
+
+
+def test_flag_stale_routes_next_decisions_to_llf() -> None:
+    commits: List[Tuple[str, str, Optional[str]]] = []
+    associator = _associator(aps=2)
+    queue = AdmissionQueue(
+        associator,
+        AdmissionConfig(max_batch=4),
+        on_commit=lambda e, ap, mode, note: commits.append(
+            (e.user_id, ap, note)
+        ),
+    )
+    associator.ap("ap0").load = 5e6
+    queue.flag_stale(2)
+    assert queue.stale_remaining == 2
+    queue.flag_stale(1)  # never shrinks an outstanding degradation
+    assert queue.stale_remaining == 2
+    for i in range(3):
+        _offer(queue, i, 0.0)
+    queue.flush(0.0)
+    assert [note for _, _, note in commits] == [STALE_NOTE, STALE_NOTE, None]
+    assert commits[0][1] == "ap1"  # least loaded wins, not the model
+    assert queue.stale_decisions == 2 and queue.stale_remaining == 0
+    with pytest.raises(ValueError, match="stale decision count"):
+        queue.flag_stale(-1)
+    assert STALE_NOTE == "fallback:llf:model-stale"
 
 
 def test_config_validation() -> None:

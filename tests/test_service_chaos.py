@@ -1,0 +1,141 @@
+"""Service chaos plans: generation, round trips, supervisor validation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults import (
+    ApDown,
+    ControllerCrash,
+    EventDuplicate,
+    EventLoss,
+    FaultPlan,
+    ProducerStall,
+    SERVICE_KINDS,
+    ServiceChaosConfig,
+    generate_service_plan,
+)
+from repro.obs.journal import read_journal
+from repro.service.events import StatsReport
+from repro.service.supervisor import Supervisor, run_supervised
+from repro.service.workload import WorkloadSpec, synthetic_events
+from repro.sim.rng import RandomStreams
+
+_CHAOS = ServiceChaosConfig(
+    event_losses=2,
+    event_duplicates=3,
+    producer_stalls=1,
+    controller_crashes=2,
+)
+
+
+def _plan(seed: int = 21, total: int = 200) -> FaultPlan:
+    return generate_service_plan(
+        total, 0.0, 1000.0, RandomStreams(seed), _CHAOS
+    )
+
+
+def test_service_plan_is_seed_deterministic() -> None:
+    assert _plan().to_json() == _plan().to_json()
+    assert _plan(seed=22).to_json() != _plan().to_json()
+    assert _plan().fingerprint() == _plan().fingerprint()
+
+
+def test_service_plan_shape_and_targets() -> None:
+    plan = _plan()
+    by_kind = {
+        kind: plan.of_kinds([kind])
+        for kind in ("event-loss", "event-duplicate", "producer-stall",
+                     "controller-crash")
+    }
+    assert len(by_kind["event-loss"]) == 2
+    assert len(by_kind["event-duplicate"]) == 3
+    assert len(by_kind["producer-stall"]) == 1
+    assert len(by_kind["controller-crash"]) == 2
+    assert {e.kind for e in plan.events} <= SERVICE_KINDS
+    # One draw without replacement: a seq is never both lost and duped.
+    losses = {e.seq for e in by_kind["event-loss"]}
+    dups = {e.seq for e in by_kind["event-duplicate"]}
+    assert not losses & dups
+    assert all(0.0 <= e.time <= 1000.0 for e in plan.events)
+
+
+def test_service_plan_round_trips_through_json() -> None:
+    plan = _plan()
+    rebuilt = FaultPlan.from_json(plan.to_json())
+    assert rebuilt == plan
+    assert rebuilt.fingerprint() == plan.fingerprint()
+
+
+def test_service_plan_caps_targets_at_stream_length() -> None:
+    config = ServiceChaosConfig(event_losses=50, event_duplicates=50)
+    plan = generate_service_plan(10, 0.0, 100.0, RandomStreams(3), config)
+    assert len(plan.events) == 10  # capped at the sequence space
+    with pytest.raises(ValueError, match="total_events"):
+        generate_service_plan(0, 0.0, 100.0, RandomStreams(3), config)
+    with pytest.raises(ValueError, match="empty fault window"):
+        generate_service_plan(10, 5.0, 5.0, RandomStreams(3), config)
+
+
+def test_supervisor_rejects_foreign_fault_kinds(tmp_path: Path) -> None:
+    spec = WorkloadSpec(users=8, aps=3, events=40, seed=5)
+    plan = FaultPlan((ApDown(time=1.0, ap_id="ap00"),))
+    with pytest.raises(ValueError, match="non-service fault kinds"):
+        Supervisor(spec, plan, tmp_path)
+    with pytest.raises(ValueError, match="snapshot_every"):
+        Supervisor(spec, FaultPlan(), tmp_path, snapshot_every=0)
+
+
+def test_losses_and_duplicates_surface_in_summary(tmp_path: Path) -> None:
+    spec = WorkloadSpec(users=8, aps=3, events=60, seed=5)
+    # Lose a stats report: dropping a join or leave makes the stream
+    # semantically inconsistent (a user re-joining while associated),
+    # which the dispatch layer rightly treats as a hard error.
+    stats_seqs = [
+        e.seq
+        for e in synthetic_events(spec)
+        if isinstance(e, StatsReport) and 5 <= e.seq <= 40
+    ]
+    lost_seq, dup_seq = stats_seqs[0], stats_seqs[1]
+    plan = FaultPlan(
+        (
+            EventLoss(time=1.0, seq=lost_seq),
+            EventDuplicate(time=2.0, seq=dup_seq),
+        )
+    )
+    journal_path = tmp_path / "j.jsonl"
+    summary = run_supervised(
+        spec,
+        plan,
+        tmp_path / "work",
+        journal=journal_path,
+        gap_horizon=5.0,
+        snapshot_every=25,
+    )
+    assert summary["gap_skips"] == 1  # the lost seq aged out
+    assert summary["dropped_events"] == 1  # the duplicate delivery
+    assert summary["events"] == spec.events - 1
+    journal = read_journal(journal_path)
+    skips = [f for f in journal.faults if f.kind == "gap-skip"]
+    assert [f.target for f in skips] == [f"seq:{lost_seq}-{lost_seq}"]
+    # The stream-shaping faults are part of the run identity.
+    assert journal.meta["faults"] == FaultPlan(
+        plan.of_kinds(sorted(SERVICE_KINDS - {ControllerCrash.kind}))
+    ).fingerprint()
+
+
+def test_producer_stall_only_reorders_never_drops(tmp_path: Path) -> None:
+    spec = WorkloadSpec(users=8, aps=3, events=60, seed=5)
+    plan = FaultPlan((ProducerStall(time=5.0, duration=15.0),))
+    summary = run_supervised(
+        spec, plan, tmp_path / "work", snapshot_every=25
+    )
+    clean = run_supervised(
+        spec, FaultPlan(), tmp_path / "clean", snapshot_every=25
+    )
+    assert summary["events"] == clean["events"] == spec.events
+    assert summary["dropped_events"] == 0
+    for key in ("decisions", "users_online", "known_pairs"):
+        assert summary[key] == clean[key]

@@ -33,6 +33,7 @@ def _service(
     admission: Optional[AdmissionConfig] = None,
     apps: Tuple[ServiceApp, ...] = (),
     learner: bool = False,
+    gap_horizon: Optional[float] = None,
 ) -> ControllerService:
     type_model = TypeModel(
         centroids=np.zeros((2, 6)),
@@ -50,6 +51,7 @@ def _service(
         admission=admission,
         apps=apps,
         learner=OnlineLearner(social) if learner else None,
+        gap_horizon=gap_horizon,
     )
 
 
@@ -219,3 +221,72 @@ def test_run_events_validates_producer_count() -> None:
     service = _service()
     with pytest.raises(ValueError, match="producers"):
         asyncio.run(run_events(service, [], producers=0))
+
+
+# ----------------------------------------------------------------- #
+# Tolerant mode: gap horizon, duplicate shedding                    #
+# ----------------------------------------------------------------- #
+
+
+def test_gap_horizon_must_be_positive() -> None:
+    with pytest.raises(ValueError, match="gap_horizon"):
+        _service(gap_horizon=0.0)
+    with pytest.raises(ValueError, match="gap_horizon"):
+        _service(gap_horizon=-1.0)
+
+
+def test_gap_skipped_after_horizon_elapses() -> None:
+    recorder = _Recorder()
+    service = _service(
+        AdmissionConfig(flush_horizon=0.0), apps=(recorder,), gap_horizon=5.0
+    )
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    # seq 1 is missing; seq 2 parks until the horizon ages it out.
+    service.submit(StationJoin(seq=2, time=2.0, user_id="b"))
+    assert service.events_processed == 1
+    assert service.gap_skips == 0
+    service.submit(StatsReport(seq=3, time=8.0, user_id="a", mean_rate=1.0))
+    assert service.gap_skips == 1
+    assert service.events_processed == 3
+    service.drain()
+    assert [c for c in recorder.calls if c[0] == "join"] == [
+        ("join", "a"),
+        ("join", "b"),
+    ]
+
+
+def test_tolerant_mode_drops_duplicates_and_stale_seqs() -> None:
+    service = _service(
+        AdmissionConfig(flush_horizon=0.0), gap_horizon=10.0
+    )
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    # Re-delivery of an already-consumed seq is dropped, not an error.
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    assert service.dropped_events == 1
+    # A parked duplicate is dropped too.
+    service.submit(StationJoin(seq=2, time=1.0, user_id="b"))
+    service.submit(StationJoin(seq=2, time=1.0, user_id="b"))
+    assert service.dropped_events == 2
+    assert service.events_processed == 1
+    service.submit(StationJoin(seq=1, time=1.0, user_id="c"))
+    assert service.events_processed == 3
+    service.drain()
+
+
+def test_tolerant_drain_skips_trailing_gaps() -> None:
+    service = _service(AdmissionConfig(flush_horizon=0.0), gap_horizon=5.0)
+    service.submit(StationJoin(seq=0, time=0.0, user_id="a"))
+    service.submit(StationJoin(seq=3, time=1.0, user_id="b"))
+    assert service.events_processed == 1
+    service.drain()
+    assert service.events_processed == 2
+    assert service.gap_skips == 2  # seqs 1 and 2 declared missing
+
+
+def test_strict_mode_still_raises_on_duplicates_and_gaps() -> None:
+    service = _service()
+    service.submit(StationJoin(seq=1, time=0.0, user_id="a"))
+    with pytest.raises(ValueError, match="sequence gap"):
+        service.drain()
+    with pytest.raises(ValueError, match="duplicate event seq"):
+        service.submit(StationJoin(seq=1, time=0.0, user_id="b"))
